@@ -1,0 +1,322 @@
+package multitherm
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (run `go test -bench . -benchmem`), plus ablation
+// benches for the design choices DESIGN.md calls out. Benchmarks use
+// shortened simulations so a full -bench pass stays tractable; the
+// cmd/sweep binary runs the same experiments at full 0.5 s fidelity.
+
+import (
+	"testing"
+
+	"multitherm/internal/control"
+	"multitherm/internal/core"
+	"multitherm/internal/experiments"
+	"multitherm/internal/floorplan"
+	"multitherm/internal/sensor"
+	"multitherm/internal/sim"
+	"multitherm/internal/thermal"
+	"multitherm/internal/workload"
+)
+
+// benchOptions are the reduced-fidelity options used by table/figure
+// regeneration benches.
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.SimTime = 0.05
+	for _, n := range []string{"workload1", "workload7", "workload12"} {
+		m, err := workload.MixByName(n)
+		if err != nil {
+			panic(err)
+		}
+		o.Workloads = append(o.Workloads, m)
+	}
+	return o
+}
+
+func benchArtifact(b *testing.B, name string) {
+	b.Helper()
+	r, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
+	}
+}
+
+// --- one bench per paper table and figure ---
+
+func BenchmarkTable1(b *testing.B)      { benchArtifact(b, "table1") }
+func BenchmarkTable2(b *testing.B)      { benchArtifact(b, "table2") }
+func BenchmarkTable3(b *testing.B)      { benchArtifact(b, "table3") }
+func BenchmarkTable4(b *testing.B)      { benchArtifact(b, "table4") }
+func BenchmarkPIAnalysis(b *testing.B)  { benchArtifact(b, "pi") }
+func BenchmarkFig3(b *testing.B)        { benchArtifact(b, "fig3") }
+func BenchmarkTable5(b *testing.B)      { benchArtifact(b, "table5") }
+func BenchmarkFig5(b *testing.B)        { benchArtifact(b, "fig5") }
+func BenchmarkTable6(b *testing.B)      { benchArtifact(b, "table6") }
+func BenchmarkTable7(b *testing.B)      { benchArtifact(b, "table7") }
+func BenchmarkFig7(b *testing.B)        { benchArtifact(b, "fig7") }
+func BenchmarkTable8(b *testing.B)      { benchArtifact(b, "table8") }
+func BenchmarkSensitivity(b *testing.B) { benchArtifact(b, "sensitivity") }
+func BenchmarkDutyValidity(b *testing.B) {
+	benchArtifact(b, "dutyvalid")
+}
+
+// --- core kernel benches ---
+
+// BenchmarkThermalStep measures one 28 µs transient step of the 55-node
+// CMP4 RC network — the inner kernel of every simulation.
+func BenchmarkThermalStep(b *testing.B) {
+	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.NumBlocks())
+	for i := range p {
+		p[i] = 1.5
+	}
+	m.SetPower(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(control.PaperSamplePeriod)
+	}
+}
+
+// BenchmarkThermalSteadyState measures the LU-based equilibrium solve.
+func BenchmarkThermalSteadyState(b *testing.B) {
+	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.NumBlocks())
+	p[3] = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyState(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPIStep measures the discrete PI controller's per-sample cost.
+func BenchmarkPIStep(b *testing.B) {
+	rt := control.NewPaperPIRuntime(81.8)
+	for i := 0; i < b.N; i++ {
+		rt.Step(80 + float64(i%7))
+	}
+}
+
+// BenchmarkSimulatorTick measures full end-to-end simulation throughput
+// (ticks/second of the whole Figure 2 loop) via a fixed 10 ms run.
+func BenchmarkSimulatorTick(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.SimTime = 0.01
+	mix, err := workload.MixByName("workload7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.SensorMigration}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(cfg, mix, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches (design choices called out in DESIGN.md) ---
+
+// ablationRun runs workload7 for 50 ms under a modified configuration
+// and reports achieved BIPS as a custom metric.
+func ablationRun(b *testing.B, mutate func(*sim.Config), spec core.PolicySpec) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.SimTime = 0.05
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mix, err := workload.MixByName("workload7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bips float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.New(cfg, mix, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bips = m.BIPS()
+	}
+	b.ReportMetric(bips, "BIPS")
+}
+
+// BenchmarkAblationControllerPI vs. a crude bang-bang alternative: the
+// stop-go rows of the taxonomy ARE the bang-bang ablation; these two
+// benches make the comparison directly visible as custom metrics.
+func BenchmarkAblationControllerPI(b *testing.B) {
+	ablationRun(b, nil, core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
+}
+
+func BenchmarkAblationControllerBangBang(b *testing.B) {
+	ablationRun(b, nil, core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed})
+}
+
+// BenchmarkAblationMigrationEpoch sweeps the OS migration epoch.
+func BenchmarkAblationMigrationEpoch(b *testing.B) {
+	for _, epoch := range []float64{2e-3, 10e-3, 50e-3} {
+		b.Run(formatMS(epoch), func(b *testing.B) {
+			ablationRun(b, func(c *sim.Config) { c.MigrationEpoch = epoch },
+				core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.CounterMigration})
+		})
+	}
+}
+
+// BenchmarkAblationMigrationPenalty sweeps the context-switch cost.
+func BenchmarkAblationMigrationPenalty(b *testing.B) {
+	for _, pen := range []float64{10e-6, 100e-6, 1e-3} {
+		b.Run(formatUS(pen), func(b *testing.B) {
+			ablationRun(b, func(c *sim.Config) { c.MigrationPenalty = pen },
+				core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.SensorMigration})
+		})
+	}
+}
+
+// BenchmarkAblationVoltageFloor compares the paper's pure-cubic DVFS
+// power model against a realistic regulator floor.
+func BenchmarkAblationVoltageFloor(b *testing.B) {
+	for _, floor := range []float64{0, 0.7} {
+		name := "cubic"
+		if floor > 0 {
+			name = "vfloor0.7"
+		}
+		b.Run(name, func(b *testing.B) {
+			ablationRun(b, func(c *sim.Config) { c.Power.VFloor = floor },
+				core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
+		})
+	}
+}
+
+// BenchmarkAblationSensorNoise degrades the sensors that feed
+// sensor-based migration.
+func BenchmarkAblationSensorNoise(b *testing.B) {
+	// Sensor parameters live on the bank built inside the runner;
+	// emulate degradation through quantization-equivalent threshold
+	// margin instead.
+	for _, margin := range []float64{0.3, 1.0, 2.0} {
+		b.Run(formatC(margin), func(b *testing.B) {
+			ablationRun(b, func(c *sim.Config) { c.Policy.TripMarginC = margin },
+				core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.SensorMigration})
+		})
+	}
+}
+
+// BenchmarkAblationDiscretization compares c2d methods on control cost.
+func BenchmarkAblationDiscretization(b *testing.B) {
+	for _, method := range []control.DiscretizeMethod{control.ForwardEuler, control.BackwardEuler, control.Tustin} {
+		b.Run(method.String(), func(b *testing.B) {
+			law := control.C2DPI(control.PaperKp, control.PaperKi, control.PaperSamplePeriod, method)
+			rt := control.NewPIRuntime(law, control.DefaultPILimits(), 81.8)
+			temp := 60.0
+			var worst float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := rt.Step(temp)
+				eq := 45 + 52*u*u*u
+				temp += (eq - temp) * control.PaperSamplePeriod / 25e-3
+				if temp > worst {
+					worst = temp
+				}
+			}
+			b.ReportMetric(worst, "peakC")
+		})
+	}
+}
+
+// BenchmarkAblationThermalStepSize measures integrator cost vs step.
+func BenchmarkAblationThermalStepSize(b *testing.B) {
+	for _, dt := range []float64{7e-6, 28e-6, 112e-6} {
+		b.Run(formatUS(dt), func(b *testing.B) {
+			m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := make([]float64, m.NumBlocks())
+			for i := range p {
+				p[i] = 1.5
+			}
+			m.SetPower(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(dt)
+			}
+		})
+	}
+}
+
+// BenchmarkSensorRead measures the hottest-of-bank reduction feeding
+// every controller decision.
+func BenchmarkSensorRead(b *testing.B) {
+	fp := floorplan.CMP4()
+	bank, err := sensor.CoreHotspots(fp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	temps := make([]float64, len(fp.Blocks))
+	for i := range temps {
+		temps[i] = 70 + float64(i%9)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Hottest(temps, int64(i))
+	}
+}
+
+func formatMS(v float64) string { return formatF(v*1e3) + "ms" }
+func formatUS(v float64) string { return formatF(v*1e6) + "us" }
+func formatC(v float64) string  { return formatF(v) + "C" }
+
+func formatF(v float64) string {
+	if v == float64(int64(v)) {
+		return itoa(int64(v))
+	}
+	return itoa(int64(v*10)) + "e-1"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,92 @@
+// Command sweep reproduces the paper's evaluation: every table and
+// figure, printed with the published values alongside for comparison.
+//
+// Usage:
+//
+//	sweep                 # reproduce everything at full fidelity (0.5 s sims)
+//	sweep -only table5    # one artifact
+//	sweep -quick          # reduced fidelity (0.1 s sims) for a fast look
+//	sweep -list           # list artifacts
+//	sweep -simtime 0.25   # custom simulated silicon time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multitherm/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "reproduce a single artifact (e.g. table5, fig3)")
+	quick := flag.Bool("quick", false, "reduced-fidelity simulations")
+	list := flag.Bool("list", false, "list reproducible artifacts and exit")
+	simtime := flag.Float64("simtime", 0, "simulated silicon time per run in seconds (default 0.5)")
+	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
+	mdPath := flag.String("md", "", "also write the report as markdown to this file")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-18s %s\n", r.Name, r.Desc)
+		}
+		for _, r := range experiments.ExtensionRegistry() {
+			fmt.Printf("%-18s %s (extension)\n", r.Name, r.Desc)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *simtime > 0 {
+		opt.SimTime = *simtime
+	}
+
+	runners := experiments.Registry()
+	if *ablations {
+		runners = append(runners, experiments.ExtensionRegistry()...)
+	}
+	if *only != "" {
+		r, err := experiments.Find(*only)
+		if err != nil {
+			if ext, extErr := experiments.FindExtension(*only); extErr == nil {
+				r, err = ext, nil
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	var md *os.File
+	if *mdPath != "" {
+		var err error
+		md, err = os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer md.Close()
+		fmt.Fprintf(md, "# multitherm reproduction report\n\nSimulated silicon time per run: %.2f s.\n\n", opt.SimTime)
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==> %s: %s  (%.1fs)\n\n", r.Name, r.Desc, time.Since(start).Seconds())
+		fmt.Println(res.Render())
+		if md != nil {
+			fmt.Fprintf(md, "## %s — %s\n\n```text\n%s```\n\n", r.Name, r.Desc, res.Render())
+		}
+	}
+}

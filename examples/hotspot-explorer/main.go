@@ -1,0 +1,94 @@
+// Hotspot explorer: drive the HotSpot-style thermal substrate directly.
+// Inject power into chosen floorplan blocks, solve the steady state,
+// and render an ASCII heat map of the 4-core die — then watch the
+// transient as the hot block is gated off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"multitherm/internal/floorplan"
+	"multitherm/internal/thermal"
+)
+
+func main() {
+	fp := floorplan.CMP4()
+	model, err := thermal.New(fp, thermal.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Light background load everywhere, a fierce hotspot in core 1's
+	// integer register file, and a warm shared L2.
+	power := make([]float64, model.NumBlocks())
+	for i := range power {
+		power[i] = 0.6
+	}
+	power[fp.BlockIndex("c1_iregfile")] = 9
+	power[fp.BlockIndex("l2")] = 6
+
+	if err := model.InitSteadyState(power); err != nil {
+		log.Fatal(err)
+	}
+	model.SetPower(power)
+
+	fmt.Println("steady state with a 9 W hotspot in c1_iregfile:")
+	heatmap(fp, model)
+
+	hot, idx := model.MaxBlockTemp()
+	fmt.Printf("\nhottest block: %s at %.2f °C\n", model.NodeName(idx), hot)
+	fmt.Printf("local time constant of that block: %.1f ms\n", model.BlockTimeConstant(idx)*1e3)
+
+	// Gate the hotspot and watch it cool through one 30 ms stop-go stall.
+	power[fp.BlockIndex("c1_iregfile")] = 0.3
+	model.SetPower(power)
+	fmt.Println("\ncooling after clock-gating the hotspot:")
+	for t := 0.0; t <= 30e-3+1e-9; t += 5e-3 {
+		fmt.Printf("  t=%4.0f ms: c1_iregfile = %.2f °C\n",
+			t*1e3, model.Temp(fp.BlockIndex("c1_iregfile")))
+		model.Step(5e-3)
+	}
+}
+
+// heatmap renders block temperatures on a coarse character grid.
+func heatmap(fp *floorplan.Floorplan, m *thermal.Model) {
+	const cols, rows = 64, 24
+	ramp := " .:-=+*#%@"
+	min, max := 1e9, -1e9
+	for i := 0; i < m.NumBlocks(); i++ {
+		t := m.Temp(i)
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	blockAt := func(x, y float64) int {
+		for i, b := range fp.Blocks {
+			if x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H {
+				return i
+			}
+		}
+		return -1
+	}
+	var sb strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			x := (float64(c) + 0.5) / cols * fp.ChipW
+			y := (float64(r) + 0.5) / rows * fp.ChipH
+			i := blockAt(x, y)
+			if i < 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			frac := (m.Temp(i) - min) / (max - min + 1e-9)
+			sb.WriteByte(ramp[int(frac*float64(len(ramp)-1))])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+	fmt.Printf("scale: '%c' = %.1f °C ... '%c' = %.1f °C\n", ramp[0], min, ramp[len(ramp)-1], max)
+}

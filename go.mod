@@ -1,0 +1,3 @@
+module multitherm
+
+go 1.22

@@ -1,0 +1,321 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multitherm/internal/poly"
+)
+
+func TestPaperDiscreteCoefficients(t *testing.T) {
+	// §4.2: forward-Euler c2d of G(s) = Kp + Ki/s with the paper's
+	// constants must reproduce the published difference equation
+	// u[n] = u[n−1] − 0.0107·e[n] + 0.003796·e[n−1].
+	d := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, ForwardEuler)
+	if math.Abs(d.B0-(-0.0107)) > 1e-9 {
+		t.Errorf("B0 = %v, want -0.0107", d.B0)
+	}
+	if math.Abs(d.B1-0.003796) > 2e-6 {
+		t.Errorf("B1 = %v, want 0.003796 (±2e-6)", d.B1)
+	}
+}
+
+func TestC2DMethodsAgreeAtSmallPeriod(t *testing.T) {
+	// All discretization rules converge as T→0.
+	const T = 1e-9
+	fe := C2DPI(PaperKp, PaperKi, T, ForwardEuler)
+	be := C2DPI(PaperKp, PaperKi, T, BackwardEuler)
+	tu := C2DPI(PaperKp, PaperKi, T, Tustin)
+	if math.Abs(fe.B0-be.B0) > 1e-6 || math.Abs(fe.B0-tu.B0) > 1e-6 {
+		t.Errorf("B0 disagree: fe=%v be=%v tu=%v", fe.B0, be.B0, tu.B0)
+	}
+	if math.Abs(fe.B1-be.B1) > 1e-6 || math.Abs(fe.B1-tu.B1) > 1e-6 {
+		t.Errorf("B1 disagree: fe=%v be=%v tu=%v", fe.B1, be.B1, tu.B1)
+	}
+}
+
+func TestDiscretizeMethodString(t *testing.T) {
+	if ForwardEuler.String() != "forward-euler" || Tustin.String() != "tustin" {
+		t.Error("method names wrong")
+	}
+}
+
+func TestPITransferFunction(t *testing.T) {
+	g := PI(2, 3) // (2s+3)/s
+	if got := g.Num.Eval(1); got != 5 {
+		t.Errorf("num(1) = %v, want 5", got)
+	}
+	poles := g.Poles()
+	if len(poles) != 1 || poles[0] != 0 {
+		t.Errorf("PI pole = %v, want single pole at origin", poles)
+	}
+}
+
+func TestClosedLoopStability(t *testing.T) {
+	// PI controller on a first-order thermal plant: closed loop is
+	// second order and stable for any positive gains — the robustness
+	// property the paper leans on ("these constants can deviate
+	// significantly").
+	plant := FirstOrderPlant(10, 0.005) // 10 °C per unit, 5 ms hotspot
+	for _, gains := range [][2]float64{
+		{PaperKp, PaperKi},
+		{PaperKp * 10, PaperKi * 10},
+		{PaperKp / 10, PaperKi / 10},
+	} {
+		loop := PI(gains[0], gains[1]).Series(plant).Feedback()
+		if !loop.IsStable() {
+			t.Errorf("closed loop unstable for Kp=%g Ki=%g: poles %v",
+				gains[0], gains[1], loop.Poles())
+		}
+	}
+}
+
+func TestClosedLoopStabilityProperty(t *testing.T) {
+	// Property: for positive Kp, Ki, gain and τ the PI/first-order loop
+	// is always stable (its characteristic polynomial has all-positive
+	// coefficients, degree 2).
+	f := func(kp, ki, k, tau float64) bool {
+		kp = 1e-4 + math.Abs(kp)
+		ki = 1e-2 + math.Abs(ki)
+		k = 0.1 + math.Abs(k)
+		tau = 1e-4 + math.Abs(tau)
+		if kp > 1e4 || ki > 1e6 || k > 1e4 || tau > 10 {
+			return true // keep magnitudes in a numerically sane band
+		}
+		return PI(kp, ki).Series(FirstOrderPlant(k, tau)).Feedback().IsStable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootLocusMovesPoles(t *testing.T) {
+	plant := FirstOrderPlant(10, 0.005)
+	open := PI(PaperKp, PaperKi).Series(plant)
+	pts := open.RootLocus([]float64{0.1, 1, 10, 100})
+	if len(pts) != 4 {
+		t.Fatalf("got %d locus points", len(pts))
+	}
+	for _, pt := range pts {
+		for _, p := range pt.Poles {
+			if real(p) >= 0 {
+				t.Errorf("gain %g: pole %v in right half plane", pt.Gain, p)
+			}
+		}
+	}
+}
+
+func TestDiscreteClosedLoopStableZ(t *testing.T) {
+	d := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, ForwardEuler)
+	// ZOH-discretized hotspot plant: 12 °C per unit scale, 4 ms τ.
+	pn, pd := DiscretizePlantZOH(12, 0.004, PaperSamplePeriod)
+	if !d.ClosedLoopStableZ(pn, pd) {
+		t.Error("paper controller unstable on representative discrete plant")
+	}
+}
+
+func TestDiscreteInstabilityAtHugeGain(t *testing.T) {
+	// Sanity check that the stability predicate can fail: an absurdly
+	// hot loop gain must be flagged unstable.
+	d := C2DPI(PaperKp*10000, PaperKi*10000, PaperSamplePeriod, ForwardEuler)
+	pn, pd := DiscretizePlantZOH(12, 0.004, PaperSamplePeriod)
+	if d.ClosedLoopStableZ(pn, pd) {
+		t.Error("expected instability at 3000x gains")
+	}
+}
+
+func TestDCGainAndSettling(t *testing.T) {
+	plant := FirstOrderPlant(8, 0.01)
+	if g := plant.DCGain(); math.Abs(g-8) > 1e-12 {
+		t.Errorf("DC gain = %v, want 8", g)
+	}
+	if tc := plant.DominantTimeConstant(); math.Abs(tc-0.01) > 1e-9 {
+		t.Errorf("time constant = %v, want 0.01", tc)
+	}
+	if st := plant.SettlingTime(); math.Abs(st-0.04) > 1e-9 {
+		t.Errorf("settling = %v, want 0.04", st)
+	}
+	// PI loop has integral action → closed-loop DC gain of 1 (zero
+	// steady-state error), the reason the paper prefers PI over P.
+	loop := PI(PaperKp, PaperKi).Series(plant).Feedback()
+	if g := loop.DCGain(); math.Abs(g-1) > 1e-9 {
+		t.Errorf("closed-loop DC gain = %v, want 1", g)
+	}
+}
+
+func TestUnstablePlantDetected(t *testing.T) {
+	unstable := NewTF([]float64{1}, []float64{-1, 1}) // pole at +1
+	if unstable.IsStable() {
+		t.Error("pole at +1 reported stable")
+	}
+	if !math.IsInf(unstable.DominantTimeConstant(), 1) {
+		t.Error("unstable plant should have infinite time constant")
+	}
+}
+
+func TestStabilityMargin(t *testing.T) {
+	g := NewTF([]float64{1}, []float64{6, 5, 1}) // poles -2, -3
+	if m := g.StabilityMargin(); math.Abs(m-2) > 1e-9 {
+		t.Errorf("margin = %v, want 2", m)
+	}
+}
+
+func TestPIRuntimeConvergesToSetpoint(t *testing.T) {
+	// Simulate the controller against a first-order hotspot whose
+	// equilibrium temperature at full speed far exceeds the setpoint.
+	// The loop must settle near the setpoint with no emergency overshoot.
+	pi := NewPaperPIRuntime(81.8)
+	temp := 45.0
+	const (
+		tau      = 0.010
+		ambient  = 45.0
+		hotAtMax = 50.0 // °C rise above ambient at scale 1.0
+	)
+	dt := PaperSamplePeriod
+	var maxTemp float64
+	for i := 0; i < 200000; i++ {
+		u := pi.Step(temp)
+		// Power ~ cubic in scale; first-order settle toward equilibrium.
+		eq := ambient + hotAtMax*u*u*u
+		temp += (eq - temp) * dt / tau
+		if temp > maxTemp {
+			maxTemp = temp
+		}
+	}
+	if math.Abs(temp-81.8) > 1.0 {
+		t.Errorf("settled at %.2f °C, want ≈81.8", temp)
+	}
+	if maxTemp > 84.2 {
+		t.Errorf("overshoot to %.2f °C exceeded the 84.2 °C emergency threshold", maxTemp)
+	}
+}
+
+func TestPIRuntimeClipping(t *testing.T) {
+	pi := NewPaperPIRuntime(80)
+	// Freezing-cold input: output must rail at max, never above.
+	for i := 0; i < 100; i++ {
+		if u := pi.Step(20); u > 1.0 {
+			t.Fatalf("output %v exceeded max", u)
+		}
+	}
+	if pi.Output() != 1.0 {
+		t.Errorf("cool core output = %v, want railed at 1.0", pi.Output())
+	}
+	// Blast furnace: output must rail at min, never below.
+	for i := 0; i < 2000; i++ {
+		if u := pi.Step(150); u < 0.2 {
+			t.Fatalf("output %v under min", u)
+		}
+	}
+	if pi.Output() != 0.2 {
+		t.Errorf("hot core output = %v, want railed at 0.2", pi.Output())
+	}
+}
+
+func TestPIRuntimeAntiWindup(t *testing.T) {
+	// After a long saturated-hot period, recovery to full speed must be
+	// quick — clipping prevents hidden integral windup (§4.2).
+	pi := NewPaperPIRuntime(80)
+	for i := 0; i < 50000; i++ {
+		pi.Step(120) // 40 °C over target for ~1.4 s
+	}
+	steps := 0
+	for pi.Output() < 1.0 && steps < 5000 {
+		pi.Step(60) // now 20 °C below target
+		steps++
+	}
+	// Winding down 0.8 of range at ~0.006904·20 per step ≈ 6 steps; a
+	// wound-up integrator would need tens of thousands.
+	if steps > 100 {
+		t.Errorf("took %d steps to recover from saturation; windup suspected", steps)
+	}
+}
+
+func TestPIRuntimeMinTransitionDeadband(t *testing.T) {
+	law := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, ForwardEuler)
+	pi := NewPIRuntime(law, PILimits{Min: 0.2, Max: 1.0, MinTransition: 0.016}, 80)
+	// Drive off the max rail, then hold at the setpoint so the internal
+	// state goes quiescent.
+	pi.Step(90)
+	for i := 0; i < 10; i++ {
+		pi.Step(80)
+	}
+	before := pi.Output()
+	// A tiny error implies |Δu| far below the deadband → the applied
+	// (PLL) output must hold even though the state integrates.
+	after := pi.Step(80.01)
+	if before != after {
+		t.Errorf("deadband did not hold output: %v -> %v", before, after)
+	}
+	// But a large error must still move the output promptly.
+	if moved := pi.Step(110); moved == after {
+		t.Error("large error failed to move output through deadband")
+	}
+}
+
+func TestPIRuntimeTrendRecording(t *testing.T) {
+	pi := NewPaperPIRuntime(80)
+	pi.Step(70)
+	pi.Step(71)
+	pi.Step(72)
+	tr := pi.Trend()
+	if tr.Samples != 3 {
+		t.Fatalf("samples = %d, want 3", tr.Samples)
+	}
+	// Temperature rose 1 °C per sample period for the last two samples.
+	wantSlope := (0 + 1/PaperSamplePeriod + 1/PaperSamplePeriod) / 3
+	if math.Abs(tr.AvgSlope-wantSlope) > 1e-6*wantSlope {
+		t.Errorf("avg slope = %v, want %v", tr.AvgSlope, wantSlope)
+	}
+	pi.ResetTrend()
+	if pi.Trend().Samples != 0 {
+		t.Error("ResetTrend did not clear window")
+	}
+}
+
+func TestPIRuntimeReset(t *testing.T) {
+	pi := NewPaperPIRuntime(80)
+	for i := 0; i < 1000; i++ {
+		pi.Step(100)
+	}
+	if pi.Output() >= 1.0 {
+		t.Fatal("setup failed: output should be depressed")
+	}
+	pi.Reset()
+	if pi.Output() != 1.0 {
+		t.Errorf("Reset output = %v, want 1.0", pi.Output())
+	}
+}
+
+func TestPlantZOHPole(t *testing.T) {
+	_, den := DiscretizePlantZOH(5, 0.004, PaperSamplePeriod)
+	roots := den.Roots()
+	want := math.Exp(-PaperSamplePeriod / 0.004)
+	if len(roots) != 1 || math.Abs(real(roots[0])-want) > 1e-12 {
+		t.Errorf("ZOH pole = %v, want %v", roots, want)
+	}
+}
+
+func TestZTransferFunction(t *testing.T) {
+	d := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, ForwardEuler)
+	num, den := d.ZTransferFunction()
+	if den.Degree() != 1 || den.Eval(1) != 0 {
+		t.Errorf("denominator %v should be (z-1)", den)
+	}
+	if num.Degree() != 1 {
+		t.Errorf("numerator degree = %d, want 1", num.Degree())
+	}
+	_ = num.String()
+}
+
+func TestNewPIRuntimeBadLimitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted limits")
+		}
+	}()
+	NewPIRuntime(DiscretePI{}, PILimits{Min: 1, Max: 0.2}, 80)
+}
+
+var _ = poly.New // keep import used if edits drop direct references

@@ -1,0 +1,97 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPIDReducesToPI(t *testing.T) {
+	pi := PI(PaperKp, PaperKi)
+	pid := PID(PaperKp, PaperKi, 0, 1e-4)
+	for _, s := range []complex128{complex(0.5, 1), complex(-2, 3), complex(10, 0)} {
+		a, b := pi.Eval(s), pid.Eval(s)
+		if d := real(a-b)*real(a-b) + imag(a-b)*imag(a-b); d > 1e-18 {
+			t.Errorf("PID(kd=0) differs from PI at %v: %v vs %v", s, a, b)
+		}
+	}
+}
+
+func TestPIDTransferFunctionShape(t *testing.T) {
+	g := PID(1, 2, 0.5, 1e-3)
+	// Two poles: s = 0 (integrator) and s = −1/τf (derivative filter).
+	poles := g.Poles()
+	if len(poles) != 2 {
+		t.Fatalf("poles = %v", poles)
+	}
+	foundOrigin, foundFilter := false, false
+	for _, p := range poles {
+		if math.Abs(real(p)) < 1e-9 && math.Abs(imag(p)) < 1e-9 {
+			foundOrigin = true
+		}
+		if math.Abs(real(p)+1000) < 1e-6 {
+			foundFilter = true
+		}
+	}
+	if !foundOrigin || !foundFilter {
+		t.Errorf("expected poles at 0 and -1000, got %v", poles)
+	}
+}
+
+func TestC2DPIDReducesToPI(t *testing.T) {
+	pid := C2DPID(PaperKp, PaperKi, 0, PaperSamplePeriod)
+	pi := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, BackwardEuler)
+	if math.Abs(pid.B0-pi.B0) > 1e-12 || math.Abs(pid.B1-pi.B1) > 1e-12 || pid.B2 != 0 {
+		t.Errorf("kd=0 PID (%v,%v,%v) != backward-Euler PI (%v,%v)",
+			pid.B0, pid.B1, pid.B2, pi.B0, pi.B1)
+	}
+}
+
+func TestPIDRuntimeClipping(t *testing.T) {
+	law := C2DPID(PaperKp, PaperKi, 1e-6, PaperSamplePeriod)
+	rt := NewPIDRuntime(law, DefaultPILimits(), 80)
+	for i := 0; i < 3000; i++ {
+		u := rt.Step(140)
+		if u < 0.2-1e-12 || u > 1.0+1e-12 {
+			t.Fatalf("output %v outside limits", u)
+		}
+	}
+	if rt.Output() != 0.2 {
+		t.Errorf("hot input should rail at min, got %v", rt.Output())
+	}
+}
+
+func TestDerivativeTermHasLittleBenefit(t *testing.T) {
+	// Paper §4.1: "we found that the derivative term has little benefit
+	// for this type of thermal control". Quantify: a moderate derivative
+	// gain must change mean tracking error and peak temperature only
+	// marginally, and must not rescue anything the PI misses.
+	const setpoint, emergency = 81.8, 84.2
+	pi, pid := ComparePIvsPID(1e-5, setpoint, emergency)
+	if pi.EverEmergent || pid.EverEmergent {
+		t.Fatalf("controllers breached emergency threshold: pi=%+v pid=%+v", pi, pid)
+	}
+	if math.Abs(pi.MeanAbsErrC-pid.MeanAbsErrC) > 0.3 {
+		t.Errorf("derivative changed tracking error materially: PI %.3f °C vs PID %.3f °C",
+			pi.MeanAbsErrC, pid.MeanAbsErrC)
+	}
+	if math.Abs(pi.PeakTempC-pid.PeakTempC) > 1.0 {
+		t.Errorf("derivative changed peak temperature materially: %.2f vs %.2f",
+			pi.PeakTempC, pid.PeakTempC)
+	}
+}
+
+func TestEvaluateThermalControllerScoresSanely(t *testing.T) {
+	q := evaluateThermalController(NewPaperPIRuntime(81.8).Step, 81.8, 84.2)
+	if q.PeakTempC < 80 || q.PeakTempC > 84.2 {
+		t.Errorf("peak %v implausible", q.PeakTempC)
+	}
+	if q.MeanAbsErrC > 1.0 {
+		t.Errorf("steady tracking error %v too large", q.MeanAbsErrC)
+	}
+	if math.IsInf(q.SettleMS, 1) {
+		t.Error("controller never settled")
+	}
+	if q.EverEmergent {
+		t.Error("PI breached the emergency threshold on the testbench")
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multitherm/internal/floorplan"
+	"multitherm/internal/sensor"
+)
+
+func testBank(t testing.TB) (*floorplan.Floorplan, *sensor.Bank) {
+	t.Helper()
+	fp := floorplan.CMP4()
+	bank, err := sensor.CoreHotspots(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idealize the sensors for deterministic tests.
+	for i := range bank.Sensors {
+		bank.Sensors[i].Quantization = 0
+	}
+	return fp, bank
+}
+
+// temps returns a uniform block-temperature vector with selected
+// overrides keyed by block name.
+func temps(fp *floorplan.Floorplan, base float64, override map[string]float64) []float64 {
+	out := make([]float64, len(fp.Blocks))
+	for i := range out {
+		out[i] = base
+	}
+	for name, v := range override {
+		idx := fp.BlockIndex(name)
+		if idx < 0 {
+			panic("unknown block " + name)
+		}
+		out[idx] = v
+	}
+	return out
+}
+
+func TestTaxonomyHasTwelveUniqueCells(t *testing.T) {
+	tax := Taxonomy()
+	if len(tax) != 12 {
+		t.Fatalf("taxonomy size = %d, want 12", len(tax))
+	}
+	seen := map[PolicySpec]bool{}
+	for _, p := range tax {
+		if seen[p] {
+			t.Errorf("duplicate cell %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPolicySpecLabels(t *testing.T) {
+	cases := map[PolicySpec]string{
+		{StopGo, Global, NoMigration}:           "Global stop-go",
+		{DVFS, Distributed, NoMigration}:        "Dist. DVFS",
+		{DVFS, Distributed, SensorMigration}:    "Dist. DVFS + sensor-based migration",
+		{StopGo, Distributed, CounterMigration}: "Dist. stop-go + counter-based migration",
+	}
+	for spec, want := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("label = %q, want %q", got, want)
+		}
+	}
+	if Baseline.String() != "Dist. stop-go" {
+		t.Errorf("baseline label = %q", Baseline.String())
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateCatchesBad(t *testing.T) {
+	p := DefaultParams()
+	p.StallSeconds = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero stall accepted")
+	}
+	p = DefaultParams()
+	p.Limits.Min = 2
+	if err := p.Validate(); err == nil {
+		t.Error("inverted limits accepted")
+	}
+}
+
+func TestStopGoDistributedStallsOnlyHotCore(t *testing.T) {
+	fp, bank := testBank(t)
+	sg, err := NewStopGo(DefaultParams(), Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := temps(fp, 70, map[string]float64{"c1_iregfile": 84.1})
+	cmds := sg.Decide(0, 0, hot)
+	if !cmds[1].Stall {
+		t.Error("hot core 1 not stalled")
+	}
+	for _, c := range []int{0, 2, 3} {
+		if cmds[c].Stall {
+			t.Errorf("cool core %d stalled under distributed policy", c)
+		}
+	}
+	if sg.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", sg.Trips())
+	}
+}
+
+func TestStopGoStallDuration(t *testing.T) {
+	fp, bank := testBank(t)
+	params := DefaultParams()
+	sg, err := NewStopGo(params, Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := temps(fp, 70, map[string]float64{"c0_fpregfile": 84.2})
+	cool := temps(fp, 70, nil)
+	sg.Decide(0, 0, hot)
+	// Still stalled while inside the 30 ms window even though cooled.
+	if cmds := sg.Decide(15e-3, 1, cool); !cmds[0].Stall {
+		t.Error("core released before 30 ms stall elapsed")
+	}
+	if cmds := sg.Decide(31e-3, 2, cool); cmds[0].Stall {
+		t.Error("core still stalled after the stall interval")
+	}
+	if sg.Trips() != 1 {
+		t.Errorf("trips = %d, want exactly 1", sg.Trips())
+	}
+}
+
+func TestStopGoGlobalGatesWholeChip(t *testing.T) {
+	fp, bank := testBank(t)
+	sg, err := NewStopGo(DefaultParams(), Global, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := temps(fp, 70, map[string]float64{"c3_iregfile": 84.2})
+	cmds := sg.Decide(0, 0, hot)
+	for c := range cmds {
+		if !cmds[c].Stall {
+			t.Errorf("core %d not gated under global stop-go", c)
+		}
+	}
+}
+
+func TestStopGoTrendReflectsDuty(t *testing.T) {
+	fp, bank := testBank(t)
+	sg, err := NewStopGo(DefaultParams(), Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool := temps(fp, 70, nil)
+	hot := temps(fp, 70, map[string]float64{"c2_iregfile": 84.2})
+	dt := DefaultParams().SamplePeriod
+	// 10 running ticks, then a trip; stalled ticks afterwards.
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		sg.Decide(now, int64(i), cool)
+		now += dt
+	}
+	for i := 10; i < 20; i++ {
+		sg.Decide(now, int64(i), hot)
+		now += dt
+	}
+	tr := sg.Trend(2)
+	if tr.Samples != 20 {
+		t.Fatalf("trend samples = %d", tr.Samples)
+	}
+	// Core 2 ran ~11 of 20 ticks (trip happens on tick 10).
+	if tr.AvgScale < 0.45 || tr.AvgScale > 0.6 {
+		t.Errorf("avg effective scale = %v, want ≈0.55", tr.AvgScale)
+	}
+	sg.ResetTrend(2)
+	if sg.Trend(2).Samples != 0 {
+		t.Error("ResetTrend did not clear")
+	}
+}
+
+func TestDVFSDistributedIndependentCores(t *testing.T) {
+	fp, bank := testBank(t)
+	d, err := NewDVFS(DefaultParams(), Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 far above setpoint, others cool: only core 0 slows.
+	hot := temps(fp, 60, map[string]float64{"c0_iregfile": 95})
+	var cmds []CoreCommand
+	for i := 0; i < 400; i++ {
+		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), hot)
+	}
+	if cmds[0].Scale >= 0.9 {
+		t.Errorf("hot core scale = %v, want depressed", cmds[0].Scale)
+	}
+	for _, c := range []int{1, 2, 3} {
+		if cmds[c].Scale != 1.0 {
+			t.Errorf("cool core %d scale = %v, want 1.0", c, cmds[c].Scale)
+		}
+	}
+	if cmds[0].Stall {
+		t.Error("DVFS should never stall")
+	}
+}
+
+func TestDVFSGlobalFollowsHottest(t *testing.T) {
+	fp, bank := testBank(t)
+	d, err := NewDVFS(DefaultParams(), Global, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := temps(fp, 60, map[string]float64{"c3_fpregfile": 95})
+	var cmds []CoreCommand
+	for i := 0; i < 400; i++ {
+		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), hot)
+	}
+	// All cores share the single controller's output.
+	for c := 1; c < 4; c++ {
+		if cmds[c].Scale != cmds[0].Scale {
+			t.Errorf("global DVFS cores diverged: %v vs %v", cmds[c].Scale, cmds[0].Scale)
+		}
+	}
+	if cmds[0].Scale >= 0.9 {
+		t.Errorf("global scale = %v, want depressed by the one hotspot", cmds[0].Scale)
+	}
+}
+
+func TestDVFSRespectsFloor(t *testing.T) {
+	fp, bank := testBank(t)
+	d, err := NewDVFS(DefaultParams(), Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferno := temps(fp, 150, nil)
+	var cmds []CoreCommand
+	for i := 0; i < 5000; i++ {
+		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), inferno)
+	}
+	for c := range cmds {
+		if cmds[c].Scale < DefaultParams().Limits.Min-1e-12 {
+			t.Errorf("core %d scale %v under the 0.2 floor", c, cmds[c].Scale)
+		}
+	}
+}
+
+func TestDVFSTrendScaleTracksOutput(t *testing.T) {
+	fp, bank := testBank(t)
+	d, err := NewDVFS(DefaultParams(), Distributed, bank, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool := temps(fp, 50, nil)
+	for i := 0; i < 50; i++ {
+		d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), cool)
+	}
+	tr := d.Trend(1)
+	if math.Abs(tr.AvgScale-1.0) > 1e-9 {
+		t.Errorf("cool core trend scale = %v, want 1.0", tr.AvgScale)
+	}
+	d.NotifyMigration(1)
+	if d.Trend(1).Samples != 0 {
+		t.Error("NotifyMigration did not clear trend window")
+	}
+}
+
+func TestThrottlerNames(t *testing.T) {
+	_, bank := testBank(t)
+	sg, _ := NewStopGo(DefaultParams(), Global, bank, 4)
+	d, _ := NewDVFS(DefaultParams(), Distributed, bank, 4)
+	if !strings.Contains(sg.Name(), "stop-go") || !strings.Contains(sg.Name(), "global") {
+		t.Errorf("stop-go name = %q", sg.Name())
+	}
+	if !strings.Contains(d.Name(), "DVFS") || !strings.Contains(d.Name(), "distributed") {
+		t.Errorf("dvfs name = %q", d.Name())
+	}
+}
+
+func TestConstructorsRejectBadArgs(t *testing.T) {
+	_, bank := testBank(t)
+	if _, err := NewStopGo(DefaultParams(), Global, bank, 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewDVFS(DefaultParams(), Global, bank, -1); err == nil {
+		t.Error("negative cores accepted")
+	}
+	bad := DefaultParams()
+	bad.ThresholdC = -5
+	if _, err := NewStopGo(bad, Global, bank, 4); err == nil {
+		t.Error("bad params accepted by stop-go")
+	}
+	if _, err := NewDVFS(bad, Global, bank, 4); err == nil {
+		t.Error("bad params accepted by DVFS")
+	}
+}
+
+func TestAxisStrings(t *testing.T) {
+	if StopGo.String() != "stop-go" || DVFS.String() != "DVFS" {
+		t.Error("mechanism strings")
+	}
+	if Global.String() != "global" || Distributed.String() != "distributed" {
+		t.Error("scope strings")
+	}
+	if NoMigration.String() != "no migration" ||
+		CounterMigration.String() != "counter-based migration" ||
+		SensorMigration.String() != "sensor-based migration" {
+		t.Error("migration strings")
+	}
+}

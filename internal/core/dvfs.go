@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"multitherm/internal/control"
+	"multitherm/internal/sensor"
+)
+
+// DVFSThrottler implements the control-theoretic DVFS mechanism of §4:
+// a discrete PI controller drives each core's (or, in Global scope, the
+// whole chip's) frequency/voltage scale toward a temperature setpoint
+// just below the emergency threshold. Each controller consumes the
+// hottest of the sensors it watches (§5.2).
+type DVFSThrottler struct {
+	params Params
+	scope  Scope
+	bank   *sensor.Bank
+	nCores int
+
+	controllers []*control.PIRuntime // per core, or a single shared one
+	cmds        []CoreCommand
+}
+
+// NewDVFS builds a DVFS throttler. In Distributed scope each core gets
+// an independent PI controller; in Global scope a single controller
+// watches the hottest sensor across all cores and every core follows
+// its output (§5.2: "effectively only a single PI controller which
+// calculates based on the hottest of all sensors across all cores").
+func NewDVFS(params Params, scope Scope, bank *sensor.Bank, nCores int) (*DVFSThrottler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if nCores <= 0 {
+		return nil, fmt.Errorf("core: nCores = %d", nCores)
+	}
+	d := &DVFSThrottler{
+		params: params,
+		scope:  scope,
+		bank:   bank,
+		nCores: nCores,
+		cmds:   make([]CoreCommand, nCores),
+	}
+	law := control.C2DPI(params.Kp, params.Ki, params.SamplePeriod, control.ForwardEuler)
+	setpoint := params.ThresholdC - params.SetpointMarginC
+	n := nCores
+	if scope == Global {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		d.controllers = append(d.controllers, control.NewPIRuntime(law, params.Limits, setpoint))
+	}
+	return d, nil
+}
+
+// Name implements Throttler.
+func (d *DVFSThrottler) Name() string {
+	return fmt.Sprintf("%s DVFS", d.scope)
+}
+
+// Setpoint returns the controllers' target temperature.
+func (d *DVFSThrottler) Setpoint() float64 {
+	return d.controllers[0].Setpoint()
+}
+
+// Decide implements Throttler.
+func (d *DVFSThrottler) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+	if d.scope == Global {
+		hot, _ := d.bank.Hottest(blockTemps, tick)
+		u := d.controllers[0].Step(hot)
+		for c := range d.cmds {
+			d.cmds[c] = CoreCommand{Scale: u}
+		}
+		return d.cmds
+	}
+	for c := 0; c < d.nCores; c++ {
+		hot, _ := d.bank.ForCore(c).Hottest(blockTemps, tick)
+		u := d.controllers[c].Step(hot)
+		d.cmds[c] = CoreCommand{Scale: u}
+	}
+	return d.cmds
+}
+
+// controllerFor maps a core to its PI runtime.
+func (d *DVFSThrottler) controllerFor(coreID int) *control.PIRuntime {
+	if d.scope == Global {
+		return d.controllers[0]
+	}
+	return d.controllers[coreID]
+}
+
+// Trend implements Throttler: the data is "dumped from per-core PI
+// controllers" exactly as Figure 1 describes.
+func (d *DVFSThrottler) Trend(coreID int) control.TrendReport {
+	return d.controllerFor(coreID).Trend()
+}
+
+// ResetTrend implements Throttler.
+func (d *DVFSThrottler) ResetTrend(coreID int) {
+	d.controllerFor(coreID).ResetTrend()
+}
+
+// NotifyMigration implements Throttler: the incoming thread should not
+// inherit the outgoing thread's integral state, but the silicon
+// temperature is unchanged, so only the trend window is cleared and the
+// controller keeps its output (it will re-converge within a few hundred
+// microseconds).
+func (d *DVFSThrottler) NotifyMigration(coreID int) {
+	d.controllerFor(coreID).ResetTrend()
+}

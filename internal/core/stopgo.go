@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"multitherm/internal/control"
+	"multitherm/internal/sensor"
+)
+
+// StopGoThrottler implements the paper's stop-go mechanism (§2.3, §5.1):
+// cores run at full speed until a watched sensor reads just below the
+// thermal threshold, then freeze for a fixed 30 ms stall. In Global
+// scope, any trip freezes every core ("global clock gating"); in
+// Distributed scope only the offending core stalls.
+type StopGoThrottler struct {
+	params Params
+	scope  Scope
+	bank   *sensor.Bank
+	nCores int
+
+	stallUntil []float64 // per core
+	cmds       []CoreCommand
+	trends     []trendAccum
+	trips      int
+}
+
+// trendAccum approximates the PI hardware's trend recording for
+// throttlers without a PI controller: average effective scale (1 when
+// running, 0 when stalled) and average hotspot temperature slope.
+type trendAccum struct {
+	sumScale float64
+	sumSlope float64
+	n        int
+	prevTemp float64
+	started  bool
+}
+
+func (t *trendAccum) add(scale, temp, period float64) {
+	if !t.started {
+		t.prevTemp = temp
+		t.started = true
+	}
+	t.sumScale += scale
+	t.sumSlope += (temp - t.prevTemp) / period
+	t.prevTemp = temp
+	t.n++
+}
+
+func (t *trendAccum) report() control.TrendReport {
+	if t.n == 0 {
+		return control.TrendReport{AvgScale: 1}
+	}
+	return control.TrendReport{
+		AvgScale: t.sumScale / float64(t.n),
+		AvgSlope: t.sumSlope / float64(t.n),
+		Samples:  t.n,
+	}
+}
+
+func (t *trendAccum) reset() {
+	t.sumScale, t.sumSlope, t.n = 0, 0, 0
+	// keep prevTemp so the slope stream stays continuous
+}
+
+// NewStopGo builds a stop-go throttler over the given sensor bank.
+func NewStopGo(params Params, scope Scope, bank *sensor.Bank, nCores int) (*StopGoThrottler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if nCores <= 0 {
+		return nil, fmt.Errorf("core: nCores = %d", nCores)
+	}
+	return &StopGoThrottler{
+		params:     params,
+		scope:      scope,
+		bank:       bank,
+		nCores:     nCores,
+		stallUntil: make([]float64, nCores),
+		cmds:       make([]CoreCommand, nCores),
+		trends:     make([]trendAccum, nCores),
+	}, nil
+}
+
+// Name implements Throttler.
+func (s *StopGoThrottler) Name() string {
+	return fmt.Sprintf("%s stop-go", s.scope)
+}
+
+// Trips returns the number of thermal interrupts taken.
+func (s *StopGoThrottler) Trips() int { return s.trips }
+
+// Decide implements Throttler.
+func (s *StopGoThrottler) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+	trip := s.params.ThresholdC - s.params.TripMarginC
+	hotTemps := make([]float64, s.nCores)
+	for c := 0; c < s.nCores; c++ {
+		hot, _ := s.bank.ForCore(c).Hottest(blockTemps, tick)
+		hotTemps[c] = hot
+		if now >= s.stallUntil[c] && hot >= trip {
+			// Thermal interrupt: freeze this core (or, below, the chip)
+			// for the stall interval.
+			s.stallUntil[c] = now + s.params.StallSeconds
+			s.trips++
+		}
+		s.cmds[c] = CoreCommand{Scale: 1.0, Stall: now < s.stallUntil[c]}
+	}
+	if s.scope == Global {
+		// Any stalled core gates the entire chip.
+		any := false
+		for c := range s.cmds {
+			if s.cmds[c].Stall {
+				any = true
+				break
+			}
+		}
+		if any {
+			for c := range s.cmds {
+				s.cmds[c].Stall = true
+			}
+		}
+	}
+	// Record trends from the final (post-global-gating) commands so the
+	// outer loop sees each core's true effective duty.
+	for c := 0; c < s.nCores; c++ {
+		scale := 1.0
+		if s.cmds[c].Stall {
+			scale = 0
+		}
+		s.trends[c].add(scale, hotTemps[c], s.params.SamplePeriod)
+	}
+	return s.cmds
+}
+
+// Trend implements Throttler.
+func (s *StopGoThrottler) Trend(coreID int) control.TrendReport {
+	return s.trends[coreID].report()
+}
+
+// ResetTrend implements Throttler.
+func (s *StopGoThrottler) ResetTrend(coreID int) { s.trends[coreID].reset() }
+
+// NotifyMigration implements Throttler. A pending stall is cleared: the
+// OS context switch is itself a thermal response (the hotspot already
+// cooled below the trip point when the interrupt fired), and the
+// incoming thread is re-protected by the normal trip check on the very
+// next control interval — if the hotspot is still at the trip point the
+// core re-stalls immediately.
+func (s *StopGoThrottler) NotifyMigration(coreID int) {
+	s.stallUntil[coreID] = 0
+	s.trends[coreID] = trendAccum{}
+}

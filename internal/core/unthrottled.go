@@ -1,0 +1,39 @@
+package core
+
+import "multitherm/internal/control"
+
+// Unthrottled is the no-DTM reference: every core always runs at full
+// speed. The paper uses unrestricted-temperature runs to validate that
+// the duty-cycle metric predicts achieved BIPS (§5.3); it is also the
+// natural probe for measuring a workload's unconstrained heat output.
+type Unthrottled struct {
+	cmds []CoreCommand
+}
+
+// NewUnthrottled builds the pass-through throttler.
+func NewUnthrottled(nCores int) *Unthrottled {
+	u := &Unthrottled{cmds: make([]CoreCommand, nCores)}
+	for i := range u.cmds {
+		u.cmds[i] = CoreCommand{Scale: 1.0}
+	}
+	return u
+}
+
+// Name implements Throttler.
+func (u *Unthrottled) Name() string { return "unthrottled" }
+
+// Decide implements Throttler.
+func (u *Unthrottled) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+	return u.cmds
+}
+
+// Trend implements Throttler.
+func (u *Unthrottled) Trend(int) control.TrendReport {
+	return control.TrendReport{AvgScale: 1, Samples: 1}
+}
+
+// ResetTrend implements Throttler.
+func (u *Unthrottled) ResetTrend(int) {}
+
+// NotifyMigration implements Throttler.
+func (u *Unthrottled) NotifyMigration(int) {}

@@ -1,0 +1,531 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+	"multitherm/internal/sim"
+)
+
+// Paper reference values (Tables 5–8), used in reports and asserted
+// loosely by tests.
+var (
+	paperTable5 = map[string][2]float64{ // duty %, relative throughput
+		"Global stop-go": {19.77, 0.62},
+		"Dist. stop-go":  {32.57, 1.00},
+		"Global DVFS":    {66.49, 2.07},
+		"Dist. DVFS":     {81.02, 2.51},
+	}
+	paperTable6 = map[string][2]float64{
+		"Global stop-go + counter-based migration": {37.93, 1.18},
+		"Dist. stop-go + counter-based migration":  {65.12, 2.02},
+		"Global DVFS + counter-based migration":    {70.05, 2.18},
+		"Dist. DVFS + counter-based migration":     {82.42, 2.57},
+	}
+	paperTable7 = map[string][2]float64{
+		"Global stop-go + sensor-based migration": {38.64, 1.20},
+		"Dist. stop-go + sensor-based migration":  {66.61, 2.05},
+		"Global DVFS + sensor-based migration":    {68.37, 2.13},
+		"Dist. DVFS + sensor-based migration":     {82.64, 2.59},
+	}
+)
+
+// paperRelative returns the paper's relative-throughput figure for a
+// policy cell, or NaN when the paper does not tabulate it.
+func paperRelative(spec core.PolicySpec) float64 {
+	for _, m := range []map[string][2]float64{paperTable5, paperTable6, paperTable7} {
+		if v, ok := m[spec.String()]; ok {
+			return v[1]
+		}
+	}
+	return math.NaN()
+}
+
+// PolicyStudy holds the measured results of a set of policies over the
+// workload suite, all normalized against the distributed stop-go
+// baseline.
+type PolicyStudy struct {
+	id       string
+	Specs    []core.PolicySpec
+	Runs     map[core.PolicySpec][]*metrics.Run
+	Summary  map[core.PolicySpec]metrics.Summary
+	Baseline metrics.Summary
+}
+
+// runStudy executes the given policy set (always including the
+// baseline) over the workload suite.
+func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*PolicyStudy, error) {
+	s := &PolicyStudy{
+		id:      id,
+		Specs:   specs,
+		Runs:    map[core.PolicySpec][]*metrics.Run{},
+		Summary: map[core.PolicySpec]metrics.Summary{},
+	}
+	haveBase := false
+	for _, spec := range specs {
+		if spec == core.Baseline {
+			haveBase = true
+		}
+	}
+	if !haveBase {
+		specs = append([]core.PolicySpec{core.Baseline}, specs...)
+	}
+	for _, spec := range specs {
+		runs, err := runPolicy(o, cfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		s.Runs[spec] = runs
+		s.Summary[spec] = metrics.Summarize(spec.String(), runs)
+	}
+	s.Baseline = s.Summary[core.Baseline]
+	return s, nil
+}
+
+// ID implements Result.
+func (s *PolicyStudy) ID() string { return s.id }
+
+// Relative returns the policy's mean throughput over the baseline's.
+func (s *PolicyStudy) Relative(spec core.PolicySpec) float64 {
+	return s.Summary[spec].Relative(s.Baseline)
+}
+
+// Emergencies returns total time any block spent above the threshold,
+// across all runs of all policies (the paper's designs avoid all
+// thermal emergencies).
+func (s *PolicyStudy) Emergencies() float64 {
+	var total float64
+	for _, runs := range s.Runs {
+		for _, r := range runs {
+			total += r.EmergencySeconds
+		}
+	}
+	return total
+}
+
+// renderSummary prints one row per policy with the paper's reference.
+func (s *PolicyStudy) renderSummary(title string, paperRef bool) string {
+	t := newTable(title, "policy", "BIPS", "duty cycle", "rel. throughput", "paper duty", "paper rel.")
+	for _, spec := range s.Specs {
+		sum := s.Summary[spec]
+		pd, pr := "-", "-"
+		if ref := paperRelative(spec); paperRef && !math.IsNaN(ref) {
+			for _, m := range []map[string][2]float64{paperTable5, paperTable6, paperTable7} {
+				if v, ok := m[spec.String()]; ok {
+					pd = fmt.Sprintf("%.1f%%", v[0])
+				}
+			}
+			pr = fmt.Sprintf("%.2f", ref)
+		}
+		t.add(spec.String(),
+			fmt.Sprintf("%.2f", sum.MeanBIPS),
+			fmt.Sprintf("%.1f%%", sum.MeanDuty*100),
+			fmt.Sprintf("%.2f", s.Relative(spec)),
+			pd, pr)
+	}
+	return t.String()
+}
+
+// nonMigrationSpecs are the four base policy cells.
+func nonMigrationSpecs() []core.PolicySpec {
+	return []core.PolicySpec{
+		{Mechanism: core.StopGo, Scope: core.Global},
+		{Mechanism: core.StopGo, Scope: core.Distributed},
+		{Mechanism: core.DVFS, Scope: core.Global},
+		{Mechanism: core.DVFS, Scope: core.Distributed},
+	}
+}
+
+func withMigration(kind core.MigrationKind) []core.PolicySpec {
+	out := nonMigrationSpecs()
+	for i := range out {
+		out[i].Migration = kind
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- fig3
+
+// Fig3Result is the per-workload normalized-throughput study of the
+// three non-baseline, non-migration policies (paper Figure 3).
+type Fig3Result struct {
+	*PolicyStudy
+	Workloads []string
+	// Series maps policy → per-workload throughput relative to the
+	// distributed stop-go baseline on the same workload.
+	Series map[core.PolicySpec][]float64
+}
+
+// RunFig3 reproduces Figure 3.
+func RunFig3(o Options) (*Fig3Result, error) {
+	study, err := runStudy(o, "fig3", nonMigrationSpecs(), o.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig3Result{PolicyStudy: study, Series: map[core.PolicySpec][]float64{}}
+	for _, m := range o.workloads() {
+		out.Workloads = append(out.Workloads, m.Label())
+	}
+	base := study.Runs[core.Baseline]
+	for _, spec := range study.Specs {
+		if spec == core.Baseline {
+			continue
+		}
+		rel, err := metrics.PerWorkloadRelative(study.Runs[spec], base)
+		if err != nil {
+			return nil, err
+		}
+		out.Series[spec] = rel
+	}
+	return out, nil
+}
+
+// Render implements Result.
+func (f *Fig3Result) Render() string {
+	t := newTable("Figure 3: per-workload instruction throughput relative to dist. stop-go",
+		"workload", "Global stop-go", "Global DVFS", "Dist. DVFS")
+	gs := core.PolicySpec{Mechanism: core.StopGo, Scope: core.Global}
+	gd := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Global}
+	dd := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
+	for i, w := range f.Workloads {
+		t.add(w,
+			fmt.Sprintf("%.2f", f.Series[gs][i]),
+			fmt.Sprintf("%.2f", f.Series[gd][i]),
+			fmt.Sprintf("%.2f", f.Series[dd][i]))
+	}
+	return t.String()
+}
+
+// -------------------------------------------------------------- table5
+
+// Table5Result is the average-throughput study of the four base
+// policies (paper Table 5).
+type Table5Result struct{ *PolicyStudy }
+
+// RunTable5 reproduces Table 5.
+func RunTable5(o Options) (*Table5Result, error) {
+	study, err := runStudy(o, "table5", nonMigrationSpecs(), o.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Table5Result{study}, nil
+}
+
+// Render implements Result.
+func (t *Table5Result) Render() string {
+	return t.renderSummary("Table 5: average throughput and duty cycle, non-migration policies", true)
+}
+
+// ---------------------------------------------------------- tables 6, 7
+
+// MigrationTableResult covers Tables 6 and 7: the four base policies
+// with one migration mechanism layered on, including the speedup over
+// the corresponding non-migration policy.
+type MigrationTableResult struct {
+	*PolicyStudy
+	Kind core.MigrationKind
+	// SpeedupOverBase maps each migrating policy to its throughput gain
+	// over the same policy without migration.
+	SpeedupOverBase map[core.PolicySpec]float64
+}
+
+func runMigrationTable(o Options, id string, kind core.MigrationKind) (*MigrationTableResult, error) {
+	specs := append(nonMigrationSpecs(), withMigration(kind)...)
+	study, err := runStudy(o, id, specs, o.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &MigrationTableResult{PolicyStudy: study, Kind: kind,
+		SpeedupOverBase: map[core.PolicySpec]float64{}}
+	for _, spec := range withMigration(kind) {
+		plain := spec
+		plain.Migration = core.NoMigration
+		if b := study.Summary[plain].MeanBIPS; b > 0 {
+			out.SpeedupOverBase[spec] = study.Summary[spec].MeanBIPS / b
+		}
+	}
+	// Report only migration rows.
+	out.Specs = withMigration(kind)
+	return out, nil
+}
+
+// RunTable6 reproduces Table 6 (counter-based migration).
+func RunTable6(o Options) (*MigrationTableResult, error) {
+	r, err := runMigrationTable(o, "table6", core.CounterMigration)
+	return r, err
+}
+
+// RunTable7 reproduces Table 7 (sensor-based migration).
+func RunTable7(o Options) (*MigrationTableResult, error) {
+	r, err := runMigrationTable(o, "table7", core.SensorMigration)
+	return r, err
+}
+
+// Render implements Result.
+func (t *MigrationTableResult) Render() string {
+	n := "6"
+	if t.Kind == core.SensorMigration {
+		n = "7"
+	}
+	tab := newTable(fmt.Sprintf("Table %s: %s results", n, t.Kind),
+		"policy", "BIPS", "duty cycle", "rel. throughput", "speedup vs non-mig.", "paper duty", "paper rel.")
+	for _, spec := range t.Specs {
+		sum := t.Summary[spec]
+		pd, pr := "-", "-"
+		for _, m := range []map[string][2]float64{paperTable6, paperTable7} {
+			if v, ok := m[spec.String()]; ok {
+				pd = fmt.Sprintf("%.1f%%", v[0])
+				pr = fmt.Sprintf("%.2f", v[1])
+			}
+		}
+		tab.add(spec.String(),
+			fmt.Sprintf("%.2f", sum.MeanBIPS),
+			fmt.Sprintf("%.1f%%", sum.MeanDuty*100),
+			fmt.Sprintf("%.2f", t.Relative(spec)),
+			fmt.Sprintf("%.2f", t.SpeedupOverBase[spec]),
+			pd, pr)
+	}
+	return tab.String()
+}
+
+// ---------------------------------------------------------------- fig7
+
+// Fig7Result is the per-workload gain/loss of the two migration
+// mechanisms layered on distributed DVFS (paper Figure 7).
+type Fig7Result struct {
+	id        string
+	Workloads []string
+	Counter   []float64 // percentage delta vs non-migration dist. DVFS
+	Sensor    []float64
+}
+
+// ID implements Result.
+func (f *Fig7Result) ID() string { return f.id }
+
+// RunFig7 reproduces Figure 7.
+func RunFig7(o Options) (*Fig7Result, error) {
+	cfg := o.simConfig()
+	dd := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
+	ddC := dd
+	ddC.Migration = core.CounterMigration
+	ddS := dd
+	ddS.Migration = core.SensorMigration
+
+	base, err := runPolicy(o, cfg, dd)
+	if err != nil {
+		return nil, err
+	}
+	counter, err := runPolicy(o, cfg, ddC)
+	if err != nil {
+		return nil, err
+	}
+	sens, err := runPolicy(o, cfg, ddS)
+	if err != nil {
+		return nil, err
+	}
+	relC, err := metrics.PerWorkloadRelative(counter, base)
+	if err != nil {
+		return nil, err
+	}
+	relS, err := metrics.PerWorkloadRelative(sens, base)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{id: "fig7"}
+	for i, m := range o.workloads() {
+		out.Workloads = append(out.Workloads, m.Label())
+		out.Counter = append(out.Counter, (relC[i]-1)*100)
+		out.Sensor = append(out.Sensor, (relS[i]-1)*100)
+	}
+	return out, nil
+}
+
+// Render implements Result.
+func (f *Fig7Result) Render() string {
+	t := newTable("Figure 7: performance delta of migration vs non-migration under dist. DVFS",
+		"workload", "counter-based", "sensor-based")
+	for i, w := range f.Workloads {
+		t.add(w,
+			fmt.Sprintf("%+.1f%%", f.Counter[i]),
+			fmt.Sprintf("%+.1f%%", f.Sensor[i]))
+	}
+	return t.String()
+}
+
+// -------------------------------------------------------------- table8
+
+// Table8Result is the full 12-cell policy matrix (paper Table 8).
+type Table8Result struct{ *PolicyStudy }
+
+// RunTable8 reproduces Table 8.
+func RunTable8(o Options) (*Table8Result, error) {
+	study, err := runStudy(o, "table8", core.Taxonomy(), o.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Table8Result{study}, nil
+}
+
+// Render implements Result.
+func (t *Table8Result) Render() string {
+	tab := newTable("Table 8: relative instruction throughput of all 12 policy combinations",
+		"policy", "rel. throughput", "paper")
+	paper8 := map[string]string{
+		"Global stop-go": "0.62", "Global DVFS": "2.1",
+		"Dist. stop-go": "baseline", "Dist. DVFS": "2.5",
+		"Global stop-go + counter-based migration": "1.2",
+		"Global DVFS + counter-based migration":    "2.2",
+		"Dist. stop-go + counter-based migration":  "2",
+		"Dist. DVFS + counter-based migration":     "2.6",
+		"Global stop-go + sensor-based migration":  "1.2",
+		"Global DVFS + sensor-based migration":     "2.1",
+		"Dist. stop-go + sensor-based migration":   "2.1",
+		"Dist. DVFS + sensor-based migration":      "2.6",
+	}
+	for _, spec := range t.Specs {
+		rel := fmt.Sprintf("%.2f", t.Relative(spec))
+		if spec == core.Baseline {
+			rel = "baseline"
+		}
+		tab.add(spec.String(), rel, paper8[spec.String()])
+	}
+	return tab.String()
+}
+
+// --------------------------------------------------------- sensitivity
+
+// SensitivityResult is the §5.3 threshold study: raising the limit to
+// 100 °C raises all duty cycles by roughly 10–15 points while
+// preserving the relative ordering of policies.
+type SensitivityResult struct {
+	id        string
+	Specs     []core.PolicySpec
+	DutyAt84  map[core.PolicySpec]float64
+	DutyAt100 map[core.PolicySpec]float64
+}
+
+// ID implements Result.
+func (s *SensitivityResult) ID() string { return s.id }
+
+// RunSensitivity reproduces the paper's 100 °C observation.
+func RunSensitivity(o Options) (*SensitivityResult, error) {
+	specs := nonMigrationSpecs()
+	out := &SensitivityResult{
+		id: "sensitivity", Specs: specs,
+		DutyAt84:  map[core.PolicySpec]float64{},
+		DutyAt100: map[core.PolicySpec]float64{},
+	}
+	base, err := runStudy(o, "sens84", specs, o.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.simConfig()
+	cfg.Policy.ThresholdC = 100
+	hot, err := runStudy(o, "sens100", specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range specs {
+		out.DutyAt84[spec] = base.Summary[spec].MeanDuty
+		out.DutyAt100[spec] = hot.Summary[spec].MeanDuty
+	}
+	return out, nil
+}
+
+// Render implements Result.
+func (s *SensitivityResult) Render() string {
+	t := newTable("§5.3: duty cycles at an elevated 100 °C threshold",
+		"policy", "duty @ 84.2 °C", "duty @ 100 °C", "delta")
+	for _, spec := range s.Specs {
+		d0, d1 := s.DutyAt84[spec], s.DutyAt100[spec]
+		t.add(spec.String(),
+			fmt.Sprintf("%.1f%%", d0*100),
+			fmt.Sprintf("%.1f%%", d1*100),
+			fmt.Sprintf("%+.1f pts", (d1-d0)*100))
+	}
+	return t.String() + "paper: thresholds of 100 °C raise duty cycles by 10 to 15 points;\nthe relative performance tradeoffs remain as presented.\n"
+}
+
+// OrderingPreserved reports whether the policy ordering is the same at
+// both thresholds.
+func (s *SensitivityResult) OrderingPreserved() bool {
+	for i := 0; i < len(s.Specs); i++ {
+		for j := i + 1; j < len(s.Specs); j++ {
+			a, b := s.Specs[i], s.Specs[j]
+			if (s.DutyAt84[a] < s.DutyAt84[b]) != (s.DutyAt100[a] < s.DutyAt100[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------- dutyvalid
+
+// DutyValidityResult is the §5.3 metric validation: the achieved BIPS
+// relative to an unconstrained run is predicted by the measured duty
+// cycle.
+type DutyValidityResult struct {
+	id        string
+	Workloads []string
+	Predicted []float64 // duty cycle of the constrained run
+	Achieved  []float64 // BIPS ratio constrained / unconstrained
+}
+
+// ID implements Result.
+func (d *DutyValidityResult) ID() string { return d.id }
+
+// RunDutyValidity reproduces the §5.3 check using distributed DVFS.
+func RunDutyValidity(o Options) (*DutyValidityResult, error) {
+	cfg := o.simConfig()
+	out := &DutyValidityResult{id: "dutyvalid"}
+	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
+	for _, mix := range o.workloads() {
+		r, err := sim.New(cfg, mix, spec)
+		if err != nil {
+			return nil, err
+		}
+		constrained, err := r.Run()
+		if err != nil {
+			return nil, err
+		}
+		u, err := sim.NewUnthrottled(cfg, mix)
+		if err != nil {
+			return nil, err
+		}
+		free, err := u.Run()
+		if err != nil {
+			return nil, err
+		}
+		out.Workloads = append(out.Workloads, mix.Name)
+		out.Predicted = append(out.Predicted, constrained.DutyCycle())
+		out.Achieved = append(out.Achieved, constrained.BIPS()/free.BIPS())
+	}
+	return out, nil
+}
+
+// Render implements Result.
+func (d *DutyValidityResult) Render() string {
+	t := newTable("§5.3: duty cycle as a predictor of throughput vs the unconstrained run",
+		"workload", "duty cycle", "BIPS ratio", "error")
+	for i := range d.Workloads {
+		t.add(d.Workloads[i],
+			fmt.Sprintf("%.1f%%", d.Predicted[i]*100),
+			fmt.Sprintf("%.1f%%", d.Achieved[i]*100),
+			fmt.Sprintf("%+.1f pts", (d.Achieved[i]-d.Predicted[i])*100))
+	}
+	return t.String()
+}
+
+// WorstError returns the largest |achieved − predicted| in points.
+func (d *DutyValidityResult) WorstError() float64 {
+	var worst float64
+	for i := range d.Predicted {
+		if e := math.Abs(d.Achieved[i] - d.Predicted[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst * 100
+}

@@ -1,0 +1,121 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the Banias measurements (Table 1), the taxonomy and
+// configuration tables (Tables 2–4), the policy studies (Figure 3,
+// Tables 5–8, Figures 5 and 7), the PI-design analysis of §4, and the
+// sensitivity/validation studies of §5.3. Each experiment returns a
+// result value with a Render method that prints the table or series in
+// the paper's format next to the published values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+	"multitherm/internal/sim"
+	"multitherm/internal/workload"
+)
+
+// Options controls experiment fidelity.
+type Options struct {
+	// SimTime is the simulated silicon time per run. The paper uses
+	// 0.5 s; shorter times trade precision for speed.
+	SimTime float64
+	// Workloads restricts the workload set (nil = all 12).
+	Workloads []workload.Mix
+}
+
+// DefaultOptions runs the full paper configuration.
+func DefaultOptions() Options {
+	return Options{SimTime: 0.5}
+}
+
+// QuickOptions runs shortened simulations for smoke tests.
+func QuickOptions() Options {
+	return Options{SimTime: 0.1}
+}
+
+func (o Options) workloads() []workload.Mix {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workload.Mixes
+}
+
+func (o Options) simConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	if o.SimTime > 0 {
+		cfg.SimTime = o.SimTime
+	}
+	return cfg
+}
+
+// runPolicy executes one policy over the option's workload set.
+func runPolicy(o Options, cfg sim.Config, spec core.PolicySpec) ([]*metrics.Run, error) {
+	var runs []*metrics.Run
+	for _, mix := range o.workloads() {
+		r, err := sim.New(cfg, mix, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
+		}
+		runs = append(runs, m)
+	}
+	return runs, nil
+}
+
+// Result is the common interface of all experiment outputs.
+type Result interface {
+	// ID returns the paper artifact identifier, e.g. "table5".
+	ID() string
+	// Render returns the human-readable reproduction report.
+	Render() string
+}
+
+// Runner executes one experiment.
+type Runner struct {
+	Name string // artifact id: table1, fig3, ...
+	Desc string
+	Run  func(Options) (Result, error)
+}
+
+// Registry lists every reproducible artifact in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"table1", "Pentium M Banias steady temperatures and ranges", func(o Options) (Result, error) { return RunTable1(o) }},
+		{"table2", "thermal control taxonomy", func(Options) (Result, error) { return Table2(), nil }},
+		{"table3", "modeled CPU design parameters", func(Options) (Result, error) { return Table3(), nil }},
+		{"table4", "four-process workloads", func(Options) (Result, error) { return Table4(), nil }},
+		{"pi", "PI controller design, discretization and stability (§4)", func(Options) (Result, error) { return RunPIAnalysis() }},
+		{"fig3", "per-workload throughput of non-migration policies", func(o Options) (Result, error) { return RunFig3(o) }},
+		{"table5", "average throughput/duty of non-migration policies", func(o Options) (Result, error) { return RunTable5(o) }},
+		{"fig5", "hotspot temperatures and DVFS output across migrations", func(o Options) (Result, error) { return RunFig5(o) }},
+		{"table6", "counter-based migration results", func(o Options) (Result, error) { return RunTable6(o) }},
+		{"table7", "sensor-based migration results", func(o Options) (Result, error) { return RunTable7(o) }},
+		{"fig7", "per-workload migration deltas under dist. DVFS", func(o Options) (Result, error) { return RunFig7(o) }},
+		{"table8", "all 12 policy combinations", func(o Options) (Result, error) { return RunTable8(o) }},
+		{"sensitivity", "100 °C threshold sensitivity (§5.3)", func(o Options) (Result, error) { return RunSensitivity(o) }},
+		{"dutyvalid", "duty-cycle metric validation (§5.3)", func(o Options) (Result, error) { return RunDutyValidity(o) }},
+	}
+}
+
+// Find returns the named runner.
+func Find(name string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	var known []string
+	for _, r := range Registry() {
+		known = append(known, r.Name)
+	}
+	sort.Strings(known)
+	return Runner{}, fmt.Errorf("experiments: unknown artifact %q (known: %s)",
+		name, strings.Join(known, ", "))
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multitherm/internal/core"
+)
+
+func TestExtensionRegistry(t *testing.T) {
+	reg := ExtensionRegistry()
+	if len(reg) != 6 {
+		t.Fatalf("extension registry size %d", len(reg))
+	}
+	if _, err := FindExtension("hetero"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExtension("nope"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	// Extension names must not collide with paper artifacts.
+	for _, e := range reg {
+		if _, err := Find(e.Name); err == nil {
+			t.Errorf("extension %s shadows a paper artifact", e.Name)
+		}
+	}
+}
+
+func TestPIDAblation(t *testing.T) {
+	r, err := RunPIDAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PIDs) != len(r.Kds) {
+		t.Fatal("result arity mismatch")
+	}
+	for i := range r.Kds {
+		// Core of the §4.1 claim: the derivative term must not change
+		// the peak temperature (emergency avoidance) materially.
+		if d := math.Abs(r.PIDs[i].PeakTempC - r.PI[i].PeakTempC); d > 1.0 {
+			t.Errorf("kd=%g changed peak by %.2f °C", r.Kds[i], d)
+		}
+		if r.PIDs[i].EverEmergent {
+			t.Errorf("kd=%g breached the emergency threshold", r.Kds[i])
+		}
+	}
+	if !strings.Contains(r.Render(), "derivative term") {
+		t.Error("render missing claim context")
+	}
+}
+
+func TestHeteroQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	r, err := RunHetero(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
+	ho, he := r.Homo[dd], r.Het[dd]
+	// Capping two cores at 0.7 on a thermally saturated chip must not
+	// collapse DVFS throughput: the controllers already run near or
+	// below the cap.
+	if he.MeanBIPS < 0.85*ho.MeanBIPS {
+		t.Errorf("hetero dist DVFS lost too much: %.2f vs %.2f", he.MeanBIPS, ho.MeanBIPS)
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestStallAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	r, err := RunStallAblation(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.BIPS) != 3 {
+		t.Fatalf("sweep arity %d", len(r.BIPS))
+	}
+	// Longer stalls must not raise the duty cycle.
+	if r.Duty[2] > r.Duty[0]+0.02 {
+		t.Errorf("60 ms stall duty %.3f above 10 ms stall %.3f", r.Duty[2], r.Duty[0])
+	}
+}
+
+func TestSetpointAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	r, err := RunSetpointAblation(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wider margin must reduce throughput (wasted headroom) and lower
+	// the worst temperature.
+	if r.BIPS[2] >= r.BIPS[0] {
+		t.Errorf("5 °C margin BIPS %.2f not below 1 °C margin %.2f", r.BIPS[2], r.BIPS[0])
+	}
+	if r.Worst[2] >= r.Worst[0] {
+		t.Errorf("5 °C margin worst temp %.2f not below 1 °C margin %.2f", r.Worst[2], r.Worst[0])
+	}
+}
+
+func TestEpochAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	r, err := RunEpochAblation(quick(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range r.BIPS {
+		if b <= 0 {
+			t.Errorf("epoch %s produced zero throughput", r.Labels[i])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package floorplan
+
+import "fmt"
+
+// mm converts millimeters to meters for layout literals.
+const mm = 1e-3
+
+// coreTemplate is the per-core unit layout in a 4 mm × 10 mm tile,
+// expressed in core-local millimeter coordinates. It mirrors the
+// out-of-order PowerPC core of paper Table 3: two FXUs' worth of integer
+// execution, two FPUs, two LSUs, one BXU, separate integer and floating
+// point register files (the two watched hotspots), L1 caches, branch
+// predictor tables, and rename/issue front-end logic.
+var coreTemplate = []Block{
+	{Name: "l1d", Kind: KindL1D, X: 0, Y: 0, W: 2, H: 2},
+	{Name: "l1i", Kind: KindL1I, X: 2, Y: 0, W: 2, H: 2},
+	{Name: "lsu", Kind: KindLSU, X: 0, Y: 2, W: 2, H: 1.5},
+	{Name: "bxu", Kind: KindBXU, X: 2, Y: 2, W: 1, H: 1.5},
+	{Name: "bpred", Kind: KindBPred, X: 3, Y: 2, W: 1, H: 1.5},
+	{Name: "fxu", Kind: KindFXU, X: 0, Y: 3.5, W: 2.8, H: 2},
+	{Name: "iregfile", Kind: KindIntRegFile, X: 2.8, Y: 3.5, W: 1.2, H: 2},
+	{Name: "fpu", Kind: KindFPU, X: 0, Y: 5.5, W: 2.8, H: 2},
+	{Name: "fpregfile", Kind: KindFPRegFile, X: 2.8, Y: 5.5, W: 1.2, H: 2},
+	{Name: "rename", Kind: KindRename, X: 0, Y: 7.5, W: 2, H: 2.5},
+	{Name: "issueq", Kind: KindIssueQ, X: 2, Y: 7.5, W: 2, H: 2.5},
+}
+
+const (
+	coreTileW = 4.0  // mm
+	coreTileH = 10.0 // mm
+)
+
+// CMP4 builds the 4-core chip of paper §3.1–3.2: four identical
+// out-of-order cores in a row across the top of the die, connected
+// through a shared L2 cache strip along the bottom ("we have extended
+// our layout for 4 cores and reduced the core size accordingly"). The
+// chip is 16 mm × 16 mm in a 90 nm-class technology.
+func CMP4() *Floorplan {
+	const (
+		chipW = 16.0 // mm
+		chipH = 16.0 // mm
+		l2H   = 6.0  // mm
+	)
+	f := &Floorplan{Name: "cmp4", ChipW: chipW * mm, ChipH: chipH * mm}
+	f.Blocks = append(f.Blocks, Block{
+		Name: "l2", Kind: KindL2, Core: SharedCore,
+		X: 0, Y: 0, W: chipW * mm, H: l2H * mm,
+	})
+	for core := 0; core < 4; core++ {
+		xOff := float64(core) * coreTileW
+		for _, t := range coreTemplate {
+			f.Blocks = append(f.Blocks, Block{
+				Name: fmt.Sprintf("c%d_%s", core, t.Name),
+				Kind: t.Kind,
+				Core: core,
+				X:    (xOff + t.X) * mm,
+				Y:    (l2H + t.Y) * mm,
+				W:    t.W * mm,
+				H:    t.H * mm,
+			})
+		}
+	}
+	return f
+}
+
+// Banias builds a single-core layout standing in for the Pentium M
+// Banias processor used for the paper's real-hardware measurements
+// (Table 1): one core with the same unit complement plus an on-die 1 MB
+// L2, and a thermal diode position at the edge of the die (the paper
+// reads "a single thermal diode at the edge of the processor" via ACPI).
+// The diode is represented by the block named "diode_site": callers
+// place the virtual sensor there.
+func Banias() *Floorplan {
+	const (
+		chipW = 10.0
+		chipH = 10.0
+		l2H   = 3.6
+	)
+	f := &Floorplan{Name: "banias", ChipW: chipW * mm, ChipH: chipH * mm}
+	f.Blocks = append(f.Blocks, Block{
+		Name: "l2", Kind: KindL2, Core: SharedCore,
+		X: 0, Y: 0, W: chipW * mm, H: l2H * mm,
+	})
+	// Scale the 4×10 core template onto a 9×6.4 region, leaving a 1 mm
+	// × 6.4 mm edge strip for the diode site at the die edge.
+	const (
+		coreW = 9.0
+		coreH = chipH - l2H
+		sx    = coreW / coreTileW
+		sy    = coreH / coreTileH
+	)
+	for _, t := range coreTemplate {
+		f.Blocks = append(f.Blocks, Block{
+			Name: t.Name,
+			Kind: t.Kind,
+			Core: 0,
+			X:    t.X * sx * mm,
+			Y:    (l2H + t.Y*sy) * mm,
+			W:    t.W * sx * mm,
+			H:    t.H * sy * mm,
+		})
+	}
+	f.Blocks = append(f.Blocks, Block{
+		Name: "diode_site", Kind: KindOther, Core: 0,
+		X: coreW * mm, Y: l2H * mm, W: (chipW - coreW) * mm, H: coreH * mm,
+	})
+	return f
+}

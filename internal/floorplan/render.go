@@ -1,0 +1,55 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the floorplan as ASCII art, `cols` characters wide, with
+// each block filled by a letter keyed in the legend. Useful for
+// inspecting layouts from the command line and in documentation.
+func (f *Floorplan) Render(cols int) string {
+	if cols < 16 {
+		cols = 16
+	}
+	rows := int(float64(cols) * f.ChipH / f.ChipW / 2) // terminal cells are ~2:1
+	if rows < 8 {
+		rows = 8
+	}
+	glyphs := "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	glyphOf := func(i int) byte { return glyphs[i%len(glyphs)] }
+
+	blockAt := func(x, y float64) int {
+		for i, b := range f.Blocks {
+			if x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%.1f x %.1f mm, %d blocks, %d cores)\n",
+		f.Name, f.ChipW*1e3, f.ChipH*1e3, len(f.Blocks), f.NumCores())
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			x := (float64(c) + 0.5) / float64(cols) * f.ChipW
+			y := (float64(r) + 0.5) / float64(rows) * f.ChipH
+			if i := blockAt(x, y); i >= 0 {
+				sb.WriteByte(glyphOf(i))
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("legend: ")
+	for i, b := range f.Blocks {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%c=%s", glyphOf(i), b.Name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

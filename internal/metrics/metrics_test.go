@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func runWith(policy, wl string, simTime, instr, work float64) *Run {
+	r := NewRun(policy, wl, 4)
+	r.SimTime = simTime
+	r.Instructions = instr
+	r.WorkSeconds = work
+	return r
+}
+
+func TestBIPS(t *testing.T) {
+	r := runWith("p", "w", 0.5, 5e9, 1)
+	if got := r.BIPS(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("BIPS = %v, want 10", got)
+	}
+	empty := NewRun("p", "w", 4)
+	if empty.BIPS() != 0 {
+		t.Error("zero-time BIPS should be 0")
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	// 4 cores × 0.5 s = 2 core-seconds possible; 1 work-second = 50%.
+	r := runWith("p", "w", 0.5, 0, 1.0)
+	if got := r.DutyCycle(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("duty = %v, want 0.5", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := runWith("p", "w", 0.5, 1e9, 1.0)
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid run rejected: %v", err)
+	}
+	if err := runWith("p", "w", 0, 0, 0).Validate(); err == nil {
+		t.Error("zero sim time accepted")
+	}
+	over := runWith("p", "w", 0.5, 0, 3.0) // duty > 1
+	if err := over.Validate(); err == nil {
+		t.Error("duty > 1 accepted")
+	}
+	neg := runWith("p", "w", 0.5, -1, 1)
+	if err := neg.Validate(); err == nil {
+		t.Error("negative instructions accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	a := runWith("p", "w1", 0.5, 4e9, 0.8)
+	a.MaxTempC = 83
+	b := runWith("p", "w2", 0.5, 6e9, 1.2)
+	b.MaxTempC = 84
+	b.EmergencySeconds = 0.01
+	s := Summarize("p", []*Run{a, b})
+	if math.Abs(s.MeanBIPS-10) > 1e-12 { // (8+12)/2
+		t.Errorf("mean BIPS = %v, want 10", s.MeanBIPS)
+	}
+	if math.Abs(s.MeanDuty-0.5) > 1e-12 { // (0.4+0.6)/2
+		t.Errorf("mean duty = %v, want 0.5", s.MeanDuty)
+	}
+	if s.WorstTemp != 84 {
+		t.Errorf("worst temp = %v", s.WorstTemp)
+	}
+	if s.TotalEmer != 0.01 {
+		t.Errorf("emergencies = %v", s.TotalEmer)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize("p", nil)
+	if s.MeanBIPS != 0 || s.MeanDuty != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	base := Summarize("base", []*Run{runWith("base", "w", 0.5, 2e9, 1)})
+	fast := Summarize("fast", []*Run{runWith("fast", "w", 0.5, 5e9, 1)})
+	if got := fast.Relative(base); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("relative = %v, want 2.5", got)
+	}
+	var zero Summary
+	if fast.Relative(zero) != 0 {
+		t.Error("relative to zero baseline should be 0")
+	}
+}
+
+func TestPerWorkloadRelative(t *testing.T) {
+	base := []*Run{
+		runWith("b", "w1", 0.5, 2e9, 1),
+		runWith("b", "w2", 0.5, 4e9, 1),
+	}
+	pol := []*Run{
+		runWith("p", "w1", 0.5, 4e9, 1),
+		runWith("p", "w2", 0.5, 4e9, 1),
+	}
+	rel, err := PerWorkloadRelative(pol, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rel[0]-2) > 1e-12 || math.Abs(rel[1]-1) > 1e-12 {
+		t.Errorf("rel = %v, want [2 1]", rel)
+	}
+}
+
+func TestPerWorkloadRelativeMismatch(t *testing.T) {
+	a := []*Run{runWith("p", "w1", 0.5, 1, 1)}
+	b := []*Run{runWith("b", "w2", 0.5, 1, 1)}
+	if _, err := PerWorkloadRelative(a, b); err == nil {
+		t.Error("workload mismatch accepted")
+	}
+	if _, err := PerWorkloadRelative(a, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

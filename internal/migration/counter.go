@@ -1,0 +1,63 @@
+package migration
+
+import "multitherm/internal/floorplan"
+
+// CounterBased is the performance-counter migration policy of §6.1:
+// the OS tracks every thread's register-file accesses per adjusted
+// cycle (cycle counts are frequency-adjusted, and the power estimate is
+// rescaled by the cubic frequency relation when DVFS is active) and,
+// when at least two cores report changed critical hotspots, runs the
+// Figure 4 matching: cores in order of hotspot imbalance each receive
+// the least-intense remaining thread for their critical resource.
+type CounterBased struct {
+	crit      criticalTracker
+	decisions int
+}
+
+// counterIntensityScale converts a register-file access rate (0..1)
+// into an equivalent steady local temperature rise in °C.
+const counterIntensityScale = 12.0
+
+// NewCounterBased constructs the controller.
+func NewCounterBased() *CounterBased { return &CounterBased{} }
+
+// Name implements Controller.
+func (cb *CounterBased) Name() string { return "counter-based migration" }
+
+// Decisions returns how many migration decisions were actuated.
+func (cb *CounterBased) Decisions() int { return cb.decisions }
+
+// Step implements Controller.
+func (cb *CounterBased) Step(ctx *Context) ([]int, bool) {
+	if !ctx.Sched.MayDecide(ctx.Now) {
+		return nil, false
+	}
+	hs := readHotspots(ctx)
+	decide, throttled := shouldDecide(ctx, &cb.crit, hs)
+	if !decide {
+		return nil, false
+	}
+	cb.crit.ack(hs)
+	cb.decisions++
+
+	// Thread intensity from windowed performance counters: accesses per
+	// adjusted cycle for the resource in question. The adjusted-cycle
+	// normalization already folds out the current frequency; the cubic
+	// DynScale relation applies when converting an intensity observed at
+	// reduced speed into a full-speed heating estimate — for ranking
+	// threads the monotone transform preserves order, so the raw
+	// intensity is the ranking key, exactly as access-per-adjusted-cycle
+	// ratios are in the paper.
+	intensity := func(proc int, kind floorplan.UnitKind) float64 {
+		w := ctx.Sched.Process(proc).Window
+		if kind == floorplan.KindFPRegFile {
+			return w.FPIntensity()
+		}
+		return w.IntIntensity()
+	}
+	// Counter intensities are accesses per adjusted cycle in [0,1];
+	// intensityScale converts them to the ~degrees-Celsius scale of the
+	// hotspot readings (the local thermal resistance of a register file
+	// times its full-activity power).
+	return decideAssignment(ctx, hs, intensity, counterIntensityScale, throttled), true
+}

@@ -1,0 +1,256 @@
+package migration
+
+import (
+	"multitherm/internal/floorplan"
+)
+
+// tableEntry is one cell of the OS-managed thread×core thermal table of
+// Figure 6: the thread's observed full-speed-equivalent thermal
+// pressure on each watched resource while running on that core.
+type tableEntry struct {
+	pInt, pFP float64
+	valid     bool
+}
+
+// SensorBased is the thermal-sensor migration policy of §6.3: instead
+// of counter proxies it profiles threads through sensor readings over
+// time, scaled by the frequency factors recorded by the inner PI loop
+// (the feedback path of Figure 1). Because a thread shows different
+// apparent intensity on different cores (edge effects, neighbours), the
+// OS keeps a thread×core grid; until the grid supports estimating all
+// thread-core combinations, migration targets are chosen to profile
+// more (Figure 6), after which decisions use the Figure 4 matching on
+// sensor-estimated intensities.
+type SensorBased struct {
+	table  [][]tableEntry // [process][core]
+	nCores int
+	crit   criticalTracker
+
+	decisions int
+	profiles  int
+
+	// blend weights new observations against the existing table entry.
+	blend float64
+}
+
+// NewSensorBased constructs the controller for nProcs processes on
+// nCores cores (nProcs ≥ nCores; equal in the paper's configuration).
+func NewSensorBased(nProcs, nCores int) *SensorBased {
+	sb := &SensorBased{blend: 0.5, nCores: nCores}
+	sb.table = make([][]tableEntry, nProcs)
+	for i := range sb.table {
+		sb.table[i] = make([]tableEntry, nCores)
+	}
+	return sb
+}
+
+// Name implements Controller.
+func (sb *SensorBased) Name() string { return "sensor-based migration" }
+
+// Decisions returns the number of algorithmic migration decisions made
+// (excluding profiling moves).
+func (sb *SensorBased) Decisions() int { return sb.decisions }
+
+// ProfilingMoves returns the number of profiling rotations issued while
+// filling the thermal table.
+func (sb *SensorBased) ProfilingMoves() int { return sb.profiles }
+
+// record captures sensor gradient and frequency-scaling data for every
+// running (thread, core) pair — the "obtain sensor gradient and
+// frequency scaling data from cores / record in OS-managed thread-core
+// thermal table" steps of Figure 6.
+func (sb *SensorBased) record(ctx *Context) {
+	n := ctx.Sched.NumCores()
+	// Chip-mean die temperature as the reference against which a
+	// thread's local pressure is measured.
+	var mean float64
+	for _, t := range ctx.BlockTemps {
+		mean += t
+	}
+	mean /= float64(len(ctx.BlockTemps))
+
+	for c := 0; c < n; c++ {
+		proc := ctx.Sched.ProcessOn(c).ID
+		trend := ctx.Throttler.Trend(c)
+		scale := trend.AvgScale
+		if scale <= 0 {
+			scale = 0.01 // core never ran this window; pressure data is weak
+		}
+		dyn := ctx.DynScale(scale)
+		if dyn < 1e-3 {
+			dyn = 1e-3
+		}
+		var tInt, tFP float64
+		for _, s := range ctx.Bank.ForCore(c).Sensors {
+			v := s.Read(ctx.BlockTemps, ctx.Tick)
+			switch ctx.FP.Blocks[s.Block].Kind {
+			case floorplan.KindIntRegFile:
+				tInt = v
+			case floorplan.KindFPRegFile:
+				tFP = v
+			}
+		}
+		// Pressure: hotspot elevation over the chip mean, rescaled by
+		// the cubic relation to full-speed equivalent (§6.3: "each
+		// recorded temperature trend must be scaled down by a cubic
+		// relation according to the recorded frequency scaling factor" —
+		// here scaled *up* because we normalize to full speed).
+		obs := tableEntry{pInt: (tInt - mean) / dyn, pFP: (tFP - mean) / dyn, valid: true}
+		cur := &sb.table[proc][c]
+		if cur.valid {
+			cur.pInt = (1-sb.blend)*cur.pInt + sb.blend*obs.pInt
+			cur.pFP = (1-sb.blend)*cur.pFP + sb.blend*obs.pFP
+		} else {
+			*cur = obs
+		}
+		ctx.Throttler.ResetTrend(c)
+	}
+}
+
+// covered reports whether the table supports estimating all thread-core
+// combinations: every thread profiled on at least one core and every
+// core tested with at least two threads (§6.3).
+func (sb *SensorBased) covered() bool {
+	nProcs, nCores := len(sb.table), sb.nCores
+	for p := 0; p < nProcs; p++ {
+		any := false
+		for c := 0; c < nCores; c++ {
+			if sb.table[p][c].valid {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	for c := 0; c < nCores; c++ {
+		count := 0
+		for p := 0; p < nProcs; p++ {
+			if sb.table[p][c].valid {
+				count++
+			}
+		}
+		if count < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// estimate computes per-thread resource intensities from the table
+// using an additive thread+core decomposition: first pass takes each
+// thread's mean observed pressure, second pass removes per-core bias
+// (a core next to the cache reads cooler, §6.3).
+func (sb *SensorBased) estimate() (intensInt, intensFP []float64) {
+	n := len(sb.table)
+	nc := sb.nCores
+	intensInt = make([]float64, n)
+	intensFP = make([]float64, n)
+	rowMean := func(p int, fp bool) (float64, int) {
+		var s float64
+		var k int
+		for c := 0; c < nc; c++ {
+			if e := sb.table[p][c]; e.valid {
+				if fp {
+					s += e.pFP
+				} else {
+					s += e.pInt
+				}
+				k++
+			}
+		}
+		return s, k
+	}
+	// First pass: raw thread means.
+	for p := 0; p < n; p++ {
+		if s, k := rowMean(p, false); k > 0 {
+			intensInt[p] = s / float64(k)
+		}
+		if s, k := rowMean(p, true); k > 0 {
+			intensFP[p] = s / float64(k)
+		}
+	}
+	// Second pass: estimate per-core bias as the mean residual of
+	// observations on that core, then re-average residual-corrected
+	// observations per thread.
+	biasInt := make([]float64, nc)
+	biasFP := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		var sI, sF float64
+		var k int
+		for p := 0; p < n; p++ {
+			if e := sb.table[p][c]; e.valid {
+				sI += e.pInt - intensInt[p]
+				sF += e.pFP - intensFP[p]
+				k++
+			}
+		}
+		if k > 0 {
+			biasInt[c] = sI / float64(k)
+			biasFP[c] = sF / float64(k)
+		}
+	}
+	for p := 0; p < n; p++ {
+		var sI, sF float64
+		var k int
+		for c := 0; c < nc; c++ {
+			if e := sb.table[p][c]; e.valid {
+				sI += e.pInt - biasInt[c]
+				sF += e.pFP - biasFP[c]
+				k++
+			}
+		}
+		if k > 0 {
+			intensInt[p] = sI / float64(k)
+			intensFP[p] = sF / float64(k)
+		}
+	}
+	return intensInt, intensFP
+}
+
+// Step implements Controller, following the Figure 6 flow: on each
+// kernel-trap opportunity record sensor data; if the table is not yet
+// sufficient, set migration targets to profile more; otherwise compute
+// estimated intensities and run the decision algorithm.
+func (sb *SensorBased) Step(ctx *Context) ([]int, bool) {
+	if !ctx.Sched.MayDecide(ctx.Now) {
+		return nil, false
+	}
+	// Evaluate the trigger before recording: record() consumes (and
+	// resets) the inner loop's trend windows.
+	hs := readHotspots(ctx)
+	decide, throttled := shouldDecide(ctx, &sb.crit, hs)
+	sb.record(ctx)
+
+	n := ctx.Sched.NumCores()
+	if !sb.covered() {
+		// Profiling rotation: shift every thread to the next core so the
+		// grid fills at one new diagonal per epoch.
+		cur := ctx.Sched.Assignment()
+		next := make([]int, n)
+		for c := 0; c < n; c++ {
+			next[c] = cur[(c+1)%n]
+		}
+		sb.profiles++
+		return next, true
+	}
+
+	if !decide {
+		return nil, false
+	}
+	sb.crit.ack(hs)
+	sb.decisions++
+
+	intensInt, intensFP := sb.estimate()
+	intensity := func(proc int, kind floorplan.UnitKind) float64 {
+		if kind == floorplan.KindFPRegFile {
+			return intensFP[proc]
+		}
+		return intensInt[proc]
+	}
+	// Sensor-based intensities are already in full-speed-equivalent
+	// degrees of hotspot pressure, so they combine with the readings at
+	// unit scale.
+	return decideAssignment(ctx, hs, intensity, 1.0, throttled), true
+}

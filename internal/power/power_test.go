@@ -1,0 +1,290 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multitherm/internal/floorplan"
+)
+
+func newCalc(t testing.TB) *Calculator {
+	t.Helper()
+	c, err := NewCalculator(floorplan.CMP4(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bads := []func(*Config){
+		func(c *Config) { c.VMax = 0 },
+		func(c *Config) { c.SMin = 0 },
+		func(c *Config) { c.SMin = 1.5 },
+		func(c *Config) { c.VFloor = 2 },
+		func(c *Config) { c.UnitDynamic = nil },
+		func(c *Config) { c.LeakageBeta = 0 },
+		func(c *Config) { c.StallDynFraction = -0.1 },
+	}
+	for i, mutate := range bads {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCubicDynamicScaling(t *testing.T) {
+	// With the default proportional voltage curve, dynamic power must
+	// follow the paper's cubic relation exactly.
+	c := DefaultConfig()
+	for _, s := range []float64{0.2, 0.5, 0.72, 1.0} {
+		want := s * s * s
+		if got := c.DynamicScale(s); math.Abs(got-want) > 1e-12 {
+			t.Errorf("DynamicScale(%v) = %v, want %v (cubic)", s, got, want)
+		}
+	}
+}
+
+func TestVoltageFloorCurve(t *testing.T) {
+	c := DefaultConfig()
+	c.VFloor = 0.7
+	if v := c.VoltageAt(1); v != 1.0 {
+		t.Errorf("V(1) = %v, want VMax", v)
+	}
+	if v := c.VoltageAt(0.2); v != 0.7 {
+		t.Errorf("V(SMin) = %v, want VFloor", v)
+	}
+	mid := c.VoltageAt(0.6)
+	if mid <= 0.7 || mid >= 1.0 {
+		t.Errorf("V(0.6) = %v, want interior value", mid)
+	}
+	// Dynamic scale with a floor decays slower than the pure cubic.
+	if c.DynamicScale(0.5) <= 0.125 {
+		t.Errorf("floored DynamicScale(0.5) = %v, want > cubic 0.125", c.DynamicScale(0.5))
+	}
+}
+
+func TestVoltageClampsOutOfRange(t *testing.T) {
+	c := DefaultConfig()
+	if c.VoltageAt(0.05) != c.VoltageAt(c.SMin) {
+		t.Error("voltage below SMin not clamped")
+	}
+	if c.VoltageAt(1.5) != c.VMax {
+		t.Error("voltage above 1 not clamped")
+	}
+}
+
+func TestLeakageDoublesOverBetaBand(t *testing.T) {
+	c := DefaultConfig()
+	t0 := c.LeakageT0
+	dT := math.Ln2 / c.LeakageBeta
+	r := c.LeakageScale(t0+dT, 1) / c.LeakageScale(t0, 1)
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("leakage ratio over doubling band = %v, want 2", r)
+	}
+}
+
+func TestLeakageScalesWithVoltage(t *testing.T) {
+	c := DefaultConfig()
+	full := c.LeakageScale(85, 1.0)
+	slow := c.LeakageScale(85, 0.5)
+	if slow >= full {
+		t.Error("leakage should drop with voltage")
+	}
+	if math.Abs(slow/full-0.5) > 1e-9 {
+		t.Errorf("leakage voltage factor = %v, want 0.5 for proportional curve", slow/full)
+	}
+}
+
+func TestBlockPowerFullSpeed(t *testing.T) {
+	calc := newCalc(t)
+	fp := floorplan.CMP4()
+	nb := len(fp.Blocks)
+	activity := make([]float64, nb)
+	temps := make([]float64, nb)
+	for i := range activity {
+		activity[i] = 1
+		temps[i] = calc.Config().LeakageT0
+	}
+	cores := []CoreState{{Scale: 1}, {Scale: 1}, {Scale: 1}, {Scale: 1}}
+	p := calc.BlockPower(nil, activity, cores, temps)
+	var total float64
+	for i, w := range p {
+		want := calc.MaxDynamic(i) + calc.BaseLeakage(i)
+		if math.Abs(w-want) > 1e-9 {
+			t.Errorf("block %d power %v, want %v", i, w, want)
+		}
+		total += w
+	}
+	wantTotal := calc.MaxChipDynamic() + calc.ChipLeakageAt(calc.Config().LeakageT0, 1)
+	if math.Abs(total-wantTotal) > 1e-6 {
+		t.Errorf("total %v, want %v", total, wantTotal)
+	}
+}
+
+func TestBlockPowerStalledCore(t *testing.T) {
+	calc := newCalc(t)
+	fp := floorplan.CMP4()
+	nb := len(fp.Blocks)
+	activity := make([]float64, nb)
+	temps := make([]float64, nb)
+	for i := range activity {
+		activity[i] = 1
+		temps[i] = 85
+	}
+	cores := []CoreState{{Scale: 1, Stalled: true}, {Scale: 1}, {Scale: 1}, {Scale: 1}}
+	p := calc.BlockPower(nil, activity, cores, temps)
+	for i, b := range fp.Blocks {
+		if b.Core == 0 {
+			want := calc.MaxDynamic(i)*calc.Config().StallDynFraction + calc.BaseLeakage(i)
+			if math.Abs(p[i]-want) > 1e-9 {
+				t.Errorf("stalled block %s power %v, want %v", b.Name, p[i], want)
+			}
+		}
+	}
+	// Shared L2 keeps running while any core is live.
+	l2 := fp.BlockIndex("l2")
+	if p[l2] <= calc.BaseLeakage(l2) {
+		t.Error("L2 dynamic power gated although cores are live")
+	}
+}
+
+func TestBlockPowerAllStalledGatesShared(t *testing.T) {
+	calc := newCalc(t)
+	fp := floorplan.CMP4()
+	nb := len(fp.Blocks)
+	activity := make([]float64, nb)
+	temps := make([]float64, nb)
+	for i := range activity {
+		activity[i] = 1
+		temps[i] = 85
+	}
+	cores := []CoreState{
+		{Scale: 1, Stalled: true}, {Scale: 1, Stalled: true},
+		{Scale: 1, Stalled: true}, {Scale: 1, Stalled: true},
+	}
+	p := calc.BlockPower(nil, activity, cores, temps)
+	l2 := fp.BlockIndex("l2")
+	want := calc.MaxDynamic(l2)*calc.Config().StallDynFraction + calc.BaseLeakage(l2)
+	if math.Abs(p[l2]-want) > 1e-9 {
+		t.Errorf("all-stalled L2 power %v, want gated %v", p[l2], want)
+	}
+}
+
+func TestBlockPowerScalesWithDVFS(t *testing.T) {
+	calc := newCalc(t)
+	fp := floorplan.CMP4()
+	nb := len(fp.Blocks)
+	activity := make([]float64, nb)
+	temps := make([]float64, nb)
+	for i := range activity {
+		activity[i] = 0.8
+		temps[i] = 85
+	}
+	full := calc.BlockPower(nil, activity, []CoreState{{Scale: 1}, {Scale: 1}, {Scale: 1}, {Scale: 1}}, temps)
+	half := calc.BlockPower(nil, activity, []CoreState{{Scale: 0.5}, {Scale: 1}, {Scale: 1}, {Scale: 1}}, temps)
+	for i, b := range fp.Blocks {
+		if b.Core == 0 {
+			wantDyn := (full[i] - calc.BaseLeakage(i)) * 0.125
+			wantLeak := calc.BaseLeakage(i) * 0.5 // voltage factor
+			if math.Abs(half[i]-(wantDyn+wantLeak)) > 1e-9 {
+				t.Errorf("block %s at half speed: %v, want %v", b.Name, half[i], wantDyn+wantLeak)
+			}
+		} else if half[i] != full[i] {
+			t.Errorf("block %s changed power though its core did not scale", b.Name)
+		}
+	}
+}
+
+func TestBlockPowerMonotoneInScaleProperty(t *testing.T) {
+	calc := newCalc(t)
+	fp := floorplan.CMP4()
+	nb := len(fp.Blocks)
+	activity := make([]float64, nb)
+	temps := make([]float64, nb)
+	for i := range activity {
+		activity[i] = 0.5
+		temps[i] = 80
+	}
+	f := func(s1, s2 float64) bool {
+		a := 0.2 + math.Mod(math.Abs(s1), 0.8)
+		b := 0.2 + math.Mod(math.Abs(s2), 0.8)
+		if a > b {
+			a, b = b, a
+		}
+		pa := calc.BlockPower(nil, activity, []CoreState{{Scale: a}, {Scale: a}, {Scale: a}, {Scale: a}}, temps)
+		pb := calc.BlockPower(nil, activity, []CoreState{{Scale: b}, {Scale: b}, {Scale: b}, {Scale: b}}, temps)
+		for i := range pa {
+			if pa[i] > pb[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewCalculatorRejectsUnknownKind(t *testing.T) {
+	cfg := DefaultConfig()
+	delete(cfg.UnitDynamic, floorplan.KindL2)
+	if _, err := NewCalculator(floorplan.CMP4(), cfg); err == nil {
+		t.Error("missing unit kind accepted")
+	}
+}
+
+func TestCalibrationEnvelope(t *testing.T) {
+	// The chip must be under genuine thermal duress: full-tilt power
+	// high enough that unthrottled operation is unsustainable. Guard the
+	// calibration: max dynamic (at activity 1.0 everywhere, including the
+	// global duress multiplier — realistic workloads reach well under
+	// half of this) 200–380 W, leakage at 85 °C 10–35 W.
+	calc := newCalc(t)
+	dyn := calc.MaxChipDynamic()
+	if dyn < 200 || dyn > 380 {
+		t.Errorf("max chip dynamic %v W outside calibration envelope", dyn)
+	}
+	leak := calc.ChipLeakageAt(85, 1)
+	if leak < 10 || leak > 35 {
+		t.Errorf("chip leakage at 85°C = %v W outside calibration envelope", leak)
+	}
+}
+
+func TestGlobalDynamicScale(t *testing.T) {
+	base := DefaultConfig()
+	base.GlobalDynamicScale = 1.0
+	scaled := DefaultConfig()
+	scaled.GlobalDynamicScale = 2.0
+	cb, err := NewCalculator(floorplan.CMP4(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCalculator(floorplan.CMP4(), scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(cs.MaxDynamic(i)-2*cb.MaxDynamic(i)) > 1e-12 {
+			t.Errorf("block %d: scale not applied: %v vs %v", i, cs.MaxDynamic(i), cb.MaxDynamic(i))
+		}
+	}
+	// Leakage is not affected by the dynamic multiplier.
+	if cs.BaseLeakage(0) != cb.BaseLeakage(0) {
+		t.Error("GlobalDynamicScale leaked into leakage")
+	}
+	bad := DefaultConfig()
+	bad.GlobalDynamicScale = 9
+	if err := bad.Validate(); err == nil {
+		t.Error("absurd global scale accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sensor models on-chip thermal sensors. Every DTM policy in
+// the paper relies on sensors "to make proper decisions at the correct
+// times" (§2.5): stop-go trips on them, the PI controllers consume the
+// hottest watched sensor (§5.2), and sensor-based migration tracks their
+// trends over time. Sensors read the thermal model's block temperatures
+// with optional quantization, offset, and deterministic noise — the
+// Banias ACPI diode of Table 1, for instance, quantizes to whole
+// degrees Celsius.
+package sensor
+
+import (
+	"fmt"
+	"math"
+
+	"multitherm/internal/floorplan"
+)
+
+// Sensor watches a single floorplan block.
+type Sensor struct {
+	Name  string
+	Block int // die-block index in the floorplan / thermal model
+	Core  int // owning core, or floorplan.SharedCore
+
+	// Quantization rounds readings to the nearest multiple (°C).
+	// Zero means a continuous reading.
+	Quantization float64
+	// NoiseAmplitude adds deterministic pseudo-random error in
+	// [−NoiseAmplitude, +NoiseAmplitude] °C, varying per reading index.
+	NoiseAmplitude float64
+	// Offset is a fixed calibration error in °C.
+	Offset float64
+	// Seed decorrelates noise across sensors.
+	Seed uint64
+}
+
+// Read returns the sensor value for the given block temperatures at
+// reading index n (deterministic in n for reproducibility).
+func (s *Sensor) Read(temps []float64, n int64) float64 {
+	v := temps[s.Block] + s.Offset
+	if s.NoiseAmplitude > 0 {
+		v += s.NoiseAmplitude * noise(s.Seed, uint64(n))
+	}
+	if s.Quantization > 0 {
+		v = math.Round(v/s.Quantization) * s.Quantization
+	}
+	return v
+}
+
+// noise maps (seed, n) deterministically to [−1, 1].
+func noise(seed, n uint64) float64 {
+	x := seed ^ 0xD1B54A32D192ED03 ^ (n * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x)/float64(math.MaxUint64)*2 - 1
+}
+
+// Bank is an ordered set of sensors, typically one core's watched
+// hotspots or the whole chip's sensor complement.
+type Bank struct {
+	Sensors []Sensor
+}
+
+// Hottest returns the maximum reading across the bank and the index
+// (within the bank) of the sensor that produced it. The PI controller
+// "typically selects the hottest of the input temperatures" (§4.1).
+func (b *Bank) Hottest(temps []float64, n int64) (float64, int) {
+	if len(b.Sensors) == 0 {
+		panic("sensor: Hottest on empty bank")
+	}
+	max, idx := math.Inf(-1), -1
+	for i := range b.Sensors {
+		if v := b.Sensors[i].Read(temps, n); v > max {
+			max, idx = v, i
+		}
+	}
+	return max, idx
+}
+
+// ReadAll fills dst with every sensor's reading.
+func (b *Bank) ReadAll(dst []float64, temps []float64, n int64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(b.Sensors))
+	}
+	for i := range b.Sensors {
+		dst[i] = b.Sensors[i].Read(temps, n)
+	}
+	return dst
+}
+
+// ForCore returns the sub-bank of sensors owned by the given core.
+func (b *Bank) ForCore(core int) *Bank {
+	out := &Bank{}
+	for _, s := range b.Sensors {
+		if s.Core == core {
+			out.Sensors = append(out.Sensors, s)
+		}
+	}
+	return out
+}
+
+// CoreHotspots builds the paper's per-core sensor complement: one
+// sensor at each register-file unit ("thermal sensors at the two
+// register file units on each core sense the hotspot temperatures",
+// §5.1). Quantization and noise default to an idealized fast sensor;
+// callers may adjust fields afterwards.
+func CoreHotspots(fp *floorplan.Floorplan) (*Bank, error) {
+	b := &Bank{}
+	n := fp.NumCores()
+	for core := 0; core < n; core++ {
+		irf := fp.FindCoreBlock(core, floorplan.KindIntRegFile)
+		fprf := fp.FindCoreBlock(core, floorplan.KindFPRegFile)
+		if irf < 0 || fprf < 0 {
+			return nil, fmt.Errorf("sensor: core %d lacks register-file blocks", core)
+		}
+		b.Sensors = append(b.Sensors,
+			Sensor{
+				Name: fmt.Sprintf("c%d_irf", core), Block: irf, Core: core,
+				Quantization: 0.1, Seed: uint64(1000 + core*2),
+			},
+			Sensor{
+				Name: fmt.Sprintf("c%d_fprf", core), Block: fprf, Core: core,
+				Quantization: 0.1, Seed: uint64(1001 + core*2),
+			},
+		)
+	}
+	return b, nil
+}
+
+// ACPIDiode builds the single edge-of-die diode of the paper's Banias
+// measurements: 1 °C quantization ("all measurements are rounded to the
+// nearest degree Celsius").
+func ACPIDiode(fp *floorplan.Floorplan) (*Bank, error) {
+	idx := fp.BlockIndex("diode_site")
+	if idx < 0 {
+		return nil, fmt.Errorf("sensor: floorplan %s has no diode_site block", fp.Name)
+	}
+	return &Bank{Sensors: []Sensor{{
+		Name: "acpi_diode", Block: idx, Core: 0, Quantization: 1.0, Seed: 4242,
+	}}}, nil
+}

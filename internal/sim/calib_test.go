@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+	"multitherm/internal/workload"
+)
+
+// TestCalibrationProbe prints headline numbers for the four
+// non-migration policies across all 12 workloads; run with -v while
+// tuning the power/thermal calibration. Paper targets (Table 5):
+// stop-go 19.8% duty (0.62x), dist stop-go 32.6% (1.00x), global DVFS
+// 66.5% (2.07x), dist DVFS 81.0% (2.51x).
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	cfg := DefaultConfig()
+	cfg.SimTime = 0.3
+	specs := []core.PolicySpec{
+		{Mechanism: core.StopGo, Scope: core.Global},
+		{Mechanism: core.StopGo, Scope: core.Distributed},
+		{Mechanism: core.DVFS, Scope: core.Global},
+		{Mechanism: core.DVFS, Scope: core.Distributed},
+	}
+	var summaries []metrics.Summary
+	for _, spec := range specs {
+		var runs []*metrics.Run
+		for _, mix := range workload.Mixes {
+			r, err := New(cfg, mix, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, m)
+		}
+		summaries = append(summaries, metrics.Summarize(spec.String(), runs))
+	}
+	base := summaries[1]
+	for _, s := range summaries {
+		t.Logf("%-16s BIPS=%6.2f duty=%5.1f%% rel=%5.2f worstT=%6.2f emer=%6.2fms",
+			s.Policy, s.MeanBIPS, s.MeanDuty*100, s.Relative(base), s.WorstTemp, s.TotalEmer*1e3)
+	}
+	for i, r := range summaries[1].Runs {
+		t.Logf("  dist stop-go %-12s duty=%5.1f%%  distDVFS duty=%5.1f%%",
+			r.Workload, r.DutyCycle()*100, summaries[3].Runs[i].DutyCycle()*100)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/migration"
+	"multitherm/internal/workload"
+)
+
+// rrController rotates all threads round-robin every epoch regardless
+// of temperatures — the pure time-multiplexing mechanism, used as a
+// lower bound on what informed migration should achieve.
+type rrController struct{}
+
+func (rrController) Name() string { return "round-robin" }
+func (rrController) Step(ctx *migration.Context) ([]int, bool) {
+	if !ctx.Sched.MayDecide(ctx.Now) {
+		return nil, false
+	}
+	n := ctx.Sched.NumCores()
+	cur := ctx.Sched.Assignment()
+	next := make([]int, n)
+	for c := 0; c < n; c++ {
+		next[c] = cur[(c+1)%n]
+	}
+	return next, true
+}
+
+// TestRotationMechanismHelps verifies the heat-balancing premise of §6:
+// under distributed stop-go, rotating threads across cores (even
+// blindly) recovers work that single-core sawtoothing wastes.
+func TestRotationMechanismHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	cfg := DefaultConfig()
+	cfg.SimTime = 0.2
+	mix, _ := workload.MixByName("workload3")
+	base, err := New(cfg, mix, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := New(cfg, mix, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.migCtl = rrController{}
+	mr, err := rr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.BIPS() < mb.BIPS()*1.05 {
+		t.Errorf("blind rotation BIPS %.2f not above baseline %.2f",
+			mr.BIPS(), mb.BIPS())
+	}
+	// And informed (counter-based) migration must beat blind rotation.
+	cb, err := New(cfg, mix, core.PolicySpec{
+		Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.CounterMigration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := cb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.BIPS() < mr.BIPS()*0.95 {
+		t.Errorf("counter-based migration %.2f well below blind rotation %.2f",
+			mc.BIPS(), mr.BIPS())
+	}
+}

@@ -1,0 +1,461 @@
+// Package sim is the thermal/timing simulator of paper §3.3 (the right
+// half of Figure 2): it drives per-benchmark activity traces through a
+// DTM policy, tracks progress in absolute time (each core may have its
+// own cycle length under DVFS), feeds the resulting per-block power —
+// dynamic plus temperature-dependent leakage — into the HotSpot-style
+// thermal model, and accumulates the paper's metrics.
+package sim
+
+import (
+	"fmt"
+
+	"multitherm/internal/core"
+	"multitherm/internal/floorplan"
+	"multitherm/internal/metrics"
+	"multitherm/internal/migration"
+	"multitherm/internal/osched"
+	"multitherm/internal/power"
+	"multitherm/internal/sensor"
+	"multitherm/internal/thermal"
+	"multitherm/internal/trace"
+	"multitherm/internal/uarch"
+	"multitherm/internal/workload"
+)
+
+// Config assembles every model parameter of a simulation.
+type Config struct {
+	Floorplan *floorplan.Floorplan
+	Thermal   thermal.Params
+	Power     power.Config
+	Uarch     uarch.Config
+	Policy    core.Params
+
+	// SimTime is the simulated silicon time (paper: 0.5 s).
+	SimTime float64
+	// TraceIntervals is the recorded trace length in 100K-cycle samples
+	// before looping (≈3600 for the paper's 500M-instruction traces).
+	TraceIntervals int
+	// WarmupMarginC positions the initial thermal state: the package is
+	// pre-warmed to the steady state whose hottest block sits this far
+	// below the PI setpoint.
+	WarmupMarginC float64
+
+	// MigrationEpoch/MigrationPenalty override the OS defaults when
+	// positive (for ablations).
+	MigrationEpoch   float64
+	MigrationPenalty float64
+
+	// CoreMaxScale optionally caps each core's frequency scale,
+	// modeling performance-heterogeneous cores (the paper's §9
+	// future-work axis): a core capped at 0.7 is a "little" core that
+	// tops out at 70% of nominal frequency and correspondingly lower
+	// power. Empty means all cores reach full speed.
+	CoreMaxScale []float64
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		Floorplan:      floorplan.CMP4(),
+		Thermal:        thermal.DefaultParams(),
+		Power:          power.DefaultConfig(),
+		Uarch:          uarch.DefaultConfig(),
+		Policy:         core.DefaultParams(),
+		SimTime:        0.5,
+		TraceIntervals: 3600,
+		WarmupMarginC:  1.0,
+	}
+}
+
+// Probe observes simulator state once per control tick; used to extract
+// time series such as Figure 5.
+type Probe func(now float64, tick int64, blockTemps []float64, cmds []core.CoreCommand, assignment []int)
+
+// Runner executes one policy × workload simulation.
+type Runner struct {
+	cfg  Config
+	spec core.PolicySpec
+	mix  workload.Mix
+
+	// label names the run in metrics; benchNames lists the process
+	// population (== mix.Benchmarks for the paper's 4-process runs, a
+	// longer list under time-shared multiprogramming).
+	label      string
+	benchNames []string
+	timeshared bool
+
+	model   *thermal.Model
+	calc    *power.Calculator
+	bank    *sensor.Bank
+	sched   *osched.Scheduler
+	throt   core.Throttler
+	migCtl  migration.Controller
+	cursors []*trace.Cursor
+
+	nCores    int
+	prevScale []float64
+	probe     Probe
+}
+
+// New builds a runner for the given policy cell and workload mix.
+func New(cfg Config, mix workload.Mix, spec core.PolicySpec) (*Runner, error) {
+	if cfg.SimTime <= 0 {
+		return nil, fmt.Errorf("sim: non-positive sim time")
+	}
+	if cfg.TraceIntervals <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trace length")
+	}
+	model, err := thermal.New(cfg.Floorplan, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	calc, err := power.NewCalculator(cfg.Floorplan, cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := sensor.CoreHotspots(cfg.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	nCores := cfg.Floorplan.NumCores()
+	if nCores != len(mix.Benchmarks) {
+		return nil, fmt.Errorf("sim: %d cores but %d benchmarks", nCores, len(mix.Benchmarks))
+	}
+	if len(cfg.CoreMaxScale) != 0 && len(cfg.CoreMaxScale) != nCores {
+		return nil, fmt.Errorf("sim: CoreMaxScale has %d entries for %d cores", len(cfg.CoreMaxScale), nCores)
+	}
+	for _, cap := range cfg.CoreMaxScale {
+		if cap < cfg.Policy.Limits.Min || cap > 1 {
+			return nil, fmt.Errorf("sim: core scale cap %g outside [%g, 1]", cap, cfg.Policy.Limits.Min)
+		}
+	}
+
+	r := &Runner{
+		cfg: cfg, spec: spec, mix: mix,
+		label: mix.Name, benchNames: append([]string(nil), mix.Benchmarks[:]...),
+		model: model, calc: calc, bank: bank,
+		nCores:    nCores,
+		prevScale: make([]float64, nCores),
+	}
+	for i := range r.prevScale {
+		r.prevScale[i] = 1.0
+	}
+
+	// Record one looping trace per benchmark (Figure 2's Turandot +
+	// PowerTimer stage).
+	for _, b := range r.benchNames {
+		prof, err := workload.Profile(b)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := uarch.NewGenerator(cfg.Uarch, prof)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Record(gen, cfg.TraceIntervals)
+		if err != nil {
+			return nil, err
+		}
+		r.cursors = append(r.cursors, trace.NewCursor(tr))
+	}
+
+	r.sched = osched.NewScheduler(r.benchNames)
+	if cfg.MigrationEpoch > 0 {
+		r.sched.SetEpoch(cfg.MigrationEpoch)
+	}
+	if cfg.MigrationPenalty > 0 {
+		r.sched.SetPenalty(cfg.MigrationPenalty)
+	}
+
+	switch spec.Mechanism {
+	case core.StopGo:
+		r.throt, err = core.NewStopGo(cfg.Policy, spec.Scope, bank, nCores)
+	case core.DVFS:
+		r.throt, err = core.NewDVFS(cfg.Policy, spec.Scope, bank, nCores)
+	default:
+		err = fmt.Errorf("sim: unknown mechanism %v", spec.Mechanism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Migration {
+	case core.CounterMigration:
+		r.migCtl = migration.NewCounterBased()
+	case core.SensorMigration:
+		r.migCtl = migration.NewSensorBased(r.sched.NumProcesses(), nCores)
+	}
+	return r, nil
+}
+
+// NewUnthrottled builds a runner with DTM disabled (for metric
+// validation and calibration probes).
+func NewUnthrottled(cfg Config, mix workload.Mix) (*Runner, error) {
+	r, err := New(cfg, mix, core.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	r.throt = core.NewUnthrottled(r.nCores)
+	r.migCtl = nil
+	r.spec = core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.NoMigration}
+	return r, nil
+}
+
+// SetProbe installs a per-tick observer.
+func (r *Runner) SetProbe(p Probe) { r.probe = p }
+
+// Throttler exposes the inner-loop policy (for tests).
+func (r *Runner) Throttler() core.Throttler { return r.throt }
+
+// averageTracePower estimates the mean per-block power of the mix on
+// the initial assignment, used only for pre-warming the package.
+func (r *Runner) averageTracePower() []float64 {
+	nb := len(r.cfg.Floorplan.Blocks)
+	activity := make([]float64, nb)
+	counts := make([]float64, nb)
+	for c := 0; c < r.nCores; c++ {
+		tr := r.cursors[c].Trace()
+		var mean uarch.Sample
+		for i := 0; i < tr.Len(); i++ {
+			s := tr.At(int64(i))
+			for k, v := range s.Activity {
+				mean.Activity[k] += v
+			}
+		}
+		for k := range mean.Activity {
+			mean.Activity[k] /= float64(tr.Len())
+		}
+		r.fillCoreActivity(activity, counts, c, &mean, 1.0)
+	}
+	finalizeShared(activity, counts)
+	temps := make([]float64, nb)
+	for i := range temps {
+		temps[i] = 75
+	}
+	cores := make([]power.CoreState, r.nCores)
+	for i := range cores {
+		cores[i] = power.CoreState{Scale: 1}
+	}
+	return r.calc.BlockPower(nil, activity, cores, temps)
+}
+
+// fillCoreActivity writes the activity of the thread on core c into the
+// per-block activity vector, weighted by the core's effective scale for
+// shared blocks.
+func (r *Runner) fillCoreActivity(activity, shared []float64, c int, s *uarch.Sample, effScale float64) {
+	for i, b := range r.cfg.Floorplan.Blocks {
+		if b.Core == c {
+			activity[i] = s.ActivityFor(b.Kind)
+		} else if b.Core == floorplan.SharedCore {
+			// Shared structures aggregate demand from all cores, scaled
+			// by how fast each core actually issues traffic.
+			shared[i] += s.ActivityFor(b.Kind) * effScale
+		}
+	}
+}
+
+// finalizeShared converts accumulated shared-block demand into a
+// bounded activity factor.
+func finalizeShared(activity, shared []float64) {
+	for i, v := range shared {
+		if v == 0 {
+			continue
+		}
+		a := v / 2 // four cores' summed share, lightly damped
+		if a > 1 {
+			a = 1
+		}
+		activity[i] = a
+		shared[i] = 0
+	}
+}
+
+// Run executes the simulation and returns the collected metrics.
+func (r *Runner) Run() (*metrics.Run, error) {
+	cfg := r.cfg
+	dt := cfg.Policy.SamplePeriod
+	nb := len(cfg.Floorplan.Blocks)
+
+	// Pre-warm the package: linear-scale the average power so the
+	// hottest block starts WarmupMarginC below the PI setpoint.
+	avgPower := r.averageTracePower()
+	warm, err := r.model.SteadyState(avgPower)
+	if err != nil {
+		return nil, err
+	}
+	maxWarm := warm[0]
+	for _, v := range warm[:nb] {
+		if v > maxWarm {
+			maxWarm = v
+		}
+	}
+	target := cfg.Policy.ThresholdC - cfg.Policy.SetpointMarginC - cfg.WarmupMarginC
+	amb := cfg.Thermal.Ambient
+	alpha := 1.0
+	if maxWarm > amb {
+		alpha = (target - amb) / (maxWarm - amb)
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	scaled := make([]float64, nb)
+	for i, p := range avgPower {
+		scaled[i] = p * alpha
+	}
+	if err := r.model.InitSteadyState(scaled); err != nil {
+		return nil, err
+	}
+
+	m := metrics.NewRun(r.spec.String(), r.label, r.nCores)
+	temps := make([]float64, nb)
+	activity := make([]float64, nb)
+	shared := make([]float64, nb)
+	powerVec := make([]float64, nb)
+	coreStates := make([]power.CoreState, r.nCores)
+	assignment := r.sched.Assignment()
+
+	now := 0.0
+	ticks := int64(cfg.SimTime/dt + 0.5)
+	for tick := int64(0); tick < ticks; tick++ {
+		r.model.BlockTemps(temps)
+
+		// Inner loop: throttling decision.
+		cmds := r.throt.Decide(now, tick, temps)
+
+		// Fairness preemption (time-shared multiprogramming): when more
+		// processes than cores are runnable, the longest-waiting process
+		// replaces the longest-running one each timeslice.
+		if r.timeshared && r.sched.NeedsRotation(now) {
+			before := r.sched.Assignment()
+			next := r.sched.RotationAssignment(now)
+			if _, err := r.sched.Apply(now, next); err != nil {
+				return nil, err
+			}
+			r.sched.MarkRotation(now)
+			m.Preemptions++
+			for c := range next {
+				if before[c] != next[c] {
+					r.throt.NotifyMigration(c)
+				}
+			}
+			assignment = r.sched.Assignment()
+		}
+
+		// Outer loop: migration decision (Figure 1).
+		if r.migCtl != nil {
+			// The scaling relation used to normalize observations back to
+			// full speed depends on the inner mechanism: cubic for DVFS
+			// (§6.1/§6.3), linear for stop-go, whose trend scale is a
+			// run/stall duty rather than a frequency.
+			dynScale := cfg.Power.DynamicScale
+			if r.spec.Mechanism == core.StopGo {
+				dynScale = func(s float64) float64 { return s }
+			}
+			ctx := &migration.Context{
+				Now: now, Tick: tick,
+				Sched: r.sched, BlockTemps: temps,
+				Throttler: r.throt, FP: cfg.Floorplan, Bank: r.bank,
+				DynScale: dynScale,
+			}
+			if assign, decided := r.migCtl.Step(ctx); decided {
+				before := r.sched.Assignment()
+				moved, err := r.sched.Apply(now, assign)
+				if err != nil {
+					return nil, err
+				}
+				if moved > 0 {
+					m.Migrations++
+					for c := range assign {
+						if before[c] != assign[c] {
+							r.throt.NotifyMigration(c)
+						}
+					}
+				}
+				assignment = r.sched.Assignment()
+			}
+		}
+
+		// Per-core progress in absolute time.
+		for c := 0; c < r.nCores; c++ {
+			cmd := cmds[c]
+			// Heterogeneous cores: a little core cannot exceed its cap
+			// regardless of the thermal controller's output.
+			if len(cfg.CoreMaxScale) == r.nCores && cmd.Scale > cfg.CoreMaxScale[c] {
+				cmd.Scale = cfg.CoreMaxScale[c]
+			}
+			avail := dt
+			if r.sched.InPenalty(c, now) {
+				// Migration penalty consumes the whole tick (100 µs ≈ 3.6
+				// ticks); count it as overhead.
+				avail = 0
+				m.PenaltySeconds += dt
+			}
+			if cmd.Stall {
+				avail = 0
+				m.StallSeconds += dt
+				coreStates[c] = power.CoreState{Scale: 1, Stalled: true}
+			} else {
+				if cmd.Scale != r.prevScale[c] {
+					// PLL/voltage retarget cost (10 µs, Table 3).
+					avail -= cfg.Policy.TransitionPenalty
+					if avail < 0 {
+						avail = 0
+					}
+					m.PenaltySeconds += cfg.Policy.TransitionPenalty
+					m.Transitions++
+					r.prevScale[c] = cmd.Scale
+				}
+				coreStates[c] = power.CoreState{Scale: cmd.Scale}
+			}
+
+			proc := r.sched.ProcessOn(c)
+			cur := r.cursors[proc.ID]
+			sample := cur.Current()
+			effScale := 0.0
+			if avail > 0 && !cmd.Stall {
+				effScale = cmd.Scale * (avail / dt)
+				retired := cur.Advance(effScale)
+				m.Instructions += retired
+				m.PerCoreInstr[c] += retired
+				adjCycles := effScale * float64(cfg.Uarch.SampleCycles)
+				proc.Account(dt, osched.Counters{
+					AdjCycles:    adjCycles,
+					Instructions: retired,
+					IntRFAccess:  sample.ActivityFor(floorplan.KindIntRegFile) * adjCycles,
+					FPRFAccess:   sample.ActivityFor(floorplan.KindFPRegFile) * adjCycles,
+				})
+			}
+			m.WorkSeconds += effScale * dt
+
+			// Power inputs reflect the thread state even when stalled
+			// (frozen state still leaks and burns residual clock power).
+			r.fillCoreActivity(activity, shared, c, sample, effScale)
+		}
+		finalizeShared(activity, shared)
+
+		// Thermal step with leakage-temperature feedback.
+		r.calc.BlockPower(powerVec, activity, coreStates, temps)
+		r.model.SetPower(powerVec)
+		r.model.Step(dt)
+
+		// Metrics: emergencies measured on true block temperatures.
+		hot, _ := r.model.MaxBlockTemp()
+		if hot > m.MaxTempC {
+			m.MaxTempC = hot
+		}
+		if hot > cfg.Policy.ThresholdC {
+			m.EmergencySeconds += dt
+		}
+		if r.probe != nil {
+			r.probe(now, tick, temps, cmds, assignment)
+		}
+		now += dt
+	}
+	m.SimTime = now
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/workload"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.SimTime = 0.05
+	return cfg
+}
+
+func mustMix(t testing.TB, name string) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0
+	if _, err := New(cfg, mustMix(t, "workload1"), core.Baseline); err == nil {
+		t.Error("zero sim time accepted")
+	}
+	cfg = quickCfg()
+	cfg.TraceIntervals = 0
+	if _, err := New(cfg, mustMix(t, "workload1"), core.Baseline); err == nil {
+		t.Error("zero trace length accepted")
+	}
+	cfg = quickCfg()
+	bad := workload.Mix{Name: "bad", Benchmarks: [4]string{"doom3", "gzip", "mcf", "vpr"}}
+	if _, err := New(cfg, bad, core.Baseline); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.CounterMigration}
+	run := func() float64 {
+		r, err := New(cfg, mustMix(t, "workload7"), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Instructions
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAllPoliciesRespectThreshold(t *testing.T) {
+	// No policy may allow more than trivial time above 84.2 °C — the
+	// paper's policies "avoid all thermal emergencies".
+	if testing.Short() {
+		t.Skip("multi-policy simulation")
+	}
+	cfg := quickCfg()
+	cfg.SimTime = 0.1
+	for _, spec := range core.Taxonomy() {
+		r, err := New(cfg, mustMix(t, "workload8"), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.EmergencySeconds > 0.001 {
+			t.Errorf("%s: %.2f ms above threshold", spec, m.EmergencySeconds*1e3)
+		}
+		if m.MaxTempC > cfg.Policy.ThresholdC+1.0 {
+			t.Errorf("%s: max temp %.2f °C far above threshold", spec, m.MaxTempC)
+		}
+	}
+}
+
+func TestUnthrottledExceedsThreshold(t *testing.T) {
+	// Sanity: without DTM the chip must actually overheat — otherwise
+	// the whole study is unconstrained.
+	cfg := quickCfg()
+	cfg.SimTime = 0.1
+	r, err := NewUnthrottled(cfg, mustMix(t, "workload2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxTempC <= cfg.Policy.ThresholdC {
+		t.Errorf("unthrottled max temp %.2f °C does not exceed the threshold", m.MaxTempC)
+	}
+	if d := m.DutyCycle(); math.Abs(d-1) > 1e-9 {
+		t.Errorf("unthrottled duty = %v, want 1.0", d)
+	}
+}
+
+func TestDVFSBeatsStopGo(t *testing.T) {
+	// The paper's central quantitative claim at workload granularity.
+	cfg := quickCfg()
+	cfg.SimTime = 0.15
+	mix := mustMix(t, "workload5")
+	sg, err := New(cfg, mix, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := New(cfg, mix, core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdv, err := dv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdv.BIPS() < 1.5*msg.BIPS() {
+		t.Errorf("dist DVFS %.2f BIPS not well above dist stop-go %.2f", mdv.BIPS(), msg.BIPS())
+	}
+	if mdv.Transitions == 0 {
+		t.Error("DVFS run recorded no PLL transitions")
+	}
+	if msg.StallSeconds == 0 {
+		t.Error("stop-go run recorded no stall time")
+	}
+}
+
+func TestGlobalWorseThanDistributed(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.15
+	mix := mustMix(t, "workload10") // widest heterogeneity
+	for _, mech := range []core.Mechanism{core.StopGo, core.DVFS} {
+		g, err := New(cfg, mix, core.PolicySpec{Mechanism: mech, Scope: core.Global})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(cfg, mix, core.PolicySpec{Mechanism: mech, Scope: core.Distributed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if md.BIPS() <= mg.BIPS() {
+			t.Errorf("%v: distributed %.2f BIPS not above global %.2f", mech, md.BIPS(), mg.BIPS())
+		}
+	}
+}
+
+func TestMigrationImprovesStopGo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	cfg := quickCfg()
+	cfg.SimTime = 0.2
+	mix := mustMix(t, "workload7")
+	base, err := New(cfg, mix, core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []core.MigrationKind{core.CounterMigration, core.SensorMigration} {
+		r, err := New(cfg, mix, core.PolicySpec{
+			Mechanism: core.StopGo, Scope: core.Distributed, Migration: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Migrations == 0 {
+			t.Errorf("%v: no migrations occurred", kind)
+		}
+		if m.BIPS() < mb.BIPS() {
+			t.Errorf("%v: migration made stop-go worse: %.2f vs %.2f", kind, m.BIPS(), mb.BIPS())
+		}
+	}
+}
+
+func TestMigrationPenaltyAccounted(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.15
+	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.SensorMigration}
+	r, err := New(cfg, mustMix(t, "workload3"), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Migrations > 0 && m.PenaltySeconds <= 0 {
+		t.Error("migrations happened but no penalty time recorded")
+	}
+}
+
+func TestProbeObservesEveryTick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.01
+	r, err := New(cfg, mustMix(t, "workload1"), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int64
+	r.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+		ticks++
+		if len(cmds) != 4 || len(assign) != 4 {
+			t.Fatalf("probe saw %d cmds / %d assignment entries", len(cmds), len(assign))
+		}
+	})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.SimTime/cfg.Policy.SamplePeriod + 0.5)
+	if ticks != want {
+		t.Errorf("probe ticks = %d, want %d", ticks, want)
+	}
+}
+
+func TestDutyCyclePredictsThroughput(t *testing.T) {
+	// §5.3 metric validation at a single-workload level: BIPS relative
+	// to the unthrottled run matches the adjusted duty cycle within a
+	// few points.
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	cfg := quickCfg()
+	cfg.SimTime = 0.2
+	mix := mustMix(t, "workload9")
+	r, err := New(cfg, mix, core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUnthrottled(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := u.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := m.BIPS() / mu.BIPS()
+	if math.Abs(ratio-m.DutyCycle()) > 0.08 {
+		t.Errorf("BIPS ratio %.3f vs duty %.3f: duty metric not predictive", ratio, m.DutyCycle())
+	}
+}
+
+func TestHeterogeneousCoreCaps(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.05
+	cfg.CoreMaxScale = []float64{1, 1, 0.5, 0.5}
+	mix := mustMix(t, "workload1")
+	r, err := New(cfg, mix, core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeen := make([]float64, 4)
+	r.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+		for c := range cmds {
+			s := cmds[c].Scale
+			if len(cfg.CoreMaxScale) == 4 && s > cfg.CoreMaxScale[c] {
+				s = cfg.CoreMaxScale[c]
+			}
+			if s > maxSeen[c] {
+				maxSeen[c] = s
+			}
+		}
+	})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The capped cores never exceed their cap (checked via the clamp the
+	// runner applies; the probe mirrors it).
+	if maxSeen[2] > 0.5+1e-9 || maxSeen[3] > 0.5+1e-9 {
+		t.Errorf("capped cores exceeded cap: %v", maxSeen)
+	}
+	// Bad cap vectors are rejected.
+	cfg.CoreMaxScale = []float64{1, 1}
+	if _, err := New(cfg, mix, core.Baseline); err == nil {
+		t.Error("wrong-length cap vector accepted")
+	}
+	cfg.CoreMaxScale = []float64{1, 1, 1, 0.05}
+	if _, err := New(cfg, mix, core.Baseline); err == nil {
+		t.Error("cap below the DVFS floor accepted")
+	}
+}
+
+func TestVoltageFloorRaisesDVFSPower(t *testing.T) {
+	// With a regulator floor, reduced-frequency operation burns more
+	// power than the pure cubic, so the DVFS equilibrium is slower.
+	cfg := quickCfg()
+	cfg.SimTime = 0.08
+	mix := mustMix(t, "workload5")
+	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
+	cubic, err := New(cfg, mix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := cubic.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Power.VFloor = 0.7
+	floored, err := New(cfg, mix, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := floored.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.DutyCycle() >= mc.DutyCycle() {
+		t.Errorf("voltage floor should reduce sustainable duty: %.3f vs %.3f",
+			mf.DutyCycle(), mc.DutyCycle())
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+	"multitherm/internal/workload"
+)
+
+// TestTaxonomySweep runs all 12 policy cells at the current calibration
+// and prints the Table 8 analogue. Paper targets:
+//
+//	no-mig:    gStop 0.62, dStop 1.00, gDVFS 2.07, dDVFS 2.51
+//	counter:   gStop 1.18, dStop 2.02, gDVFS 2.18, dDVFS 2.57
+//	sensor:    gStop 1.20, dStop 2.05, gDVFS 2.13, dDVFS 2.59
+func TestTaxonomySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep utility")
+	}
+	cfg := DefaultConfig()
+	cfg.SimTime = 0.25
+	var base metrics.Summary
+	for _, spec := range core.Taxonomy() {
+		var runs []*metrics.Run
+		for _, mix := range workload.Mixes {
+			r, err := New(cfg, mix, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, m)
+		}
+		s := metrics.Summarize(spec.String(), runs)
+		if spec == core.Baseline {
+			base = s
+		}
+		var mig int
+		for _, r := range runs {
+			mig += r.Migrations
+		}
+		rel := 0.0
+		if base.MeanBIPS > 0 {
+			rel = s.Relative(base)
+		}
+		t.Log(fmt.Sprintf("%-42s duty=%5.1f%% rel=%4.2f mig=%3d worstT=%5.2f",
+			s.Policy, s.MeanDuty*100, rel, mig, s.WorstTemp))
+	}
+}

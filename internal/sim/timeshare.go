@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+
+	"multitherm/internal/core"
+	"multitherm/internal/migration"
+	"multitherm/internal/osched"
+	"multitherm/internal/power"
+	"multitherm/internal/sensor"
+	"multitherm/internal/thermal"
+	"multitherm/internal/trace"
+	"multitherm/internal/uarch"
+	"multitherm/internal/workload"
+)
+
+// NewTimeshared builds a runner for more processes than cores: the OS
+// round-robins the process population across the chip with the given
+// timeslice (0 = osched.DefaultTimeslice), and the DTM policy operates
+// on whatever is running — the multiprogrammed situation the paper's §6
+// notes exists in any real system.
+func NewTimeshared(cfg Config, label string, benchmarks []string, spec core.PolicySpec, timeslice float64) (*Runner, error) {
+	if cfg.SimTime <= 0 {
+		return nil, fmt.Errorf("sim: non-positive sim time")
+	}
+	if cfg.TraceIntervals <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trace length")
+	}
+	model, err := thermal.New(cfg.Floorplan, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	calc, err := power.NewCalculator(cfg.Floorplan, cfg.Power)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := sensor.CoreHotspots(cfg.Floorplan)
+	if err != nil {
+		return nil, err
+	}
+	nCores := cfg.Floorplan.NumCores()
+	r := &Runner{
+		cfg: cfg, spec: spec,
+		label: label, benchNames: append([]string(nil), benchmarks...),
+		timeshared: true,
+		model:      model, calc: calc, bank: bank,
+		nCores:    nCores,
+		prevScale: make([]float64, nCores),
+	}
+	for i := range r.prevScale {
+		r.prevScale[i] = 1.0
+	}
+	for _, b := range benchmarks {
+		prof, err := workload.Profile(b)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := uarch.NewGenerator(cfg.Uarch, prof)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Record(gen, cfg.TraceIntervals)
+		if err != nil {
+			return nil, err
+		}
+		r.cursors = append(r.cursors, trace.NewCursor(tr))
+	}
+	r.sched, err = osched.NewTimeshared(benchmarks, nCores, timeslice)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MigrationEpoch > 0 {
+		r.sched.SetEpoch(cfg.MigrationEpoch)
+	}
+	if cfg.MigrationPenalty > 0 {
+		r.sched.SetPenalty(cfg.MigrationPenalty)
+	}
+	switch spec.Mechanism {
+	case core.StopGo:
+		r.throt, err = core.NewStopGo(cfg.Policy, spec.Scope, bank, nCores)
+	case core.DVFS:
+		r.throt, err = core.NewDVFS(cfg.Policy, spec.Scope, bank, nCores)
+	default:
+		err = fmt.Errorf("sim: unknown mechanism %v", spec.Mechanism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Migration {
+	case core.CounterMigration:
+		r.migCtl = migration.NewCounterBased()
+	case core.SensorMigration:
+		r.migCtl = migration.NewSensorBased(r.sched.NumProcesses(), nCores)
+	}
+	return r, nil
+}
+
+// Scheduler exposes the OS model (for fairness inspection in tests and
+// experiments).
+func (r *Runner) Scheduler() *osched.Scheduler { return r.sched }

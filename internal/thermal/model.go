@@ -1,0 +1,443 @@
+// Package thermal implements a HotSpot-style compact thermal model
+// (paper §3.2): the die floorplan becomes a network of thermal
+// resistances and capacitances — "a method analogous to calculating
+// voltages in a circuit made up of resistors and capacitors" — including
+// the thermal interface material, heat spreader, heat sink, and fan
+// convection. The model supports both transient integration (required
+// for the paper's adaptive-control experiments) and steady-state solves.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"multitherm/internal/floorplan"
+	"multitherm/internal/linalg"
+)
+
+// Params holds the physical package parameters of the thermal model.
+// Defaults correspond to a 90 nm-class part with a copper spreader,
+// aluminum finned sink, and forced-air convection, in the ranges HotSpot
+// 2.0 ships with.
+type Params struct {
+	// Die
+	DieThickness float64 // m
+	KSilicon     float64 // W/(m·K)
+	CSilicon     float64 // volumetric heat capacity, J/(m³·K)
+
+	// Thermal interface material between die and spreader. Modeled as
+	// pure resistance (negligible heat capacity).
+	TIMThickness float64 // m
+	KTIM         float64 // W/(m·K)
+
+	// Heat spreader (copper plate)
+	SpreaderSide      float64 // m, square side
+	SpreaderThickness float64 // m
+	KSpreader         float64 // W/(m·K)
+	CSpreader         float64 // J/(m³·K)
+
+	// Heat sink base (aluminum)
+	SinkSide      float64 // m, square side
+	SinkThickness float64 // m
+	KSink         float64 // W/(m·K)
+	CSink         float64 // J/(m³·K)
+	// SinkMassFactor multiplies the sink base capacitance to account for
+	// fin mass lumped into the base nodes.
+	SinkMassFactor float64
+
+	// Convection from sink to ambient (fan + fins), total for the sink.
+	ConvectionResistance float64 // K/W
+	Ambient              float64 // °C
+}
+
+// DefaultParams returns the package configuration used for the paper's
+// 4-core experiments.
+func DefaultParams() Params {
+	return Params{
+		DieThickness: 1.0e-3,
+		KSilicon:     50,
+		CSilicon:     1.75e6,
+
+		TIMThickness: 40e-6,
+		KTIM:         2,
+
+		SpreaderSide:      30e-3,
+		SpreaderThickness: 1e-3,
+		KSpreader:         400,
+		CSpreader:         3.55e6,
+
+		SinkSide:       60e-3,
+		SinkThickness:  7e-3,
+		KSink:          240,
+		CSink:          2.4e6,
+		SinkMassFactor: 4,
+
+		ConvectionResistance: 0.30,
+		Ambient:              45,
+	}
+}
+
+// Validate checks the parameters for physical plausibility.
+func (p Params) Validate() error {
+	pos := map[string]float64{
+		"DieThickness": p.DieThickness, "KSilicon": p.KSilicon, "CSilicon": p.CSilicon,
+		"TIMThickness": p.TIMThickness, "KTIM": p.KTIM,
+		"SpreaderSide": p.SpreaderSide, "SpreaderThickness": p.SpreaderThickness,
+		"KSpreader": p.KSpreader, "CSpreader": p.CSpreader,
+		"SinkSide": p.SinkSide, "SinkThickness": p.SinkThickness,
+		"KSink": p.KSink, "CSink": p.CSink, "SinkMassFactor": p.SinkMassFactor,
+		"ConvectionResistance": p.ConvectionResistance,
+	}
+	for name, v := range pos {
+		if v <= 0 {
+			return fmt.Errorf("thermal: parameter %s must be positive, got %g", name, v)
+		}
+	}
+	if p.SpreaderSide < 1e-3 || p.SinkSide < p.SpreaderSide {
+		return fmt.Errorf("thermal: sink (%g) must be at least spreader (%g) size",
+			p.SinkSide, p.SpreaderSide)
+	}
+	return nil
+}
+
+// edge is one thermal conductance between two internal nodes.
+type edge struct {
+	a, b int
+	g    float64 // W/K
+}
+
+// Model is the assembled RC network. Node order: die blocks first (same
+// indices as the floorplan), then spreader center, spreader N/E/S/W
+// periphery, sink center, sink N/E/S/W periphery.
+type Model struct {
+	fp     *floorplan.Floorplan
+	params Params
+
+	n        int // total internal nodes
+	nBlocks  int
+	names    []string
+	cap      []float64 // J/K per node
+	edges    []edge
+	gAmbient []float64 // conductance from node straight to ambient, W/K
+
+	// adjacency in CSR-ish form for fast transient evaluation
+	nbrIdx [][]int32
+	nbrG   [][]float64
+	gTotal []float64 // Σ_j G_ij + gAmbient_i per node
+
+	temps []float64 // current state, °C
+	power []float64 // current die-block power, W (len nBlocks)
+
+	// scratch buffers for RK4
+	k1, k2, k3, k4, tmp []float64
+}
+
+// Node index helpers (offsets after the die blocks).
+const (
+	nodeSpreaderCenter = iota
+	nodeSpreaderN
+	nodeSpreaderE
+	nodeSpreaderS
+	nodeSpreaderW
+	nodeSinkCenter
+	nodeSinkN
+	nodeSinkE
+	nodeSinkS
+	nodeSinkW
+	numPackageNodes
+)
+
+// New assembles the thermal model for the floorplan.
+func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
+	if err := fp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if fp.ChipW > p.SpreaderSide || fp.ChipH > p.SpreaderSide {
+		return nil, fmt.Errorf("thermal: chip (%g×%g) larger than spreader (%g)",
+			fp.ChipW, fp.ChipH, p.SpreaderSide)
+	}
+	nb := len(fp.Blocks)
+	m := &Model{
+		fp:      fp,
+		params:  p,
+		nBlocks: nb,
+		n:       nb + numPackageNodes,
+	}
+	m.names = make([]string, m.n)
+	m.cap = make([]float64, m.n)
+	m.gAmbient = make([]float64, m.n)
+	m.power = make([]float64, nb)
+	for i, b := range fp.Blocks {
+		m.names[i] = b.Name
+		m.cap[i] = p.CSilicon * b.Area() * p.DieThickness
+	}
+	pkgNames := []string{"spreader_c", "spreader_n", "spreader_e", "spreader_s",
+		"spreader_w", "sink_c", "sink_n", "sink_e", "sink_s", "sink_w"}
+	for i, s := range pkgNames {
+		m.names[nb+i] = s
+	}
+
+	m.buildDieLateral()
+	m.buildVerticalPath()
+	m.buildSpreader()
+	m.buildSink()
+
+	m.indexEdges()
+	m.temps = make([]float64, m.n)
+	for i := range m.temps {
+		m.temps[i] = p.Ambient
+	}
+	m.k1 = make([]float64, m.n)
+	m.k2 = make([]float64, m.n)
+	m.k3 = make([]float64, m.n)
+	m.k4 = make([]float64, m.n)
+	m.tmp = make([]float64, m.n)
+	return m, nil
+}
+
+// buildDieLateral adds conductances between adjacent die blocks:
+// G = k_si · t_die · sharedEdge / centerDistance.
+func (m *Model) buildDieLateral() {
+	p := m.params
+	for _, a := range m.fp.Adjacencies() {
+		g := p.KSilicon * p.DieThickness * a.Length / a.Dist
+		m.edges = append(m.edges, edge{a: a.I, b: a.J, g: g})
+	}
+}
+
+// buildVerticalPath connects each die block to the spreader center
+// through half the die thickness, the TIM, and a 45° spreading term into
+// the copper.
+func (m *Model) buildVerticalPath() {
+	p := m.params
+	spc := m.nBlocks + nodeSpreaderCenter
+	for i, b := range m.fp.Blocks {
+		area := b.Area()
+		rDie := p.DieThickness / (2 * p.KSilicon * area)
+		rTIM := p.TIMThickness / (p.KTIM * area)
+		// Heat spreads at ~45° through the spreader plate: the effective
+		// conduction area grows by the plate thickness on each side.
+		spreadArea := (b.W + p.SpreaderThickness) * (b.H + p.SpreaderThickness)
+		rSpread := p.SpreaderThickness / (2 * p.KSpreader * spreadArea)
+		g := 1 / (rDie + rTIM + rSpread)
+		m.edges = append(m.edges, edge{a: i, b: spc, g: g})
+	}
+	// Spreader center capacitance covers the chip-shadow volume.
+	m.cap[spc] = p.CSpreader * m.fp.ChipW * m.fp.ChipH * p.SpreaderThickness
+}
+
+// buildSpreader wires the spreader center to its four peripheral slabs
+// and down to the sink center.
+func (m *Model) buildSpreader() {
+	p := m.params
+	nb := m.nBlocks
+	spc := nb + nodeSpreaderCenter
+	chipSide := math.Sqrt(m.fp.ChipW * m.fp.ChipH)
+	slabW := (p.SpreaderSide - chipSide) / 2 // radial extent of each peripheral slab
+	if slabW <= 0 {
+		slabW = p.SpreaderSide * 0.05
+	}
+	for k, node := range []int{nodeSpreaderN, nodeSpreaderE, nodeSpreaderS, nodeSpreaderW} {
+		_ = k
+		idx := nb + node
+		// Lateral conduction from the chip-shadow region into the slab:
+		// cross-section = plate thickness × chip side; path length from
+		// shadow edge to slab centroid.
+		dist := chipSide/4 + slabW/2
+		g := p.KSpreader * p.SpreaderThickness * chipSide / dist
+		m.edges = append(m.edges, edge{a: spc, b: idx, g: g})
+		// Peripheral slab volume: slabW × spreaderSide × thickness / the
+		// four slabs overlap corners — divide the non-shadow area evenly.
+		nonShadow := p.SpreaderSide*p.SpreaderSide - chipSide*chipSide
+		m.cap[idx] = p.CSpreader * nonShadow / 4 * p.SpreaderThickness
+		// Each peripheral spreader slab also conducts down into the sink
+		// base above it.
+		slabArea := nonShadow / 4
+		rv := p.SpreaderThickness/(2*p.KSpreader*slabArea) +
+			p.SinkThickness/(2*p.KSink*slabArea)
+		m.edges = append(m.edges, edge{a: idx, b: nb + nodeSinkCenter, g: 1 / rv})
+	}
+	// Vertical: spreader center → sink center across the chip shadow,
+	// with 45° spreading into the sink base.
+	sinkSpreadArea := (chipSide + p.SinkThickness) * (chipSide + p.SinkThickness)
+	rv := p.SpreaderThickness/(2*p.KSpreader*chipSide*chipSide) +
+		p.SinkThickness/(2*p.KSink*sinkSpreadArea)
+	m.edges = append(m.edges, edge{a: spc, b: nb + nodeSinkCenter, g: 1 / rv})
+}
+
+// buildSink wires the sink center to its peripheral slabs and attaches
+// convection to ambient across all sink nodes in proportion to area.
+func (m *Model) buildSink() {
+	p := m.params
+	nb := m.nBlocks
+	skc := nb + nodeSinkCenter
+	centerSide := p.SpreaderSide // sink center region shadows the spreader
+	m.cap[skc] = p.CSink * centerSide * centerSide * p.SinkThickness * p.SinkMassFactor
+
+	nonShadow := p.SinkSide*p.SinkSide - centerSide*centerSide
+	slabArea := nonShadow / 4
+	slabW := (p.SinkSide - centerSide) / 2
+	if slabW <= 0 {
+		slabW = p.SinkSide * 0.05
+	}
+	totalArea := p.SinkSide * p.SinkSide
+	// Convection: split the total sink-to-air conductance across nodes
+	// by their plan area (fins assumed uniformly distributed).
+	gConvTotal := 1 / p.ConvectionResistance
+	m.gAmbient[skc] = gConvTotal * (centerSide * centerSide) / totalArea
+	for _, node := range []int{nodeSinkN, nodeSinkE, nodeSinkS, nodeSinkW} {
+		idx := nb + node
+		dist := centerSide/4 + slabW/2
+		g := p.KSink * p.SinkThickness * centerSide / dist
+		m.edges = append(m.edges, edge{a: skc, b: idx, g: g})
+		m.cap[idx] = p.CSink * slabArea * p.SinkThickness * p.SinkMassFactor
+		m.gAmbient[idx] = gConvTotal * slabArea / totalArea
+	}
+}
+
+// indexEdges builds the per-node adjacency arrays used by the transient
+// integrator, and validates conductance positivity.
+func (m *Model) indexEdges() {
+	m.nbrIdx = make([][]int32, m.n)
+	m.nbrG = make([][]float64, m.n)
+	m.gTotal = make([]float64, m.n)
+	for _, e := range m.edges {
+		if e.g <= 0 || math.IsNaN(e.g) || math.IsInf(e.g, 0) {
+			panic(fmt.Sprintf("thermal: bad conductance %g between %s and %s",
+				e.g, m.names[e.a], m.names[e.b]))
+		}
+		m.nbrIdx[e.a] = append(m.nbrIdx[e.a], int32(e.b))
+		m.nbrG[e.a] = append(m.nbrG[e.a], e.g)
+		m.nbrIdx[e.b] = append(m.nbrIdx[e.b], int32(e.a))
+		m.nbrG[e.b] = append(m.nbrG[e.b], e.g)
+		m.gTotal[e.a] += e.g
+		m.gTotal[e.b] += e.g
+	}
+	for i := range m.gAmbient {
+		m.gTotal[i] += m.gAmbient[i]
+	}
+}
+
+// NumBlocks returns the number of die blocks (power inputs).
+func (m *Model) NumBlocks() int { return m.nBlocks }
+
+// NumNodes returns the total node count including package nodes.
+func (m *Model) NumNodes() int { return m.n }
+
+// NodeName returns the debug name of node i.
+func (m *Model) NodeName(i int) string { return m.names[i] }
+
+// Floorplan returns the floorplan the model was built from.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// Params returns the package parameters.
+func (m *Model) Params() Params { return m.params }
+
+// SetPower assigns the per-die-block power vector in watts. The slice
+// must have length NumBlocks. Values persist until changed.
+func (m *Model) SetPower(watts []float64) {
+	if len(watts) != m.nBlocks {
+		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(watts), m.nBlocks))
+	}
+	copy(m.power, watts)
+}
+
+// Power returns the current power vector (shared storage; do not mutate).
+func (m *Model) Power() []float64 { return m.power }
+
+// Temp returns the temperature of die block i in °C.
+func (m *Model) Temp(i int) float64 { return m.temps[i] }
+
+// BlockTemps copies the die-block temperatures into dst (allocating if
+// nil) and returns it.
+func (m *Model) BlockTemps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.nBlocks)
+	}
+	copy(dst, m.temps[:m.nBlocks])
+	return dst
+}
+
+// NodeTemps returns a copy of all node temperatures (die + package).
+func (m *Model) NodeTemps() []float64 {
+	out := make([]float64, m.n)
+	copy(out, m.temps)
+	return out
+}
+
+// MaxBlockTemp returns the hottest die-block temperature and its index.
+func (m *Model) MaxBlockTemp() (float64, int) {
+	max, idx := math.Inf(-1), -1
+	for i := 0; i < m.nBlocks; i++ {
+		if m.temps[i] > max {
+			max, idx = m.temps[i], i
+		}
+	}
+	return max, idx
+}
+
+// SetUniform resets every node to temperature t.
+func (m *Model) SetUniform(t float64) {
+	for i := range m.temps {
+		m.temps[i] = t
+	}
+}
+
+// TotalCapacitance returns Σ C_i, used by energy-conservation tests.
+func (m *Model) TotalCapacitance() float64 {
+	var s float64
+	for _, c := range m.cap {
+		s += c
+	}
+	return s
+}
+
+// ConductanceMatrix assembles the dense symmetric conductance matrix G
+// where G[i][i] = Σ_j g_ij + gAmbient_i and G[i][j] = −g_ij. It is the
+// left-hand side of the steady-state system G·T = P + gAmb·T_amb.
+func (m *Model) ConductanceMatrix() *linalg.Matrix {
+	g := linalg.NewMatrix(m.n, m.n)
+	for _, e := range m.edges {
+		g.Add(e.a, e.a, e.g)
+		g.Add(e.b, e.b, e.g)
+		g.Add(e.a, e.b, -e.g)
+		g.Add(e.b, e.a, -e.g)
+	}
+	for i, ga := range m.gAmbient {
+		g.Add(i, i, ga)
+	}
+	return g
+}
+
+// SteadyState solves for the equilibrium temperatures under the given
+// die-block power vector without disturbing the transient state. The
+// returned slice covers all nodes; die blocks come first.
+func (m *Model) SteadyState(watts []float64) ([]float64, error) {
+	if len(watts) != m.nBlocks {
+		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(watts), m.nBlocks)
+	}
+	g := m.ConductanceMatrix()
+	rhs := make([]float64, m.n)
+	for i, w := range watts {
+		rhs[i] = w
+	}
+	for i, ga := range m.gAmbient {
+		rhs[i] += ga * m.params.Ambient
+	}
+	return linalg.Solve(g, rhs)
+}
+
+// InitSteadyState sets the transient state to the equilibrium for the
+// given power vector — the standard way to start a simulation from a
+// thermally warmed package rather than a cold chip.
+func (m *Model) InitSteadyState(watts []float64) error {
+	t, err := m.SteadyState(watts)
+	if err != nil {
+		return err
+	}
+	copy(m.temps, t)
+	return nil
+}

@@ -1,0 +1,173 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multitherm/internal/floorplan"
+)
+
+// TestTransientLinearityProperty: the RC network is linear and
+// time-invariant, so scaling the input power scales the temperature
+// *rise* at every instant: T(t; a·P) − amb = a·(T(t; P) − amb).
+func TestTransientLinearityProperty(t *testing.T) {
+	fp := floorplan.CMP4()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + rng.Float64()*2
+		p1 := make([]float64, len(fp.Blocks))
+		p2 := make([]float64, len(fp.Blocks))
+		for i := range p1 {
+			p1[i] = rng.Float64() * 3
+			p2[i] = a * p1[i]
+		}
+		m1, err := New(fp, DefaultParams())
+		if err != nil {
+			return false
+		}
+		m2, err := New(fp, DefaultParams())
+		if err != nil {
+			return false
+		}
+		m1.SetPower(p1)
+		m2.SetPower(p2)
+		amb := DefaultParams().Ambient
+		for step := 0; step < 40; step++ {
+			m1.Step(2e-3)
+			m2.Step(2e-3)
+		}
+		for i := 0; i < m1.NumBlocks(); i++ {
+			want := a * (m1.Temp(i) - amb)
+			got := m2.Temp(i) - amb
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoolingIsMonotoneProperty: with power removed, every node decays
+// toward ambient without oscillation (the network is passive: all
+// eigenvalues real and negative).
+func TestCoolingIsMonotoneProperty(t *testing.T) {
+	m := newCMP4Model(t)
+	power := make([]float64, m.NumBlocks())
+	rng := rand.New(rand.NewSource(5))
+	for i := range power {
+		power[i] = rng.Float64() * 4
+	}
+	if err := m.InitSteadyState(power); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPower(make([]float64, m.NumBlocks()))
+	prev := m.NodeTemps()
+	for step := 0; step < 50; step++ {
+		m.Step(5e-3)
+		cur := m.NodeTemps()
+		for i := range cur {
+			if cur[i] > prev[i]+1e-9 {
+				// A node may transiently warm if a hotter neighbour
+				// drains into it, but never above that neighbour's
+				// previous temperature (maximum principle).
+				maxPrev := prev[i]
+				for j := range prev {
+					if prev[j] > maxPrev {
+						maxPrev = prev[j]
+					}
+				}
+				if cur[i] > maxPrev+1e-9 {
+					t.Fatalf("node %s exceeded the previous maximum while cooling", m.NodeName(i))
+				}
+			}
+		}
+		prev = cur
+	}
+	// After 250 ms unpowered the fast die-level component has decayed;
+	// the slow package (heat-sink time constant is minutes) still holds
+	// heat, so compare against the starting hotspot, not ambient.
+	hot, _ := m.MaxBlockTemp()
+	if hot > 84 {
+		t.Errorf("max die temp %.2f barely cooled in 250 ms", hot)
+	}
+}
+
+// TestEquilibriumIsAttractorProperty: from random initial temperature
+// fields, the transient converges to the same steady state.
+func TestEquilibriumIsAttractorProperty(t *testing.T) {
+	m := newCMP4Model(t)
+	power := make([]float64, m.NumBlocks())
+	for i := range power {
+		power[i] = 1.2
+	}
+	want, err := m.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 3; trial++ {
+		m.SetUniform(30 + rng.Float64()*70)
+		m.SetPower(power)
+		for step := 0; step < 60000; step++ {
+			m.Step(20e-3)
+		}
+		for i := 0; i < m.NumBlocks(); i++ {
+			if math.Abs(m.Temp(i)-want[i]) > 0.2 {
+				t.Fatalf("trial %d: block %s at %.2f, steady state %.2f",
+					trial, m.NodeName(i), m.Temp(i), want[i])
+			}
+		}
+	}
+}
+
+// TestHotspotLocality: power injected into one register file must heat
+// that block more than any block on another core — the premise of
+// per-core sensing and distributed control.
+func TestHotspotLocality(t *testing.T) {
+	m := newCMP4Model(t)
+	fp := m.Floorplan()
+	src := fp.BlockIndex("c1_iregfile")
+	power := make([]float64, m.NumBlocks())
+	power[src] = 5
+	ss, err := m.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := m.Params().Ambient
+	for i, b := range fp.Blocks {
+		if b.Core != 1 && b.Core != floorplan.SharedCore {
+			if ss[i]-amb > (ss[src]-amb)*0.5 {
+				t.Errorf("block %s on core %d received %.0f%% of the source rise",
+					b.Name, b.Core, (ss[i]-amb)/(ss[src]-amb)*100)
+			}
+		}
+	}
+}
+
+// TestStepSizeInvariance: integrating 10 ms as one call or as forty
+// 0.25 ms calls must agree (the integrator substeps internally).
+func TestStepSizeInvariance(t *testing.T) {
+	p := make([]float64, 45)
+	for i := range p {
+		p[i] = 2
+	}
+	a := newCMP4Model(t)
+	b := newCMP4Model(t)
+	a.SetPower(p)
+	b.SetPower(p)
+	a.Step(10e-3)
+	for i := 0; i < 40; i++ {
+		b.Step(0.25e-3)
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		ta, tb := a.NodeTemps()[i], b.NodeTemps()[i]
+		if math.Abs(ta-tb) > 2e-2 {
+			t.Errorf("node %s: coarse %.6f vs fine %.6f", a.NodeName(i), ta, tb)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// derivs computes dT/dt into out given node temperatures t:
+//
+//	C_i·dT_i/dt = P_i + Σ_j g_ij·(T_j − T_i) + gAmb_i·(T_amb − T_i)
+func (m *Model) derivs(t []float64, out []float64) {
+	amb := m.params.Ambient
+	for i := 0; i < m.n; i++ {
+		flow := -m.gTotal[i] * t[i]
+		idx := m.nbrIdx[i]
+		gs := m.nbrG[i]
+		for k, j := range idx {
+			flow += gs[k] * t[j]
+		}
+		flow += m.gAmbient[i] * amb
+		if i < m.nBlocks {
+			flow += m.power[i]
+		}
+		out[i] = flow / m.cap[i]
+	}
+}
+
+// MaxStableStep returns a conservative upper bound on the explicit
+// integration step: the classical RK4 stability limit is ~2.78/λ for
+// the fastest eigenvalue λ; we bound λ by max_i (ΣG_i/C_i) and keep a
+// 2× margin.
+func (m *Model) MaxStableStep() float64 {
+	maxRate := 0.0
+	for i := 0; i < m.n; i++ {
+		if r := m.gTotal[i] / m.cap[i]; r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate == 0 {
+		return math.Inf(1)
+	}
+	return 1.39 / maxRate
+}
+
+// Step advances the transient solution by dt seconds using classical
+// RK4, internally substepping if dt exceeds the stability bound. Power
+// inputs are held constant across the step (the simulator changes them
+// only at trace-sample boundaries, every 28 µs).
+func (m *Model) Step(dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("thermal: non-positive step %g", dt))
+	}
+	hMax := m.MaxStableStep()
+	steps := 1
+	if dt > hMax {
+		steps = int(math.Ceil(dt / hMax))
+	}
+	h := dt / float64(steps)
+	for s := 0; s < steps; s++ {
+		m.rk4(h)
+	}
+}
+
+func (m *Model) rk4(h float64) {
+	t := m.temps
+	m.derivs(t, m.k1)
+	for i := range m.tmp {
+		m.tmp[i] = t[i] + 0.5*h*m.k1[i]
+	}
+	m.derivs(m.tmp, m.k2)
+	for i := range m.tmp {
+		m.tmp[i] = t[i] + 0.5*h*m.k2[i]
+	}
+	m.derivs(m.tmp, m.k3)
+	for i := range m.tmp {
+		m.tmp[i] = t[i] + h*m.k3[i]
+	}
+	m.derivs(m.tmp, m.k4)
+	for i := range t {
+		t[i] += h / 6 * (m.k1[i] + 2*m.k2[i] + 2*m.k3[i] + m.k4[i])
+	}
+}
+
+// HeatFlowToAmbient returns the instantaneous total heat flow from the
+// model into the ambient, in watts. At steady state this equals the
+// total input power (energy conservation).
+func (m *Model) HeatFlowToAmbient() float64 {
+	var w float64
+	for i, ga := range m.gAmbient {
+		w += ga * (m.temps[i] - m.params.Ambient)
+	}
+	return w
+}
+
+// StoredEnergy returns Σ C_i·(T_i − ambient): the thermal energy stored
+// in the network relative to the ambient reference, in joules.
+func (m *Model) StoredEnergy() float64 {
+	var e float64
+	for i, c := range m.cap {
+		e += c * (m.temps[i] - m.params.Ambient)
+	}
+	return e
+}
+
+// BlockTimeConstant estimates block i's local thermal time constant
+// C_i/ΣG_i in seconds — the scale on which its hotspot heats and cools.
+// The paper relies on these being milliseconds to justify its 30 ms
+// stop-go interval and 28 µs control sampling.
+func (m *Model) BlockTimeConstant(i int) float64 {
+	if i < 0 || i >= m.nBlocks {
+		panic(fmt.Sprintf("thermal: block index %d out of range", i))
+	}
+	return m.cap[i] / m.gTotal[i]
+}

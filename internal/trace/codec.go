@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"multitherm/internal/uarch"
+)
+
+// Binary format:
+//
+//	magic "MTTR" | version u32 | nameLen u32 | name | sampleSeconds f64 |
+//	count u32 | count × (instructions f64, NumUnitKinds × activity f64)
+const (
+	binaryMagic   = "MTTR"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) error {
+		return binary.Write(bw, binary.LittleEndian, math.Float64bits(v))
+	}
+	if err := writeU32(binaryVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.Benchmark))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Benchmark); err != nil {
+		return err
+	}
+	if err := writeF64(t.SampleSeconds); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(t.Samples))); err != nil {
+		return err
+	}
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		if err := writeF64(s.Instructions); err != nil {
+			return err
+		}
+		for _, a := range s.Activity {
+			if err := writeF64(a); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF64 := func() (float64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return math.Float64frombits(v), err
+	}
+	ver, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Benchmark: string(name)}
+	if t.SampleSeconds, err = readF64(); err != nil {
+		return nil, err
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<26 {
+		return nil, fmt.Errorf("trace: implausible sample count %d", count)
+	}
+	t.Samples = make([]uarch.Sample, count)
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		if s.Instructions, err = readF64(); err != nil {
+			return nil, err
+		}
+		for k := range s.Activity {
+			if s.Activity[k], err = readF64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// jsonTrace is the stable JSON wire form.
+type jsonTrace struct {
+	Benchmark     string       `json:"benchmark"`
+	SampleSeconds float64      `json:"sample_seconds"`
+	Samples       []jsonSample `json:"samples"`
+	Version       int          `json:"version"`
+}
+
+type jsonSample struct {
+	Instructions float64   `json:"instructions"`
+	Activity     []float64 `json:"activity"`
+}
+
+// WriteJSON serializes the trace as JSON (for inspection/tooling).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	jt := jsonTrace{Benchmark: t.Benchmark, SampleSeconds: t.SampleSeconds, Version: binaryVersion}
+	jt.Samples = make([]jsonSample, len(t.Samples))
+	for i := range t.Samples {
+		s := &t.Samples[i]
+		jt.Samples[i] = jsonSample{
+			Instructions: s.Instructions,
+			Activity:     append([]float64(nil), s.Activity[:]...),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding json: %w", err)
+	}
+	t := &Trace{Benchmark: jt.Benchmark, SampleSeconds: jt.SampleSeconds}
+	t.Samples = make([]uarch.Sample, len(jt.Samples))
+	for i, js := range jt.Samples {
+		if len(js.Activity) != uarch.NumUnitKinds {
+			return nil, fmt.Errorf("trace: sample %d has %d activities, want %d",
+				i, len(js.Activity), uarch.NumUnitKinds)
+		}
+		t.Samples[i].Instructions = js.Instructions
+		copy(t.Samples[i].Activity[:], js.Activity)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,91 @@
+// Package uarch models the out-of-order processor core of paper Table 3
+// and generates per-interval activity factors for every floorplan unit —
+// the role Turandot plays in the paper's toolflow (§3.1). Rather than
+// simulating individual instructions, it uses an analytic bottleneck
+// model: sustainable IPC is the minimum of the dependence-limited ILP,
+// the machine width, and per-unit structural limits, degraded by memory
+// and branch stall components. This is sufficient because the thermal
+// study consumes only per-100K-cycle activity averages.
+package uarch
+
+import "fmt"
+
+// Config captures the modeled CPU of paper Table 3.
+type Config struct {
+	ClockHz float64 // 3.6 GHz nominal
+
+	DecodeWidth int // instructions decoded/renamed per cycle
+	IssueWidth  int // instructions issued per cycle
+
+	NumFXU int // fixed-point units (2)
+	NumFPU int // floating-point units (2)
+	NumLSU int // load/store units (2)
+	NumBXU int // branch units (1)
+
+	MemIntQueue int // reservation stations, mem/int (2x20)
+	FPQueue     int // reservation stations, fp (2x5)
+
+	GPR int // physical general purpose registers (120)
+	FPR int // physical fp registers (108)
+	SPR int // physical special purpose registers (90)
+
+	L1DLatency int // cycles (1)
+	L2Latency  int // cycles (9)
+	MemLatency int // cycles (100)
+
+	PipelineDepth int // branch misprediction penalty, cycles
+
+	SampleCycles int // activity sampling interval (100,000 cycles ≈ 28 µs)
+}
+
+// DefaultConfig returns the per-core configuration of paper Table 3.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:       3.6e9,
+		DecodeWidth:   4,
+		IssueWidth:    5,
+		NumFXU:        2,
+		NumFPU:        2,
+		NumLSU:        2,
+		NumBXU:        1,
+		MemIntQueue:   40,
+		FPQueue:       10,
+		GPR:           120,
+		FPR:           108,
+		SPR:           90,
+		L1DLatency:    1,
+		L2Latency:     9,
+		MemLatency:    100,
+		PipelineDepth: 14,
+		SampleCycles:  100000,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("uarch: ClockHz must be positive")
+	}
+	for name, v := range map[string]int{
+		"DecodeWidth": c.DecodeWidth, "IssueWidth": c.IssueWidth,
+		"NumFXU": c.NumFXU, "NumFPU": c.NumFPU, "NumLSU": c.NumLSU, "NumBXU": c.NumBXU,
+		"MemIntQueue": c.MemIntQueue, "FPQueue": c.FPQueue,
+		"GPR": c.GPR, "FPR": c.FPR, "SPR": c.SPR,
+		"L2Latency": c.L2Latency, "MemLatency": c.MemLatency,
+		"PipelineDepth": c.PipelineDepth, "SampleCycles": c.SampleCycles,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("uarch: %s must be positive", name)
+		}
+	}
+	if c.L1DLatency < 1 {
+		return fmt.Errorf("uarch: L1DLatency must be at least 1")
+	}
+	return nil
+}
+
+// SampleSeconds returns the wall-clock duration of one activity sample
+// interval at nominal frequency.
+func (c Config) SampleSeconds() float64 {
+	return float64(c.SampleCycles) / c.ClockHz
+}

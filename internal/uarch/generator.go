@@ -1,0 +1,166 @@
+package uarch
+
+import (
+	"math"
+
+	"multitherm/internal/floorplan"
+)
+
+// NumUnitKinds sizes per-kind activity arrays.
+const NumUnitKinds = int(floorplan.KindL2) + 1
+
+// Sample is the activity record for one 100K-cycle interval: how many
+// instructions retired and the dynamic activity factor (0..1, fraction
+// of the unit's maximum switching power) for each unit kind.
+type Sample struct {
+	Instructions float64
+	Activity     [NumUnitKinds]float64
+}
+
+// ActivityFor returns the activity factor for a unit kind.
+func (s *Sample) ActivityFor(k floorplan.UnitKind) float64 {
+	return s.Activity[int(k)]
+}
+
+// Generator produces deterministic per-interval activity samples for
+// one benchmark on one core configuration. Sample(n) is a pure function
+// of the interval index, so traces can be regenerated, looped (§3.3:
+// "that trace is restarted at the beginning"), and windowed at will.
+type Generator struct {
+	cfg  Config
+	prof Profile
+	ipc0 float64
+	base [NumUnitKinds]float64 // activity at nominal IPC
+}
+
+// clockActivityFloor is the unit activity attributable to the local
+// clock network while the core runs — present even when a unit is
+// underused, gone when the core is clock-gated by stop-go.
+const clockActivityFloor = 0.12
+
+// NewGenerator validates the inputs and precomputes nominal activities.
+func NewGenerator(cfg Config, prof Profile) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, prof: prof, ipc0: AnalyticIPC(cfg, prof)}
+	g.base = g.unitActivities(g.ipc0)
+	return g, nil
+}
+
+// NominalIPC returns the benchmark's unmodulated IPC on this core.
+func (g *Generator) NominalIPC() float64 { return g.ipc0 }
+
+// Profile returns the generator's benchmark profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Config returns the generator's core configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// unitActivities derives per-unit activity factors from a given IPC.
+// Each factor is utilization = demand/capacity, lifted by the clock
+// floor and saturated at 1.
+func (g *Generator) unitActivities(ipc float64) [NumUnitKinds]float64 {
+	p := g.prof
+	c := g.cfg
+	memAccess := p.Loads + p.Stores
+	// Fraction of memory traffic attributable to FP data.
+	fpShare := 0.0
+	if p.FPOps+p.IntOps > 0 {
+		fpShare = p.FPOps / (p.FPOps + p.IntOps)
+	}
+
+	pf := p.powerFactor()
+	var a [NumUnitKinds]float64
+	set := func(k floorplan.UnitKind, util float64) {
+		util *= pf
+		if util < 0 {
+			util = 0
+		}
+		v := clockActivityFloor + (1-clockActivityFloor)*util
+		if v > 1 {
+			v = 1
+		}
+		a[int(k)] = v
+	}
+
+	set(floorplan.KindFXU, ipc*(p.IntOps+0.3*memAccess)/float64(c.NumFXU))
+	set(floorplan.KindFPU, ipc*p.FPOps/float64(c.NumFPU))
+	set(floorplan.KindLSU, ipc*memAccess/float64(c.NumLSU))
+	set(floorplan.KindBXU, ipc*p.Branches/float64(c.NumBXU))
+
+	// Register file activity counts read/write port traffic. Integer
+	// registers serve int ops, address generation, and branch inputs;
+	// FP registers serve FP ops and the FP share of memory traffic.
+	const rfPorts = 6
+	irfTraffic := 2.2*p.IntOps + 1.2*memAccess*(1-fpShare) + 0.6*memAccess*fpShare + 0.8*p.Branches + 0.3*p.FPOps
+	set(floorplan.KindIntRegFile, ipc*irfTraffic/rfPorts*1.2)
+	fprfTraffic := 2.2*p.FPOps + 1.0*memAccess*fpShare
+	set(floorplan.KindFPRegFile, ipc*fprfTraffic/rfPorts*1.2)
+
+	set(floorplan.KindL1I, ipc/float64(c.DecodeWidth))
+	set(floorplan.KindL1D, ipc*memAccess/float64(c.NumLSU))
+	set(floorplan.KindBPred, ipc*p.Branches*1.2)
+	set(floorplan.KindRename, ipc/float64(c.DecodeWidth))
+	set(floorplan.KindIssueQ, ipc/float64(c.IssueWidth)*1.2)
+	// Shared L2: activity from this core's miss traffic; the simulator
+	// combines multiple cores' contributions.
+	set(floorplan.KindL2, ipc*memAccess*p.L1MissRate*5)
+	set(floorplan.KindOther, 0)
+	return a
+}
+
+// Modulation returns the activity multiplier for interval n: the phase
+// sinusoid plus deterministic jitter.
+func (g *Generator) Modulation(n int64) float64 {
+	p := g.prof
+	m := 1.0
+	if p.PhaseAmplitude > 0 && p.PhasePeriod > 0 {
+		t := float64(n) * g.cfg.SampleSeconds()
+		m += p.PhaseAmplitude * math.Sin(2*math.Pi*t/p.PhasePeriod+p.PhasePhase)
+	}
+	if p.NoiseAmplitude > 0 {
+		m += p.NoiseAmplitude * jitter(p.Seed, uint64(n))
+	}
+	if m < 0.05 {
+		m = 0.05
+	}
+	return m
+}
+
+// Sample returns the activity record for interval n (a pure function).
+func (g *Generator) Sample(n int64) Sample {
+	m := g.Modulation(n)
+	var s Sample
+	ipc := g.ipc0 * m
+	s.Instructions = ipc * float64(g.cfg.SampleCycles)
+	// Scale utilization parts of the precomputed activities; the clock
+	// floor does not scale with load.
+	for i, v := range g.base {
+		util := (v - clockActivityFloor) / (1 - clockActivityFloor)
+		scaled := clockActivityFloor + (1-clockActivityFloor)*util*m
+		if scaled > 1 {
+			scaled = 1
+		}
+		if scaled < 0 {
+			scaled = 0
+		}
+		s.Activity[i] = scaled
+	}
+	return s
+}
+
+// jitter maps (seed, n) to a deterministic value in [−1, 1] using a
+// splitmix64-style mix.
+func jitter(seed, n uint64) float64 {
+	x := seed ^ (n * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x)/float64(math.MaxUint64)*2 - 1
+}

@@ -1,0 +1,311 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multitherm/internal/floorplan"
+)
+
+func intProfile() Profile {
+	return Profile{
+		Name: "inttest", Category: SPECint,
+		IntOps: 0.45, Loads: 0.22, Stores: 0.12, Branches: 0.18, FPOps: 0.03,
+		ILP: 2.5, L1MissRate: 0.03, L2MissRate: 0.1, MLP: 2, Mispredict: 0.06,
+	}
+}
+
+func fpProfile() Profile {
+	return Profile{
+		Name: "fptest", Category: SPECfp,
+		IntOps: 0.12, Loads: 0.28, Stores: 0.10, Branches: 0.05, FPOps: 0.45,
+		ILP: 3.0, L1MissRate: 0.04, L2MissRate: 0.2, MLP: 3, Mispredict: 0.02,
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateCatchesZeros(t *testing.T) {
+	c := DefaultConfig()
+	c.NumFXU = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero FXUs accepted")
+	}
+	c = DefaultConfig()
+	c.ClockHz = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative clock accepted")
+	}
+}
+
+func TestSampleSeconds(t *testing.T) {
+	c := DefaultConfig()
+	want := 100000.0 / 3.6e9
+	if got := c.SampleSeconds(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("SampleSeconds = %v, want %v (≈27.8 µs, the paper's 28 µs interval)", got, want)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := intProfile().Validate(); err != nil {
+		t.Errorf("good profile rejected: %v", err)
+	}
+	p := intProfile()
+	p.IntOps = 0.9 // mix no longer sums to 1
+	if err := p.Validate(); err == nil {
+		t.Error("bad mix accepted")
+	}
+	p = intProfile()
+	p.ILP = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero ILP accepted")
+	}
+	p = intProfile()
+	p.MLP = 0.5
+	if err := p.Validate(); err == nil {
+		t.Error("sub-1 MLP accepted")
+	}
+	p = intProfile()
+	p.PhaseAmplitude = 0.3
+	p.PhasePeriod = 0
+	if err := p.Validate(); err == nil {
+		t.Error("phase amplitude without period accepted")
+	}
+}
+
+func TestAnalyticIPCRange(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, p := range []Profile{intProfile(), fpProfile()} {
+		ipc := AnalyticIPC(cfg, p)
+		if ipc <= 0.1 || ipc > float64(cfg.DecodeWidth) {
+			t.Errorf("%s: IPC %v outside plausible range", p.Name, ipc)
+		}
+	}
+}
+
+func TestAnalyticIPCMemoryBoundIsLow(t *testing.T) {
+	// An mcf-like profile (huge L2 miss rate) must come out well under
+	// a compute-bound profile — the paper's observation that mcf is by
+	// far the coolest benchmark because it is memory-bound.
+	cfg := DefaultConfig()
+	memBound := intProfile()
+	memBound.L1MissRate = 0.25
+	memBound.L2MissRate = 0.6
+	memBound.MLP = 1.5
+	if ipcM, ipcC := AnalyticIPC(cfg, memBound), AnalyticIPC(cfg, intProfile()); ipcM > ipcC/2 {
+		t.Errorf("memory-bound IPC %v not well below compute-bound %v", ipcM, ipcC)
+	}
+}
+
+func TestAnalyticIPCStructuralLimit(t *testing.T) {
+	// A branch-saturated profile is capped by the single BXU.
+	cfg := DefaultConfig()
+	p := intProfile()
+	p.Branches = 0.5
+	p.IntOps = 0.3
+	p.Loads = 0.15
+	p.Stores = 0.05
+	p.Mispredict = 0
+	p.L1MissRate = 0
+	ipc := AnalyticIPC(cfg, p)
+	if limit := float64(cfg.NumBXU) / p.Branches; ipc > limit+1e-9 {
+		t.Errorf("IPC %v exceeds BXU structural limit %v", ipc, limit)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig(), intProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.Sample(1234)
+	b := g.Sample(1234)
+	if a != b {
+		t.Error("Sample is not a pure function of the interval index")
+	}
+}
+
+func TestGeneratorActivityBounds(t *testing.T) {
+	for _, prof := range []Profile{intProfile(), fpProfile()} {
+		prof.PhaseAmplitude = 0.4
+		prof.PhasePeriod = 0.05
+		prof.NoiseAmplitude = 0.1
+		g, err := NewGenerator(DefaultConfig(), prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := int64(0); n < 5000; n += 7 {
+			s := g.Sample(n)
+			if s.Instructions < 0 {
+				t.Fatalf("negative instruction count at %d", n)
+			}
+			for k, v := range s.Activity {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: activity[%d] = %v outside [0,1] at interval %d",
+						prof.Name, k, v, n)
+				}
+			}
+		}
+	}
+}
+
+func TestIntVsFPHotspotSeparation(t *testing.T) {
+	// §3.4: integer benchmarks must stress the integer register file
+	// more than the FP register file, and vice versa. This separation
+	// is what gives migration its leverage.
+	cfg := DefaultConfig()
+	gi, err := NewGenerator(cfg, intProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := NewGenerator(cfg, fpProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, sf := gi.Sample(0), gf.Sample(0)
+	if si.ActivityFor(floorplan.KindIntRegFile) <= si.ActivityFor(floorplan.KindFPRegFile) {
+		t.Errorf("int benchmark: IRF %v <= FPRF %v",
+			si.ActivityFor(floorplan.KindIntRegFile), si.ActivityFor(floorplan.KindFPRegFile))
+	}
+	if sf.ActivityFor(floorplan.KindFPRegFile) <= sf.ActivityFor(floorplan.KindIntRegFile) {
+		t.Errorf("fp benchmark: FPRF %v <= IRF %v",
+			sf.ActivityFor(floorplan.KindFPRegFile), sf.ActivityFor(floorplan.KindIntRegFile))
+	}
+}
+
+func TestPhaseModulationMovesActivity(t *testing.T) {
+	prof := fpProfile()
+	prof.PhaseAmplitude = 0.3
+	prof.PhasePeriod = 0.01 // 10 ms
+	g, err := NewGenerator(DefaultConfig(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for n := int64(0); n < 720; n++ { // two full periods
+		v := g.Sample(n).Instructions
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	ratio := max / min
+	if ratio < 1.5 {
+		t.Errorf("phase modulation too weak: max/min = %v", ratio)
+	}
+}
+
+func TestModulationClampsPositive(t *testing.T) {
+	prof := intProfile()
+	prof.PhaseAmplitude = 1.0 // pathological
+	prof.PhasePeriod = 0.001
+	prof.NoiseAmplitude = 0.5
+	g, err := NewGenerator(DefaultConfig(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n int64) bool {
+		if n < 0 {
+			n = -n
+		}
+		return g.Modulation(n) >= 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJitterRangeAndVariety(t *testing.T) {
+	seen := map[bool]int{}
+	for i := uint64(0); i < 1000; i++ {
+		v := jitter(42, i)
+		if v < -1 || v > 1 {
+			t.Fatalf("jitter %v outside [-1,1]", v)
+		}
+		seen[v > 0]++
+	}
+	if seen[true] < 300 || seen[false] < 300 {
+		t.Errorf("jitter badly skewed: %v", seen)
+	}
+}
+
+func TestNewGeneratorRejectsInvalid(t *testing.T) {
+	bad := intProfile()
+	bad.ILP = -1
+	if _, err := NewGenerator(DefaultConfig(), bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	badCfg := DefaultConfig()
+	badCfg.SampleCycles = 0
+	if _, err := NewGenerator(badCfg, intProfile()); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPowerFactorScalesActivityNotIPC(t *testing.T) {
+	lo := intProfile()
+	lo.PowerFactor = 0.6
+	hi := intProfile()
+	hi.PowerFactor = 1.4
+	gl, err := NewGenerator(DefaultConfig(), lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, err := NewGenerator(DefaultConfig(), hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.NominalIPC() != gh.NominalIPC() {
+		t.Errorf("PowerFactor changed IPC: %v vs %v", gl.NominalIPC(), gh.NominalIPC())
+	}
+	sl, sh := gl.Sample(0), gh.Sample(0)
+	if sl.Instructions != sh.Instructions {
+		t.Error("PowerFactor changed instruction counts")
+	}
+	if sh.ActivityFor(floorplan.KindIntRegFile) <= sl.ActivityFor(floorplan.KindIntRegFile) {
+		t.Errorf("higher PowerFactor did not raise activity: %v vs %v",
+			sh.ActivityFor(floorplan.KindIntRegFile), sl.ActivityFor(floorplan.KindIntRegFile))
+	}
+}
+
+func TestPowerFactorZeroMeansOne(t *testing.T) {
+	a := intProfile() // zero-valued PowerFactor
+	b := intProfile()
+	b.PowerFactor = 1.0
+	ga, _ := NewGenerator(DefaultConfig(), a)
+	gb, _ := NewGenerator(DefaultConfig(), b)
+	if ga.Sample(3) != gb.Sample(3) {
+		t.Error("PowerFactor zero-value does not behave as 1.0")
+	}
+}
+
+func TestPowerFactorValidation(t *testing.T) {
+	p := intProfile()
+	p.PowerFactor = 5
+	if err := p.Validate(); err == nil {
+		t.Error("absurd PowerFactor accepted")
+	}
+	p.PowerFactor = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative PowerFactor accepted")
+	}
+}
+
+func TestActivitySaturatesAtOne(t *testing.T) {
+	p := intProfile()
+	p.PowerFactor = 3
+	p.ILP = 4
+	g, err := NewGenerator(DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Sample(0)
+	for k, v := range s.Activity {
+		if v > 1 {
+			t.Errorf("activity[%d] = %v exceeds 1 under extreme PowerFactor", k, v)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload provides the benchmark population of the paper: 22
+// profiles standing in for the 11 SPECint + 11 SPECfp CPU2000 programs
+// the paper selects from (§3.4), and the 12 four-process workload mixes
+// of Table 4. Profile parameters are calibrated so that (a) integer
+// programs stress the integer register file and floating-point programs
+// the FP register file, (b) memory-bound programs (mcf, art) run cool,
+// and (c) the Banias single-core experiment reproduces the steady-state
+// temperatures and ranges of paper Table 1.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"multitherm/internal/uarch"
+)
+
+// profiles is the benchmark population, keyed by name.
+var profiles = map[string]uarch.Profile{
+	// ---------------- SPECint ----------------
+	"gzip": {
+		Name: "gzip", Category: uarch.SPECint,
+		IntOps: 0.50, FPOps: 0.00, Loads: 0.22, Stores: 0.10, Branches: 0.18,
+		ILP: 3.2, L1MissRate: 0.02, L2MissRate: 0.05, MLP: 2, Mispredict: 0.055,
+		PowerFactor:    1.191,
+		NoiseAmplitude: 0.04, Seed: 101,
+	},
+	"gcc": {
+		Name: "gcc", Category: uarch.SPECint,
+		IntOps: 0.42, FPOps: 0.00, Loads: 0.24, Stores: 0.14, Branches: 0.20,
+		ILP: 2.4, L1MissRate: 0.05, L2MissRate: 0.10, MLP: 2, Mispredict: 0.06,
+		PowerFactor:    1.503,
+		NoiseAmplitude: 0.08, Seed: 102,
+	},
+	"mcf": {
+		Name: "mcf", Category: uarch.SPECint,
+		IntOps: 0.38, FPOps: 0.00, Loads: 0.35, Stores: 0.07, Branches: 0.20,
+		ILP: 2.0, L1MissRate: 0.25, L2MissRate: 0.40, MLP: 2.2, Mispredict: 0.08,
+		PowerFactor:    2.53,
+		NoiseAmplitude: 0.05, Seed: 103,
+	},
+	"vpr": {
+		Name: "vpr", Category: uarch.SPECint,
+		IntOps: 0.44, FPOps: 0.02, Loads: 0.26, Stores: 0.08, Branches: 0.20,
+		ILP: 2.3, L1MissRate: 0.04, L2MissRate: 0.12, MLP: 2, Mispredict: 0.07,
+		PowerFactor:    1.523,
+		NoiseAmplitude: 0.05, Seed: 104,
+	},
+	"crafty": {
+		Name: "crafty", Category: uarch.SPECint,
+		IntOps: 0.50, FPOps: 0.02, Loads: 0.22, Stores: 0.08, Branches: 0.18,
+		ILP: 2.9, L1MissRate: 0.015, L2MissRate: 0.05, MLP: 2, Mispredict: 0.065,
+		PowerFactor:    0.906,
+		NoiseAmplitude: 0.04, Seed: 105,
+	},
+	"eon": {
+		Name: "eon", Category: uarch.SPECint,
+		IntOps: 0.40, FPOps: 0.10, Loads: 0.25, Stores: 0.10, Branches: 0.15,
+		ILP: 2.9, L1MissRate: 0.01, L2MissRate: 0.05, MLP: 2, Mispredict: 0.04,
+		PowerFactor:    0.687,
+		NoiseAmplitude: 0.03, Seed: 106,
+	},
+	"parser": {
+		Name: "parser", Category: uarch.SPECint,
+		IntOps: 0.45, FPOps: 0.00, Loads: 0.25, Stores: 0.10, Branches: 0.20,
+		ILP: 2.6, L1MissRate: 0.04, L2MissRate: 0.12, MLP: 2, Mispredict: 0.07,
+		PowerFactor:    1.434,
+		NoiseAmplitude: 0.05, Seed: 107,
+	},
+	"perlbmk": {
+		Name: "perlbmk", Category: uarch.SPECint,
+		IntOps: 0.45, FPOps: 0.00, Loads: 0.24, Stores: 0.11, Branches: 0.20,
+		ILP: 2.7, L1MissRate: 0.03, L2MissRate: 0.08, MLP: 2, Mispredict: 0.06,
+		PowerFactor:    1.144,
+		NoiseAmplitude: 0.05, Seed: 108,
+	},
+	"bzip2": {
+		// Table 1b: no steady temperature; 67–72 °C on the Banias.
+		Name: "bzip2", Category: uarch.SPECint,
+		IntOps: 0.48, FPOps: 0.00, Loads: 0.24, Stores: 0.10, Branches: 0.18,
+		ILP: 3.0, L1MissRate: 0.025, L2MissRate: 0.08, MLP: 2, Mispredict: 0.055,
+		PowerFactor:    1.183,
+		PhaseAmplitude: 0.24, PhasePeriod: 70, PhasePhase: 0.3,
+		NoiseAmplitude: 0.05, Seed: 109,
+	},
+	"twolf": {
+		Name: "twolf", Category: uarch.SPECint,
+		IntOps: 0.46, FPOps: 0.02, Loads: 0.26, Stores: 0.06, Branches: 0.20,
+		ILP: 2.6, L1MissRate: 0.035, L2MissRate: 0.10, MLP: 2, Mispredict: 0.065,
+		PowerFactor:    1.322,
+		NoiseAmplitude: 0.05, Seed: 110,
+	},
+	"vortex": {
+		Name: "vortex", Category: uarch.SPECint,
+		IntOps: 0.42, FPOps: 0.00, Loads: 0.26, Stores: 0.14, Branches: 0.18,
+		ILP: 2.6, L1MissRate: 0.035, L2MissRate: 0.10, MLP: 2, Mispredict: 0.05,
+		PowerFactor:    1.171,
+		NoiseAmplitude: 0.04, Seed: 111,
+	},
+
+	// ---------------- SPECfp ----------------
+	"swim": {
+		Name: "swim", Category: uarch.SPECfp,
+		IntOps: 0.12, FPOps: 0.40, Loads: 0.30, Stores: 0.12, Branches: 0.06,
+		ILP: 3.5, L1MissRate: 0.14, L2MissRate: 0.35, MLP: 4, Mispredict: 0.01,
+		PowerFactor:    1.269,
+		NoiseAmplitude: 0.03, Seed: 201,
+	},
+	"mgrid": {
+		Name: "mgrid", Category: uarch.SPECfp,
+		IntOps: 0.12, FPOps: 0.45, Loads: 0.30, Stores: 0.08, Branches: 0.05,
+		ILP: 3.3, L1MissRate: 0.07, L2MissRate: 0.25, MLP: 4, Mispredict: 0.01,
+		PowerFactor:    0.704,
+		NoiseAmplitude: 0.03, Seed: 202,
+	},
+	"applu": {
+		Name: "applu", Category: uarch.SPECfp,
+		IntOps: 0.10, FPOps: 0.45, Loads: 0.30, Stores: 0.10, Branches: 0.05,
+		ILP: 3.3, L1MissRate: 0.09, L2MissRate: 0.30, MLP: 3.5, Mispredict: 0.01,
+		PowerFactor:    0.918,
+		NoiseAmplitude: 0.03, Seed: 203,
+	},
+	"mesa": {
+		Name: "mesa", Category: uarch.SPECfp,
+		IntOps: 0.22, FPOps: 0.35, Loads: 0.26, Stores: 0.09, Branches: 0.08,
+		ILP: 2.5, L1MissRate: 0.01, L2MissRate: 0.10, MLP: 2, Mispredict: 0.03,
+		PowerFactor:    0.882,
+		NoiseAmplitude: 0.04, Seed: 204,
+	},
+	"art": {
+		Name: "art", Category: uarch.SPECfp,
+		IntOps: 0.15, FPOps: 0.35, Loads: 0.35, Stores: 0.08, Branches: 0.07,
+		ILP: 2.5, L1MissRate: 0.20, L2MissRate: 0.45, MLP: 2.5, Mispredict: 0.02,
+		PowerFactor:    1.182,
+		NoiseAmplitude: 0.04, Seed: 205,
+	},
+	"facerec": {
+		// Table 1b: 65–71 °C range.
+		Name: "facerec", Category: uarch.SPECfp,
+		IntOps: 0.15, FPOps: 0.40, Loads: 0.28, Stores: 0.09, Branches: 0.08,
+		ILP: 3.0, L1MissRate: 0.05, L2MissRate: 0.25, MLP: 3, Mispredict: 0.02,
+		PowerFactor:    1.215,
+		PhaseAmplitude: 0.28, PhasePeriod: 90, PhasePhase: 1.1,
+		NoiseAmplitude: 0.04, Seed: 206,
+	},
+	"ammp": {
+		// Table 1b: 58–64 °C range.
+		Name: "ammp", Category: uarch.SPECfp,
+		IntOps: 0.12, FPOps: 0.40, Loads: 0.32, Stores: 0.10, Branches: 0.06,
+		ILP: 2.4, L1MissRate: 0.11, L2MissRate: 0.35, MLP: 2, Mispredict: 0.02,
+		PowerFactor:    1.785,
+		PhaseAmplitude: 0.32, PhasePeriod: 110, PhasePhase: 2.0,
+		NoiseAmplitude: 0.04, Seed: 207,
+	},
+	"lucas": {
+		Name: "lucas", Category: uarch.SPECfp,
+		IntOps: 0.10, FPOps: 0.45, Loads: 0.30, Stores: 0.10, Branches: 0.05,
+		ILP: 3.0, L1MissRate: 0.09, L2MissRate: 0.30, MLP: 3, Mispredict: 0.01,
+		PowerFactor:    1.25,
+		NoiseAmplitude: 0.03, Seed: 208,
+	},
+	"fma3d": {
+		// Table 1b: 61–67 °C range.
+		Name: "fma3d", Category: uarch.SPECfp,
+		IntOps: 0.15, FPOps: 0.40, Loads: 0.28, Stores: 0.10, Branches: 0.07,
+		ILP: 2.7, L1MissRate: 0.07, L2MissRate: 0.25, MLP: 3, Mispredict: 0.02,
+		PowerFactor:    1.147,
+		PhaseAmplitude: 0.30, PhasePeriod: 60, PhasePhase: 0.7,
+		NoiseAmplitude: 0.04, Seed: 209,
+	},
+	"sixtrack": {
+		Name: "sixtrack", Category: uarch.SPECfp,
+		IntOps: 0.15, FPOps: 0.50, Loads: 0.22, Stores: 0.08, Branches: 0.05,
+		ILP: 3.4, L1MissRate: 0.01, L2MissRate: 0.05, MLP: 2, Mispredict: 0.01,
+		PowerFactor:    0.778,
+		NoiseAmplitude: 0.03, Seed: 210,
+	},
+	"wupwise": {
+		Name: "wupwise", Category: uarch.SPECfp,
+		IntOps: 0.15, FPOps: 0.42, Loads: 0.26, Stores: 0.10, Branches: 0.07,
+		ILP: 3.0, L1MissRate: 0.03, L2MissRate: 0.20, MLP: 3, Mispredict: 0.015,
+		PowerFactor:    0.492,
+		NoiseAmplitude: 0.03, Seed: 211,
+	},
+}
+
+// Profile returns the named benchmark profile.
+func Profile(name string) (uarch.Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return uarch.Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustProfile returns the named profile or panics; for tables and tests.
+func MustProfile(name string) uarch.Profile {
+	p, err := Profile(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Benchmarks returns all benchmark names, sorted.
+func Benchmarks() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table1Stable lists the benchmarks with stable steady-state Banias
+// temperatures (paper Table 1a) and the published value in °C.
+var Table1Stable = []struct {
+	Name  string
+	TempC float64
+}{
+	{"gzip", 70}, {"mcf", 59}, {"parser", 67}, {"twolf", 67},
+	{"mesa", 65}, {"swim", 62}, {"lucas", 63}, {"sixtrack", 71},
+}
+
+// Table1Ranging lists the benchmarks without a steady temperature
+// (paper Table 1b) with the published min–max range in °C.
+var Table1Ranging = []struct {
+	Name     string
+	Min, Max float64
+}{
+	{"bzip2", 67, 72}, {"ammp", 58, 64}, {"facerec", 65, 71}, {"fma3d", 61, 67},
+}

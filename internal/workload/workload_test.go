@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"multitherm/internal/uarch"
+)
+
+func TestPopulationSize(t *testing.T) {
+	// Paper §3.4: 22 benchmarks, 11 SPECint and 11 SPECfp.
+	names := Benchmarks()
+	if len(names) != 22 {
+		t.Fatalf("population = %d, want 22", len(names))
+	}
+	var ints, fps int
+	for _, n := range names {
+		switch MustProfile(n).Category {
+		case uarch.SPECint:
+			ints++
+		case uarch.SPECfp:
+			fps++
+		}
+	}
+	if ints != 11 || fps != 11 {
+		t.Errorf("split = %d int / %d fp, want 11/11", ints, fps)
+	}
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	cfg := uarch.DefaultConfig()
+	for _, n := range Benchmarks() {
+		p := MustProfile(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("profile key %q has Name %q", n, p.Name)
+		}
+		ipc := uarch.AnalyticIPC(cfg, p)
+		if ipc < 0.1 || ipc > 4 {
+			t.Errorf("%s: implausible IPC %v", n, ipc)
+		}
+	}
+}
+
+func TestSeedsUnique(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, n := range Benchmarks() {
+		p := MustProfile(n)
+		if prev, dup := seen[p.Seed]; dup {
+			t.Errorf("seed %d shared by %s and %s", p.Seed, prev, n)
+		}
+		seen[p.Seed] = n
+	}
+}
+
+func TestMcfIsSlowest(t *testing.T) {
+	// The paper singles out mcf as "by far the coolest due to its
+	// memory-bound execution"; its IPC must be the population minimum.
+	cfg := uarch.DefaultConfig()
+	mcf := uarch.AnalyticIPC(cfg, MustProfile("mcf"))
+	for _, n := range Benchmarks() {
+		if n == "mcf" {
+			continue
+		}
+		if ipc := uarch.AnalyticIPC(cfg, MustProfile(n)); ipc <= mcf {
+			t.Errorf("%s IPC %v not above mcf %v", n, ipc, mcf)
+		}
+	}
+}
+
+func TestTable1BenchmarksHavePhaseStructure(t *testing.T) {
+	for _, row := range Table1Ranging {
+		p := MustProfile(row.Name)
+		if p.PhaseAmplitude < 0.2 {
+			t.Errorf("%s listed as non-steady but phase amplitude %v", row.Name, p.PhaseAmplitude)
+		}
+		if p.PhasePeriod <= 0 {
+			t.Errorf("%s missing phase period", row.Name)
+		}
+	}
+	for _, row := range Table1Stable {
+		p := MustProfile(row.Name)
+		if p.PhaseAmplitude > 0.1 {
+			t.Errorf("%s listed as stable but phase amplitude %v", row.Name, p.PhaseAmplitude)
+		}
+	}
+}
+
+func TestProfileUnknown(t *testing.T) {
+	if _, err := Profile("doom3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMustProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustProfile("doom3")
+}
+
+func TestMixesMatchTable4(t *testing.T) {
+	if len(Mixes) != 12 {
+		t.Fatalf("mix count = %d, want 12", len(Mixes))
+	}
+	// Spot-check the published compositions and I/F signatures.
+	wantSig := []string{
+		"IIII", "IIII", "IIIF", "IIIF", "IIFF", "IIFF",
+		"IIFF", "IIFF", "IFFF", "IFFF", "FFFF", "FFFF",
+	}
+	for i, m := range Mixes {
+		label := m.Label()
+		if !strings.Contains(label, wantSig[i]) {
+			t.Errorf("%s label %q missing signature %s", m.Name, label, wantSig[i])
+		}
+		if _, err := m.Profiles(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	w7, err := MixByName("workload7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w7.Benchmarks != [4]string{"gzip", "twolf", "ammp", "lucas"} {
+		t.Errorf("workload7 = %v", w7.Benchmarks)
+	}
+}
+
+func TestMixByNameUnknown(t *testing.T) {
+	if _, err := MixByName("workload99"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestTable1CoversListedBenchmarks(t *testing.T) {
+	if len(Table1Stable) != 8 || len(Table1Ranging) != 4 {
+		t.Fatalf("table1 sizes = %d/%d, want 8/4", len(Table1Stable), len(Table1Ranging))
+	}
+	for _, row := range Table1Stable {
+		if _, err := Profile(row.Name); err != nil {
+			t.Errorf("stable row %s: %v", row.Name, err)
+		}
+	}
+	for _, row := range Table1Ranging {
+		if _, err := Profile(row.Name); err != nil {
+			t.Errorf("ranging row %s: %v", row.Name, err)
+		}
+		if row.Min >= row.Max {
+			t.Errorf("%s: degenerate range", row.Name)
+		}
+	}
+}

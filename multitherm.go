@@ -1,0 +1,177 @@
+// Package multitherm is a from-scratch Go reproduction of Donald &
+// Martonosi, "Techniques for Multicore Thermal Management:
+// Classification and New Exploration" (ISCA 2006): a taxonomy of
+// dynamic thermal management policies for chip multiprocessors —
+// stop-go vs. control-theoretic DVFS, global vs. distributed scope, and
+// OS-level thread migration driven by performance counters or thermal
+// sensors — evaluated on a simulated 4-core processor with a
+// HotSpot-style compact thermal model.
+//
+// The facade in this package is the supported entry point: configure a
+// system, pick a policy cell from the taxonomy, and simulate a workload
+// mix. The full per-table/figure reproduction of the paper lives behind
+// Experiments/RunExperiment and the cmd/sweep binary.
+package multitherm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multitherm/internal/core"
+	"multitherm/internal/experiments"
+	"multitherm/internal/metrics"
+	"multitherm/internal/sim"
+	"multitherm/internal/workload"
+)
+
+// Policy identifies one cell of the paper's 12-policy taxonomy
+// (Table 2).
+type Policy = core.PolicySpec
+
+// Config carries every model parameter of a simulation: floorplan,
+// thermal package, power model, core model, policy constants, and
+// simulated duration.
+type Config = sim.Config
+
+// Result holds the measurements of one simulation: instruction
+// throughput (BIPS), adjusted duty cycle, stall/penalty accounting,
+// migrations, and thermal statistics.
+type Result = metrics.Run
+
+// Options configures paper-reproduction experiments.
+type Options = experiments.Options
+
+// ExperimentResult is a rendered paper artifact.
+type ExperimentResult = experiments.Result
+
+// Baseline is the paper's normalization policy: distributed stop-go.
+var Baseline = core.Baseline
+
+// DefaultConfig returns the calibrated configuration of the paper's
+// experiments: the 4-core 3.6 GHz chip of Table 3 under an 84.2 °C
+// constraint, simulated for 0.5 s of silicon time.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Policies enumerates the full taxonomy in the paper's order.
+func Policies() []Policy { return core.Taxonomy() }
+
+// policyNames maps CLI-friendly names to taxonomy cells.
+func policyNames() map[string]Policy {
+	m := map[string]Policy{}
+	for _, p := range core.Taxonomy() {
+		mech := "stopgo"
+		if p.Mechanism == core.DVFS {
+			mech = "dvfs"
+		}
+		scope := "global"
+		if p.Scope == core.Distributed {
+			scope = "dist"
+		}
+		name := scope + "-" + mech
+		switch p.Migration {
+		case core.CounterMigration:
+			name += "+counter"
+		case core.SensorMigration:
+			name += "+sensor"
+		}
+		m[name] = p
+	}
+	return m
+}
+
+// PolicyNames lists the accepted PolicyByName identifiers, sorted.
+func PolicyNames() []string {
+	var out []string
+	for n := range policyNames() {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyByName resolves names like "dist-dvfs", "global-stopgo",
+// "dist-stopgo+counter", or "dist-dvfs+sensor".
+func PolicyByName(name string) (Policy, error) {
+	if p, ok := policyNames()[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return p, nil
+	}
+	return Policy{}, fmt.Errorf("multitherm: unknown policy %q (known: %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// Workloads lists the names of the 12 four-process mixes of Table 4.
+func Workloads() []string {
+	var out []string
+	for _, m := range workload.Mixes {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Benchmarks lists the 22 SPEC CPU2000-like benchmark profiles.
+func Benchmarks() []string { return workload.Benchmarks() }
+
+// Simulate runs one policy on one named workload mix under the given
+// configuration and returns the collected metrics.
+func Simulate(cfg Config, workloadName string, p Policy) (*Result, error) {
+	mix, err := workload.MixByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.New(cfg, mix, p)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// SimulateTimeshared runs a DTM policy with more processes than cores:
+// the OS round-robins the population across the chip while the policy
+// manages heat (the multiprogrammed case the paper's §6 notes exists in
+// any real system). benchmarks must name at least as many profiles as
+// the chip has cores; timeslice 0 selects the 20 ms default.
+func SimulateTimeshared(cfg Config, label string, benchmarks []string, p Policy, timeslice float64) (*Result, error) {
+	r, err := sim.NewTimeshared(cfg, label, benchmarks, p, timeslice)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// SimulateUnthrottled runs a workload with DTM disabled — the reference
+// for metric validation and for demonstrating thermal duress.
+func SimulateUnthrottled(cfg Config, workloadName string) (*Result, error) {
+	mix, err := workload.MixByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.NewUnthrottled(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Experiments lists every reproducible paper artifact (tables and
+// figures) with its identifier and description.
+func Experiments() []experiments.Runner { return experiments.Registry() }
+
+// DefaultExperimentOptions runs experiments at full paper fidelity
+// (0.5 s simulations); QuickExperimentOptions trades precision for
+// speed.
+func DefaultExperimentOptions() Options { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns reduced-fidelity options for smoke
+// tests and demos.
+func QuickExperimentOptions() Options { return experiments.QuickOptions() }
+
+// RunExperiment reproduces one paper artifact by identifier ("table1",
+// "fig3", "table8", ...).
+func RunExperiment(name string, opt Options) (ExperimentResult, error) {
+	r, err := experiments.Find(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(opt)
+}
