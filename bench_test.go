@@ -90,6 +90,50 @@ func BenchmarkThermalStep(b *testing.B) {
 	}
 }
 
+// BenchmarkThermalStepFlat isolates the flattened-CSR RK4 kernel at its
+// raw stability-bound step (no substep loop), so improvements to the
+// integrator itself show without Step's ceil/substep bookkeeping.
+func BenchmarkThermalStepFlat(b *testing.B) {
+	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.NumBlocks())
+	for i := range p {
+		p[i] = 1.5
+	}
+	m.SetPower(p)
+	h := m.MaxStableStep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(h)
+	}
+}
+
+// BenchmarkSweepParallel runs a fixed specs×workloads study at several
+// worker counts; compare ns/op across sub-benches to see the scaling of
+// the parallel sweep engine on this machine.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers"+itoa(int64(workers)), func(b *testing.B) {
+			opt := benchOptions()
+			opt.Parallelism = workers
+			r, err := experiments.Find("table8")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Render()
+			}
+		})
+	}
+}
+
 // BenchmarkThermalSteadyState measures the LU-based equilibrium solve.
 func BenchmarkThermalSteadyState(b *testing.B) {
 	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())

@@ -8,12 +8,14 @@
 //	sweep -quick          # reduced fidelity (0.1 s sims) for a fast look
 //	sweep -list           # list artifacts
 //	sweep -simtime 0.25   # custom simulated silicon time
+//	sweep -parallel 8     # fan (policy, workload) cells across 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"multitherm/internal/experiments"
@@ -24,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity simulations")
 	list := flag.Bool("list", false, "list reproducible artifacts and exit")
 	simtime := flag.Float64("simtime", 0, "simulated silicon time per run in seconds (default 0.5)")
+	par := flag.Int("parallel", 0, "worker count for independent simulation cells (0 = all CPUs, 1 = sequential; results identical at any level)")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
 	mdPath := flag.String("md", "", "also write the report as markdown to this file")
 	flag.Parse()
@@ -45,6 +48,7 @@ func main() {
 	if *simtime > 0 {
 		opt.SimTime = *simtime
 	}
+	opt.Parallelism = *par
 
 	runners := experiments.Registry()
 	if *ablations {
@@ -76,6 +80,11 @@ func main() {
 		fmt.Fprintf(md, "# multitherm reproduction report\n\nSimulated silicon time per run: %.2f s.\n\n", opt.SimTime)
 	}
 
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := time.Now()
 	for _, r := range runners {
 		start := time.Now()
 		res, err := r.Run(opt)
@@ -89,4 +98,5 @@ func main() {
 			fmt.Fprintf(md, "## %s — %s\n\n```text\n%s```\n\n", r.Name, r.Desc, res.Render())
 		}
 	}
+	fmt.Printf("total wall clock: %.1fs (%d workers)\n", time.Since(total).Seconds(), workers)
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"multitherm/internal/core"
 	"multitherm/internal/metrics"
+	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
 )
 
@@ -55,7 +57,11 @@ type PolicyStudy struct {
 }
 
 // runStudy executes the given policy set (always including the
-// baseline) over the workload suite.
+// baseline) over the workload suite. The full specs × workloads grid is
+// fanned out across the worker pool at once — a study is the unit with
+// the most exposed parallelism (Table 8: 13 specs × 12 workloads = 156
+// independent cells) — and every result lands in its (spec, workload)
+// slot, so the assembled study is identical at any parallelism.
 func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*PolicyStudy, error) {
 	s := &PolicyStudy{
 		id:      id,
@@ -72,13 +78,26 @@ func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*P
 	if !haveBase {
 		specs = append([]core.PolicySpec{core.Baseline}, specs...)
 	}
-	for _, spec := range specs {
-		runs, err := runPolicy(o, cfg, spec)
-		if err != nil {
-			return nil, err
-		}
-		s.Runs[spec] = runs
-		s.Summary[spec] = metrics.Summarize(spec.String(), runs)
+	mixes := o.workloads()
+	grid := make([][]*metrics.Run, len(specs))
+	for i := range grid {
+		grid[i] = make([]*metrics.Run, len(mixes))
+	}
+	err := parallel.RunGrid(context.Background(), o.Parallelism, len(specs), len(mixes),
+		func(_ context.Context, si, wi int) error {
+			m, err := runCell(cfg, mixes[wi], specs[si])
+			if err != nil {
+				return err
+			}
+			grid[si][wi] = m
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		s.Runs[spec] = grid[si]
+		s.Summary[spec] = metrics.Summarize(spec.String(), grid[si])
 	}
 	s.Baseline = s.Summary[core.Baseline]
 	return s, nil
@@ -480,28 +499,40 @@ func (d *DutyValidityResult) ID() string { return d.id }
 // RunDutyValidity reproduces the §5.3 check using distributed DVFS.
 func RunDutyValidity(o Options) (*DutyValidityResult, error) {
 	cfg := o.simConfig()
-	out := &DutyValidityResult{id: "dutyvalid"}
+	mixes := o.workloads()
+	out := &DutyValidityResult{
+		id:        "dutyvalid",
+		Workloads: make([]string, len(mixes)),
+		Predicted: make([]float64, len(mixes)),
+		Achieved:  make([]float64, len(mixes)),
+	}
 	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
-	for _, mix := range o.workloads() {
-		r, err := sim.New(cfg, mix, spec)
-		if err != nil {
-			return nil, err
-		}
-		constrained, err := r.Run()
-		if err != nil {
-			return nil, err
-		}
-		u, err := sim.NewUnthrottled(cfg, mix)
-		if err != nil {
-			return nil, err
-		}
-		free, err := u.Run()
-		if err != nil {
-			return nil, err
-		}
-		out.Workloads = append(out.Workloads, mix.Name)
-		out.Predicted = append(out.Predicted, constrained.DutyCycle())
-		out.Achieved = append(out.Achieved, constrained.BIPS()/free.BIPS())
+	err := parallel.ForEach(context.Background(), o.Parallelism, len(mixes),
+		func(_ context.Context, i int) error {
+			mix := mixes[i]
+			r, err := sim.New(cfg, mix, spec)
+			if err != nil {
+				return err
+			}
+			constrained, err := r.Run()
+			if err != nil {
+				return err
+			}
+			u, err := sim.NewUnthrottled(cfg, mix)
+			if err != nil {
+				return err
+			}
+			free, err := u.Run()
+			if err != nil {
+				return err
+			}
+			out.Workloads[i] = mix.Name
+			out.Predicted[i] = constrained.DutyCycle()
+			out.Achieved[i] = constrained.BIPS() / free.BIPS()
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"multitherm/internal/workload"
+)
+
+// TestParallelismDoesNotChangeResults is the determinism guard for the
+// sweep engine: the same study run sequentially and with a saturated
+// worker pool must render byte-identical reports. Any drift here means
+// shared mutable state leaked between cells (a template mutated, a
+// cache returned a non-deterministic value, a result slotted by arrival
+// order) and would silently corrupt every parallel reproduction.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full studies twice")
+	}
+	cases := []struct {
+		name string
+		opt  Options
+		run  func(Options) (Result, error)
+	}{
+		{
+			name: "fig3",
+			opt:  Options{SimTime: 0.02, Workloads: workload.Mixes[:3]},
+			run:  func(o Options) (Result, error) { return RunFig3(o) },
+		},
+		{
+			name: "table8",
+			opt:  Options{SimTime: 0.01, Workloads: workload.Mixes[:2]},
+			run:  func(o Options) (Result, error) { return RunTable8(o) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := tc.opt
+			seq.Parallelism = 1
+			a, err := tc.run(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := tc.opt
+			par.Parallelism = 8
+			b, err := tc.run(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() != b.Render() {
+				t.Errorf("%s renders differently at Parallelism=1 vs 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					tc.name, a.Render(), b.Render())
+			}
+		})
+	}
+}

@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"multitherm/internal/core"
 	"multitherm/internal/metrics"
+	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
 	"multitherm/internal/workload"
 )
@@ -25,6 +27,12 @@ type Options struct {
 	SimTime float64
 	// Workloads restricts the workload set (nil = all 12).
 	Workloads []workload.Mix
+	// Parallelism bounds the worker pool that fans independent
+	// (policy, workload) cells out across CPUs: 0 uses GOMAXPROCS,
+	// 1 runs sequentially. Results are deterministic — identical at
+	// any parallelism level — because every cell is independent and
+	// results are slotted by index, not arrival order.
+	Parallelism int
 }
 
 // DefaultOptions runs the full paper configuration.
@@ -52,19 +60,36 @@ func (o Options) simConfig() sim.Config {
 	return cfg
 }
 
-// runPolicy executes one policy over the option's workload set.
+// runCell executes one (policy, workload) cell.
+func runCell(cfg sim.Config, mix workload.Mix, spec core.PolicySpec) (*metrics.Run, error) {
+	r, err := sim.New(cfg, mix, spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
+	}
+	m, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
+	}
+	return m, nil
+}
+
+// runPolicy executes one policy over the option's workload set,
+// fanning workloads across the worker pool. Result order matches the
+// workload order regardless of completion order.
 func runPolicy(o Options, cfg sim.Config, spec core.PolicySpec) ([]*metrics.Run, error) {
-	var runs []*metrics.Run
-	for _, mix := range o.workloads() {
-		r, err := sim.New(cfg, mix, spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
-		}
-		m, err := r.Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", spec, mix.Name, err)
-		}
-		runs = append(runs, m)
+	mixes := o.workloads()
+	runs := make([]*metrics.Run, len(mixes))
+	err := parallel.ForEach(context.Background(), o.Parallelism, len(mixes),
+		func(_ context.Context, i int) error {
+			m, err := runCell(cfg, mixes[i], spec)
+			if err != nil {
+				return err
+			}
+			runs[i] = m
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return runs, nil
 }

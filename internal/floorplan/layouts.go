@@ -1,6 +1,9 @@
 package floorplan
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // mm converts millimeters to meters for layout literals.
 const mm = 1e-3
@@ -35,7 +38,13 @@ const (
 // through a shared L2 cache strip along the bottom ("we have extended
 // our layout for 4 cores and reduced the core size accordingly"). The
 // chip is 16 mm × 16 mm in a 90 nm-class technology.
-func CMP4() *Floorplan {
+//
+// The layout is built once and shared: floorplans are immutable after
+// construction, and returning a stable pointer lets downstream caches
+// (thermal templates, warmup states) key on floorplan identity.
+var CMP4 = sync.OnceValue(buildCMP4)
+
+func buildCMP4() *Floorplan {
 	const (
 		chipW = 16.0 // mm
 		chipH = 16.0 // mm
@@ -70,7 +79,11 @@ func CMP4() *Floorplan {
 // reads "a single thermal diode at the edge of the processor" via ACPI).
 // The diode is represented by the block named "diode_site": callers
 // place the virtual sensor there.
-func Banias() *Floorplan {
+//
+// Like CMP4, the layout is built once and shared.
+var Banias = sync.OnceValue(buildBanias)
+
+func buildBanias() *Floorplan {
 	const (
 		chipW = 10.0
 		chipH = 10.0

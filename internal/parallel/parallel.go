@@ -1,0 +1,118 @@
+// Package parallel provides the bounded worker pool behind the
+// experiment sweep engine. Every (policy, workload) cell of a study is
+// an independent simulation, so a sweep is embarrassingly parallel; the
+// helpers here fan cells out across a fixed number of workers while
+// keeping results deterministic: work is identified by index, results
+// are slotted by index (never by arrival order), and the first error —
+// by index, not by time — cancels the remaining work and is the one
+// reported.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most
+// `workers` goroutines. workers <= 0 selects GOMAXPROCS. The call
+// returns after all started work has finished.
+//
+// On failure, the error of the lowest-index failing call is returned —
+// a deterministic choice regardless of scheduling — and the shared
+// context is cancelled so still-running calls can abort early. Indices
+// after a failure may or may not run; callers must treat their slots as
+// undefined on error. If the parent context is cancelled, its error is
+// returned.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel() // one failing cell aborts the sweep
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The pool only cancels after recording an error, so a cancelled
+	// context with no recorded error means the parent was cancelled;
+	// child contexts mirror the parent's error.
+	return ctx.Err()
+}
+
+// RunGrid runs fn(ctx, r, c) for every cell of an rows×cols grid using
+// ForEach's worker pool and error semantics. Cells are indexed
+// row-major, so the "first" error is the one in the lowest (row, col)
+// position.
+func RunGrid(ctx context.Context, workers, rows, cols int, fn func(ctx context.Context, r, c int) error) error {
+	if rows <= 0 || cols <= 0 {
+		return ctx.Err()
+	}
+	return ForEach(ctx, workers, rows*cols, func(ctx context.Context, i int) error {
+		return fn(ctx, i/cols, i%cols)
+	})
+}

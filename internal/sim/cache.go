@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"multitherm/internal/floorplan"
+	"multitherm/internal/power"
+	"multitherm/internal/thermal"
+	"multitherm/internal/trace"
+	"multitherm/internal/uarch"
+	"multitherm/internal/workload"
+)
+
+// This file holds the construction caches that make runners cheap to
+// build in a parallel sweep. Both caches hold values that are
+// strictly read-only after insertion — recorded traces (each runner
+// walks a shared Trace through its own Cursor) and warmup temperature
+// vectors (installed by copy) — so sync.Map gives safe lock-free
+// sharing across concurrently constructed runners.
+
+// traceKey identifies one recorded benchmark trace. uarch.Config is a
+// flat comparable struct, so the key works directly as a map key.
+type traceKey struct {
+	uc    uarch.Config
+	bench string
+	n     int
+}
+
+var traceCache sync.Map // traceKey -> *trace.Trace
+
+// recordedTrace returns the looping activity trace for a benchmark
+// under a core configuration, recording it on first use. Traces are
+// deterministic functions of (config, benchmark, length) and immutable
+// once recorded, so every runner in a sweep shares one copy.
+func recordedTrace(uc uarch.Config, bench string, n int) (*trace.Trace, error) {
+	key := traceKey{uc: uc, bench: bench, n: n}
+	if v, ok := traceCache.Load(key); ok {
+		return v.(*trace.Trace), nil
+	}
+	prof, err := workload.Profile(bench)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := uarch.NewGenerator(uc, prof)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Record(gen, n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := traceCache.LoadOrStore(key, tr)
+	return v.(*trace.Trace), nil
+}
+
+// warmupKey identifies one pre-warm steady state. Floorplans are
+// memoized singletons, so pointer identity suffices; power.Config
+// contains a map and is fingerprinted through fmt (map keys print in
+// sorted order, so the string is deterministic).
+type warmupKey struct {
+	fp      *floorplan.Floorplan
+	tp      thermal.Params
+	uc      uarch.Config
+	pw      string
+	benches string // the initial core assignment, in order
+	nTrace  int
+	target  float64 // warmup target temperature, °C
+}
+
+var warmupCache sync.Map // warmupKey -> []float64 (read-only node temps)
+
+func powerFingerprint(c power.Config) string { return fmt.Sprintf("%+v", c) }
+
+// initialTemps returns the pre-warmed full-node temperature vector for
+// this runner's configuration: the steady state of the mix's average
+// power, linearly scaled so the hottest die block starts at the warmup
+// target. The two steady-state LU solves behind it dominate runner
+// startup, and are identical for every run sharing (floorplan, thermal
+// params, power config, core config, initial benchmarks, trace length,
+// target) — a sweep over N policies recomputes them once, not N times.
+// The returned slice is shared and must not be mutated.
+func (r *Runner) initialTemps() ([]float64, error) {
+	cfg := r.cfg
+	nb := len(cfg.Floorplan.Blocks)
+	target := cfg.Policy.ThresholdC - cfg.Policy.SetpointMarginC - cfg.WarmupMarginC
+	key := warmupKey{
+		fp:      cfg.Floorplan,
+		tp:      cfg.Thermal,
+		uc:      cfg.Uarch,
+		pw:      powerFingerprint(cfg.Power),
+		benches: strings.Join(r.benchNames[:r.nCores], "\x1f"),
+		nTrace:  cfg.TraceIntervals,
+		target:  target,
+	}
+	if v, ok := warmupCache.Load(key); ok {
+		return v.([]float64), nil
+	}
+
+	// Linear-scale the average power so the hottest block starts at the
+	// target (WarmupMarginC below the PI setpoint).
+	avgPower := r.averageTracePower()
+	warm, err := r.model.SteadyState(avgPower)
+	if err != nil {
+		return nil, err
+	}
+	maxWarm := warm[0]
+	for _, v := range warm[:nb] {
+		if v > maxWarm {
+			maxWarm = v
+		}
+	}
+	amb := cfg.Thermal.Ambient
+	alpha := 1.0
+	if maxWarm > amb {
+		alpha = (target - amb) / (maxWarm - amb)
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	scaled := make([]float64, nb)
+	for i, p := range avgPower {
+		scaled[i] = p * alpha
+	}
+	temps, err := r.model.SteadyState(scaled)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := warmupCache.LoadOrStore(key, temps)
+	return v.([]float64), nil
+}

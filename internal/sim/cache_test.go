@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+)
+
+// snapshot renders every metric field for byte-exact comparison.
+func snapshot(m *metrics.Run) string { return fmt.Sprintf("%+v", *m) }
+
+// TestConcurrentConstructionDeterminism builds and runs many runners
+// concurrently — hammering the shared trace and warmup caches — and
+// checks every result is identical to a sequentially computed
+// reference. This is the contract the parallel sweep engine depends on.
+func TestConcurrentConstructionDeterminism(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.01
+	specs := []core.PolicySpec{
+		{Mechanism: core.DVFS, Scope: core.Distributed},
+		{Mechanism: core.StopGo, Scope: core.Global},
+		{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.CounterMigration},
+	}
+	mixes := []string{"workload1", "workload7", "workload12"}
+
+	type cell struct{ si, mi int }
+	ref := make(map[cell]string)
+	for si, spec := range specs {
+		for mi, mix := range mixes {
+			r, err := New(cfg, mustMix(t, mix), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[cell{si, mi}] = snapshot(m)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs)*len(mixes))
+	for si := range specs {
+		for mi := range mixes {
+			wg.Add(1)
+			go func(si, mi int) {
+				defer wg.Done()
+				r, err := New(cfg, mustMix(t, mixes[mi]), specs[si])
+				if err != nil {
+					errs <- err
+					return
+				}
+				m, err := r.Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := snapshot(m); got != ref[cell{si, mi}] {
+					t.Errorf("cell (%d,%d): concurrent result differs from sequential:\n%s\nvs\n%s",
+						si, mi, got, ref[cell{si, mi}])
+				}
+			}(si, mi)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordedTraceShared verifies the trace cache returns one shared
+// immutable trace per (config, benchmark, length).
+func TestRecordedTraceShared(t *testing.T) {
+	cfg := quickCfg()
+	a, err := recordedTrace(cfg.Uarch, "gzip", cfg.TraceIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := recordedTrace(cfg.Uarch, "gzip", cfg.TraceIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (config, benchmark, length) should share one trace")
+	}
+	c, err := recordedTrace(cfg.Uarch, "gzip", cfg.TraceIntervals+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different trace lengths must not share a trace")
+	}
+}
+
+// TestWarmupCacheMatchesDirectSolve verifies the memoized warmup state
+// equals the state a fresh runner computes, and that policy thresholds
+// partition the cache (different targets → different states).
+func TestWarmupCacheMatchesDirectSolve(t *testing.T) {
+	cfg := quickCfg()
+	r1, err := New(cfg, mustMix(t, "workload7"), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := r1.initialTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg, mustMix(t, "workload7"), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := r2.initialTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w1[0] != &w2[0] {
+		t.Error("identical configurations should share one cached warmup vector")
+	}
+
+	cfg2 := cfg
+	cfg2.Policy.ThresholdC += 2
+	r3, err := New(cfg2, mustMix(t, "workload7"), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := r3.initialTemps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w3[0] == &w1[0] {
+		t.Error("different warmup targets must not share a cached state")
+	}
+}

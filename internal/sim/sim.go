@@ -141,18 +141,11 @@ func New(cfg Config, mix workload.Mix, spec core.PolicySpec) (*Runner, error) {
 		r.prevScale[i] = 1.0
 	}
 
-	// Record one looping trace per benchmark (Figure 2's Turandot +
-	// PowerTimer stage).
+	// One looping trace per benchmark (Figure 2's Turandot + PowerTimer
+	// stage), recorded once per (config, benchmark) and shared; each
+	// runner walks the shared trace through its own cursor.
 	for _, b := range r.benchNames {
-		prof, err := workload.Profile(b)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := uarch.NewGenerator(cfg.Uarch, prof)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := trace.Record(gen, cfg.TraceIntervals)
+		tr, err := recordedTrace(cfg.Uarch, b, cfg.TraceIntervals)
 		if err != nil {
 			return nil, err
 		}
@@ -275,38 +268,13 @@ func (r *Runner) Run() (*metrics.Run, error) {
 	dt := cfg.Policy.SamplePeriod
 	nb := len(cfg.Floorplan.Blocks)
 
-	// Pre-warm the package: linear-scale the average power so the
-	// hottest block starts WarmupMarginC below the PI setpoint.
-	avgPower := r.averageTracePower()
-	warm, err := r.model.SteadyState(avgPower)
+	// Pre-warm the package to the memoized warmup steady state (hottest
+	// block WarmupMarginC below the PI setpoint).
+	warm, err := r.initialTemps()
 	if err != nil {
 		return nil, err
 	}
-	maxWarm := warm[0]
-	for _, v := range warm[:nb] {
-		if v > maxWarm {
-			maxWarm = v
-		}
-	}
-	target := cfg.Policy.ThresholdC - cfg.Policy.SetpointMarginC - cfg.WarmupMarginC
-	amb := cfg.Thermal.Ambient
-	alpha := 1.0
-	if maxWarm > amb {
-		alpha = (target - amb) / (maxWarm - amb)
-	}
-	if alpha < 0 {
-		alpha = 0
-	}
-	if alpha > 1 {
-		alpha = 1
-	}
-	scaled := make([]float64, nb)
-	for i, p := range avgPower {
-		scaled[i] = p * alpha
-	}
-	if err := r.model.InitSteadyState(scaled); err != nil {
-		return nil, err
-	}
+	r.model.SetNodeTemps(warm)
 
 	m := metrics.NewRun(r.spec.String(), r.label, r.nCores)
 	temps := make([]float64, nb)

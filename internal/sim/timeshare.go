@@ -10,8 +10,6 @@ import (
 	"multitherm/internal/sensor"
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
-	"multitherm/internal/uarch"
-	"multitherm/internal/workload"
 )
 
 // NewTimeshared builds a runner for more processes than cores: the OS
@@ -51,15 +49,7 @@ func NewTimeshared(cfg Config, label string, benchmarks []string, spec core.Poli
 		r.prevScale[i] = 1.0
 	}
 	for _, b := range benchmarks {
-		prof, err := workload.Profile(b)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := uarch.NewGenerator(cfg.Uarch, prof)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := trace.Record(gen, cfg.TraceIntervals)
+		tr, err := recordedTrace(cfg.Uarch, b, cfg.TraceIntervals)
 		if err != nil {
 			return nil, err
 		}

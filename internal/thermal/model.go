@@ -5,11 +5,20 @@
 // the thermal interface material, heat spreader, heat sink, and fan
 // convection. The model supports both transient integration (required
 // for the paper's adaptive-control experiments) and steady-state solves.
+//
+// Construction is split in two: an immutable Template holds everything
+// derived from (floorplan, Params) — node capacitances, the conductance
+// network in CSR form, and the explicit-integration stability bound —
+// and stamps out lightweight Models that add only mutable state
+// (temperatures, power inputs, integrator scratch). Templates are safe
+// to share across goroutines, so a parallel sweep builds the RC network
+// once per configuration instead of once per run.
 package thermal
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/linalg"
@@ -106,10 +115,17 @@ type edge struct {
 	g    float64 // W/K
 }
 
-// Model is the assembled RC network. Node order: die blocks first (same
-// indices as the floorplan), then spreader center, spreader N/E/S/W
-// periphery, sink center, sink N/E/S/W periphery.
-type Model struct {
+// Template is the immutable part of an assembled RC network: node
+// capacitances, the conductance graph (both as an edge list for dense
+// steady-state assembly and in CSR form for the transient kernel), and
+// the precomputed explicit-integration stability bound. A Template is
+// read-only after construction and may be shared freely across
+// goroutines; call NewModel to stamp out integrable instances.
+//
+// Node order: die blocks first (same indices as the floorplan), then
+// spreader center, spreader N/E/S/W periphery, sink center, sink
+// N/E/S/W periphery.
+type Template struct {
 	fp     *floorplan.Floorplan
 	params Params
 
@@ -120,16 +136,49 @@ type Model struct {
 	edges    []edge
 	gAmbient []float64 // conductance from node straight to ambient, W/K
 
-	// adjacency in CSR-ish form for fast transient evaluation
-	nbrIdx [][]int32
-	nbrG   [][]float64
-	gTotal []float64 // Σ_j G_ij + gAmbient_i per node
+	// adjacency in CSR form for the transient kernel: neighbors of node
+	// i are colIdx[rowPtr[i]:rowPtr[i+1]] with conductances at the same
+	// positions in colG.
+	rowPtr  []int32
+	colIdx  []int32
+	colG    []float64
+	nbrIdx  [][]int32   // per-row views into colIdx
+	nbrG    [][]float64 // per-row views into colG
+	gTotal  []float64   // Σ_j G_ij + gAmbient_i per node
+	invCap  []float64   // 1/C_i, precomputed so the kernel multiplies instead of divides
+	ambFlow []float64   // gAmbient_i·T_amb, the constant inflow from the ambient
+
+	// hMax is the RK4 stability bound, invariant for the network and
+	// hoisted here at build time so Step need not rescan the graph.
+	hMax float64
+}
+
+// Model is one integrable instance of a Template: the shared immutable
+// network plus per-run mutable state (temperatures, power inputs, and
+// RK4 scratch buffers). Models are cheap to create and must not be
+// shared across goroutines; stamp one per concurrent simulation.
+type Model struct {
+	*Template
+
+	// Hot template fields mirrored into the model (slice headers only —
+	// the backing arrays stay shared and immutable). The RK4 kernel runs
+	// millions of iterations per simulated second; reaching these through
+	// the embedded pointer would re-load the indirection in every loop
+	// the compiler cannot prove alias-free, so the stamp copies the
+	// headers and the kernel indexes them one dereference away, exactly
+	// as when they lived on the model itself.
+	n       int
+	nbrIdx  [][]int32   // per-row views into colIdx
+	nbrG    [][]float64 // per-row views into colG
+	gTotal  []float64
+	invCap  []float64
+	ambFlow []float64
 
 	temps []float64 // current state, °C
 	power []float64 // current die-block power, W (len nBlocks)
 
-	// scratch buffers for RK4
-	k1, k2, k3, k4, tmp []float64
+	// scratch buffers for the fused RK4 kernel
+	acc, tmpA, tmpB []float64
 }
 
 // Node index helpers (offsets after the die blocks).
@@ -147,8 +196,8 @@ const (
 	numPackageNodes
 )
 
-// New assembles the thermal model for the floorplan.
-func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
+// NewTemplate assembles the immutable RC network for the floorplan.
+func NewTemplate(fp *floorplan.Floorplan, p Params) (*Template, error) {
 	if err := fp.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,61 +209,119 @@ func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 			fp.ChipW, fp.ChipH, p.SpreaderSide)
 	}
 	nb := len(fp.Blocks)
-	m := &Model{
+	t := &Template{
 		fp:      fp,
 		params:  p,
 		nBlocks: nb,
 		n:       nb + numPackageNodes,
 	}
-	m.names = make([]string, m.n)
-	m.cap = make([]float64, m.n)
-	m.gAmbient = make([]float64, m.n)
-	m.power = make([]float64, nb)
+	t.names = make([]string, t.n)
+	t.cap = make([]float64, t.n)
+	t.gAmbient = make([]float64, t.n)
 	for i, b := range fp.Blocks {
-		m.names[i] = b.Name
-		m.cap[i] = p.CSilicon * b.Area() * p.DieThickness
+		t.names[i] = b.Name
+		t.cap[i] = p.CSilicon * b.Area() * p.DieThickness
 	}
 	pkgNames := []string{"spreader_c", "spreader_n", "spreader_e", "spreader_s",
 		"spreader_w", "sink_c", "sink_n", "sink_e", "sink_s", "sink_w"}
 	for i, s := range pkgNames {
-		m.names[nb+i] = s
+		t.names[nb+i] = s
 	}
 
-	m.buildDieLateral()
-	m.buildVerticalPath()
-	m.buildSpreader()
-	m.buildSink()
+	t.buildDieLateral()
+	t.buildVerticalPath()
+	t.buildSpreader()
+	t.buildSink()
 
-	m.indexEdges()
-	m.temps = make([]float64, m.n)
+	t.indexEdges()
+	t.invCap = make([]float64, t.n)
+	t.ambFlow = make([]float64, t.n)
+	for i, c := range t.cap {
+		t.invCap[i] = 1 / c
+		t.ambFlow[i] = t.gAmbient[i] * p.Ambient
+	}
+	t.hMax = t.computeMaxStableStep()
+	return t, nil
+}
+
+// templateKey identifies a memoized template. Floorplans are treated as
+// immutable, so pointer identity suffices; Params is a comparable value.
+type templateKey struct {
+	fp *floorplan.Floorplan
+	p  Params
+}
+
+var templates sync.Map // templateKey -> *Template
+
+// TemplateFor returns the memoized template for (floorplan, params),
+// building it on first use. Concurrent callers may race to build the
+// same template; exactly one wins and is shared thereafter.
+func TemplateFor(fp *floorplan.Floorplan, p Params) (*Template, error) {
+	key := templateKey{fp: fp, p: p}
+	if v, ok := templates.Load(key); ok {
+		return v.(*Template), nil
+	}
+	t, err := NewTemplate(fp, p)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := templates.LoadOrStore(key, t)
+	return v.(*Template), nil
+}
+
+// NewModel stamps out an integrable instance sharing this template's
+// immutable arrays, initialized to a uniform ambient temperature.
+func (t *Template) NewModel() *Model {
+	m := &Model{
+		Template: t,
+		n:        t.n,
+		nbrIdx:   t.nbrIdx,
+		nbrG:     t.nbrG,
+		gTotal:   t.gTotal,
+		invCap:   t.invCap,
+		ambFlow:  t.ambFlow,
+		temps:    make([]float64, t.n),
+		// power spans all nodes (package entries stay zero) so the RK4
+		// stages add it unconditionally in one branch-free loop.
+		power: make([]float64, t.n),
+		acc:   make([]float64, t.n),
+		tmpA:  make([]float64, t.n),
+		tmpB:  make([]float64, t.n),
+	}
 	for i := range m.temps {
-		m.temps[i] = p.Ambient
+		m.temps[i] = t.params.Ambient
 	}
-	m.k1 = make([]float64, m.n)
-	m.k2 = make([]float64, m.n)
-	m.k3 = make([]float64, m.n)
-	m.k4 = make([]float64, m.n)
-	m.tmp = make([]float64, m.n)
-	return m, nil
+	return m
+}
+
+// New assembles the thermal model for the floorplan through the
+// template cache, so repeated construction for the same configuration
+// reuses the precomputed network.
+func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
+	t, err := TemplateFor(fp, p)
+	if err != nil {
+		return nil, err
+	}
+	return t.NewModel(), nil
 }
 
 // buildDieLateral adds conductances between adjacent die blocks:
 // G = k_si · t_die · sharedEdge / centerDistance.
-func (m *Model) buildDieLateral() {
-	p := m.params
-	for _, a := range m.fp.Adjacencies() {
+func (t *Template) buildDieLateral() {
+	p := t.params
+	for _, a := range t.fp.Adjacencies() {
 		g := p.KSilicon * p.DieThickness * a.Length / a.Dist
-		m.edges = append(m.edges, edge{a: a.I, b: a.J, g: g})
+		t.edges = append(t.edges, edge{a: a.I, b: a.J, g: g})
 	}
 }
 
 // buildVerticalPath connects each die block to the spreader center
 // through half the die thickness, the TIM, and a 45° spreading term into
 // the copper.
-func (m *Model) buildVerticalPath() {
-	p := m.params
-	spc := m.nBlocks + nodeSpreaderCenter
-	for i, b := range m.fp.Blocks {
+func (t *Template) buildVerticalPath() {
+	p := t.params
+	spc := t.nBlocks + nodeSpreaderCenter
+	for i, b := range t.fp.Blocks {
 		area := b.Area()
 		rDie := p.DieThickness / (2 * p.KSilicon * area)
 		rTIM := p.TIMThickness / (p.KTIM * area)
@@ -223,19 +330,19 @@ func (m *Model) buildVerticalPath() {
 		spreadArea := (b.W + p.SpreaderThickness) * (b.H + p.SpreaderThickness)
 		rSpread := p.SpreaderThickness / (2 * p.KSpreader * spreadArea)
 		g := 1 / (rDie + rTIM + rSpread)
-		m.edges = append(m.edges, edge{a: i, b: spc, g: g})
+		t.edges = append(t.edges, edge{a: i, b: spc, g: g})
 	}
 	// Spreader center capacitance covers the chip-shadow volume.
-	m.cap[spc] = p.CSpreader * m.fp.ChipW * m.fp.ChipH * p.SpreaderThickness
+	t.cap[spc] = p.CSpreader * t.fp.ChipW * t.fp.ChipH * p.SpreaderThickness
 }
 
 // buildSpreader wires the spreader center to its four peripheral slabs
 // and down to the sink center.
-func (m *Model) buildSpreader() {
-	p := m.params
-	nb := m.nBlocks
+func (t *Template) buildSpreader() {
+	p := t.params
+	nb := t.nBlocks
 	spc := nb + nodeSpreaderCenter
-	chipSide := math.Sqrt(m.fp.ChipW * m.fp.ChipH)
+	chipSide := math.Sqrt(t.fp.ChipW * t.fp.ChipH)
 	slabW := (p.SpreaderSide - chipSide) / 2 // radial extent of each peripheral slab
 	if slabW <= 0 {
 		slabW = p.SpreaderSide * 0.05
@@ -248,34 +355,34 @@ func (m *Model) buildSpreader() {
 		// shadow edge to slab centroid.
 		dist := chipSide/4 + slabW/2
 		g := p.KSpreader * p.SpreaderThickness * chipSide / dist
-		m.edges = append(m.edges, edge{a: spc, b: idx, g: g})
+		t.edges = append(t.edges, edge{a: spc, b: idx, g: g})
 		// Peripheral slab volume: slabW × spreaderSide × thickness / the
 		// four slabs overlap corners — divide the non-shadow area evenly.
 		nonShadow := p.SpreaderSide*p.SpreaderSide - chipSide*chipSide
-		m.cap[idx] = p.CSpreader * nonShadow / 4 * p.SpreaderThickness
+		t.cap[idx] = p.CSpreader * nonShadow / 4 * p.SpreaderThickness
 		// Each peripheral spreader slab also conducts down into the sink
 		// base above it.
 		slabArea := nonShadow / 4
 		rv := p.SpreaderThickness/(2*p.KSpreader*slabArea) +
 			p.SinkThickness/(2*p.KSink*slabArea)
-		m.edges = append(m.edges, edge{a: idx, b: nb + nodeSinkCenter, g: 1 / rv})
+		t.edges = append(t.edges, edge{a: idx, b: nb + nodeSinkCenter, g: 1 / rv})
 	}
 	// Vertical: spreader center → sink center across the chip shadow,
 	// with 45° spreading into the sink base.
 	sinkSpreadArea := (chipSide + p.SinkThickness) * (chipSide + p.SinkThickness)
 	rv := p.SpreaderThickness/(2*p.KSpreader*chipSide*chipSide) +
 		p.SinkThickness/(2*p.KSink*sinkSpreadArea)
-	m.edges = append(m.edges, edge{a: spc, b: nb + nodeSinkCenter, g: 1 / rv})
+	t.edges = append(t.edges, edge{a: spc, b: nb + nodeSinkCenter, g: 1 / rv})
 }
 
 // buildSink wires the sink center to its peripheral slabs and attaches
 // convection to ambient across all sink nodes in proportion to area.
-func (m *Model) buildSink() {
-	p := m.params
-	nb := m.nBlocks
+func (t *Template) buildSink() {
+	p := t.params
+	nb := t.nBlocks
 	skc := nb + nodeSinkCenter
 	centerSide := p.SpreaderSide // sink center region shadows the spreader
-	m.cap[skc] = p.CSink * centerSide * centerSide * p.SinkThickness * p.SinkMassFactor
+	t.cap[skc] = p.CSink * centerSide * centerSide * p.SinkThickness * p.SinkMassFactor
 
 	nonShadow := p.SinkSide*p.SinkSide - centerSide*centerSide
 	slabArea := nonShadow / 4
@@ -287,54 +394,78 @@ func (m *Model) buildSink() {
 	// Convection: split the total sink-to-air conductance across nodes
 	// by their plan area (fins assumed uniformly distributed).
 	gConvTotal := 1 / p.ConvectionResistance
-	m.gAmbient[skc] = gConvTotal * (centerSide * centerSide) / totalArea
+	t.gAmbient[skc] = gConvTotal * (centerSide * centerSide) / totalArea
 	for _, node := range []int{nodeSinkN, nodeSinkE, nodeSinkS, nodeSinkW} {
 		idx := nb + node
 		dist := centerSide/4 + slabW/2
 		g := p.KSink * p.SinkThickness * centerSide / dist
-		m.edges = append(m.edges, edge{a: skc, b: idx, g: g})
-		m.cap[idx] = p.CSink * slabArea * p.SinkThickness * p.SinkMassFactor
-		m.gAmbient[idx] = gConvTotal * slabArea / totalArea
+		t.edges = append(t.edges, edge{a: skc, b: idx, g: g})
+		t.cap[idx] = p.CSink * slabArea * p.SinkThickness * p.SinkMassFactor
+		t.gAmbient[idx] = gConvTotal * slabArea / totalArea
 	}
 }
 
-// indexEdges builds the per-node adjacency arrays used by the transient
-// integrator, and validates conductance positivity.
-func (m *Model) indexEdges() {
-	m.nbrIdx = make([][]int32, m.n)
-	m.nbrG = make([][]float64, m.n)
-	m.gTotal = make([]float64, m.n)
-	for _, e := range m.edges {
+// indexEdges flattens the edge list into the CSR adjacency used by the
+// transient kernel, and validates conductance positivity. Neighbor
+// order within a row matches edge-list order, keeping the floating
+// point summation order of the kernel stable across builds.
+func (t *Template) indexEdges() {
+	t.gTotal = make([]float64, t.n)
+	counts := make([]int32, t.n)
+	for _, e := range t.edges {
 		if e.g <= 0 || math.IsNaN(e.g) || math.IsInf(e.g, 0) {
 			panic(fmt.Sprintf("thermal: bad conductance %g between %s and %s",
-				e.g, m.names[e.a], m.names[e.b]))
+				e.g, t.names[e.a], t.names[e.b]))
 		}
-		m.nbrIdx[e.a] = append(m.nbrIdx[e.a], int32(e.b))
-		m.nbrG[e.a] = append(m.nbrG[e.a], e.g)
-		m.nbrIdx[e.b] = append(m.nbrIdx[e.b], int32(e.a))
-		m.nbrG[e.b] = append(m.nbrG[e.b], e.g)
-		m.gTotal[e.a] += e.g
-		m.gTotal[e.b] += e.g
+		counts[e.a]++
+		counts[e.b]++
+		t.gTotal[e.a] += e.g
+		t.gTotal[e.b] += e.g
 	}
-	for i := range m.gAmbient {
-		m.gTotal[i] += m.gAmbient[i]
+	t.rowPtr = make([]int32, t.n+1)
+	for i := 0; i < t.n; i++ {
+		t.rowPtr[i+1] = t.rowPtr[i] + counts[i]
+	}
+	nnz := t.rowPtr[t.n]
+	t.colIdx = make([]int32, nnz)
+	t.colG = make([]float64, nnz)
+	next := make([]int32, t.n)
+	copy(next, t.rowPtr[:t.n])
+	put := func(row, col int, g float64) {
+		k := next[row]
+		t.colIdx[k] = int32(col)
+		t.colG[k] = g
+		next[row] = k + 1
+	}
+	for _, e := range t.edges {
+		put(e.a, e.b, e.g)
+		put(e.b, e.a, e.g)
+	}
+	t.nbrIdx = make([][]int32, t.n)
+	t.nbrG = make([][]float64, t.n)
+	for i := 0; i < t.n; i++ {
+		t.nbrIdx[i] = t.colIdx[t.rowPtr[i]:t.rowPtr[i+1]]
+		t.nbrG[i] = t.colG[t.rowPtr[i]:t.rowPtr[i+1]]
+	}
+	for i := range t.gAmbient {
+		t.gTotal[i] += t.gAmbient[i]
 	}
 }
 
 // NumBlocks returns the number of die blocks (power inputs).
-func (m *Model) NumBlocks() int { return m.nBlocks }
+func (t *Template) NumBlocks() int { return t.nBlocks }
 
 // NumNodes returns the total node count including package nodes.
-func (m *Model) NumNodes() int { return m.n }
+func (t *Template) NumNodes() int { return t.n }
 
 // NodeName returns the debug name of node i.
-func (m *Model) NodeName(i int) string { return m.names[i] }
+func (t *Template) NodeName(i int) string { return t.names[i] }
 
-// Floorplan returns the floorplan the model was built from.
-func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+// Floorplan returns the floorplan the template was built from.
+func (t *Template) Floorplan() *floorplan.Floorplan { return t.fp }
 
 // Params returns the package parameters.
-func (m *Model) Params() Params { return m.params }
+func (t *Template) Params() Params { return t.params }
 
 // SetPower assigns the per-die-block power vector in watts. The slice
 // must have length NumBlocks. Values persist until changed.
@@ -342,11 +473,11 @@ func (m *Model) SetPower(watts []float64) {
 	if len(watts) != m.nBlocks {
 		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(watts), m.nBlocks))
 	}
-	copy(m.power, watts)
+	copy(m.power[:m.nBlocks], watts)
 }
 
 // Power returns the current power vector (shared storage; do not mutate).
-func (m *Model) Power() []float64 { return m.power }
+func (m *Model) Power() []float64 { return m.power[:m.nBlocks] }
 
 // Temp returns the temperature of die block i in °C.
 func (m *Model) Temp(i int) float64 { return m.temps[i] }
@@ -368,6 +499,15 @@ func (m *Model) NodeTemps() []float64 {
 	return out
 }
 
+// SetNodeTemps overwrites the full transient state (die + package) —
+// the fast path for installing a cached warmup state.
+func (m *Model) SetNodeTemps(t []float64) {
+	if len(t) != m.n {
+		panic(fmt.Sprintf("thermal: node temps length %d, want %d", len(t), m.n))
+	}
+	copy(m.temps, t)
+}
+
 // MaxBlockTemp returns the hottest die-block temperature and its index.
 func (m *Model) MaxBlockTemp() (float64, int) {
 	max, idx := math.Inf(-1), -1
@@ -387,9 +527,9 @@ func (m *Model) SetUniform(t float64) {
 }
 
 // TotalCapacitance returns Σ C_i, used by energy-conservation tests.
-func (m *Model) TotalCapacitance() float64 {
+func (t *Template) TotalCapacitance() float64 {
 	var s float64
-	for _, c := range m.cap {
+	for _, c := range t.cap {
 		s += c
 	}
 	return s
@@ -398,34 +538,34 @@ func (m *Model) TotalCapacitance() float64 {
 // ConductanceMatrix assembles the dense symmetric conductance matrix G
 // where G[i][i] = Σ_j g_ij + gAmbient_i and G[i][j] = −g_ij. It is the
 // left-hand side of the steady-state system G·T = P + gAmb·T_amb.
-func (m *Model) ConductanceMatrix() *linalg.Matrix {
-	g := linalg.NewMatrix(m.n, m.n)
-	for _, e := range m.edges {
+func (t *Template) ConductanceMatrix() *linalg.Matrix {
+	g := linalg.NewMatrix(t.n, t.n)
+	for _, e := range t.edges {
 		g.Add(e.a, e.a, e.g)
 		g.Add(e.b, e.b, e.g)
 		g.Add(e.a, e.b, -e.g)
 		g.Add(e.b, e.a, -e.g)
 	}
-	for i, ga := range m.gAmbient {
+	for i, ga := range t.gAmbient {
 		g.Add(i, i, ga)
 	}
 	return g
 }
 
 // SteadyState solves for the equilibrium temperatures under the given
-// die-block power vector without disturbing the transient state. The
+// die-block power vector without disturbing any transient state. The
 // returned slice covers all nodes; die blocks come first.
-func (m *Model) SteadyState(watts []float64) ([]float64, error) {
-	if len(watts) != m.nBlocks {
-		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(watts), m.nBlocks)
+func (t *Template) SteadyState(watts []float64) ([]float64, error) {
+	if len(watts) != t.nBlocks {
+		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(watts), t.nBlocks)
 	}
-	g := m.ConductanceMatrix()
-	rhs := make([]float64, m.n)
+	g := t.ConductanceMatrix()
+	rhs := make([]float64, t.n)
 	for i, w := range watts {
 		rhs[i] = w
 	}
-	for i, ga := range m.gAmbient {
-		rhs[i] += ga * m.params.Ambient
+	for i, ga := range t.gAmbient {
+		rhs[i] += ga * t.params.Ambient
 	}
 	return linalg.Solve(g, rhs)
 }

@@ -8,31 +8,30 @@ import (
 // derivs computes dT/dt into out given node temperatures t:
 //
 //	C_i·dT_i/dt = P_i + Σ_j g_ij·(T_j − T_i) + gAmb_i·(T_amb − T_i)
+//
+// It uses the same CSR walk and summation order as the fused RK4
+// stages below, so it can serve as their reference in tests.
 func (m *Model) derivs(t []float64, out []float64) {
-	amb := m.params.Ambient
 	for i := 0; i < m.n; i++ {
-		flow := -m.gTotal[i] * t[i]
+		flow := m.power[i] + m.ambFlow[i] - m.gTotal[i]*t[i]
 		idx := m.nbrIdx[i]
 		gs := m.nbrG[i]
 		for k, j := range idx {
 			flow += gs[k] * t[j]
 		}
-		flow += m.gAmbient[i] * amb
-		if i < m.nBlocks {
-			flow += m.power[i]
-		}
-		out[i] = flow / m.cap[i]
+		out[i] = flow * m.invCap[i]
 	}
 }
 
-// MaxStableStep returns a conservative upper bound on the explicit
-// integration step: the classical RK4 stability limit is ~2.78/λ for
-// the fastest eigenvalue λ; we bound λ by max_i (ΣG_i/C_i) and keep a
-// 2× margin.
-func (m *Model) MaxStableStep() float64 {
+// computeMaxStableStep derives a conservative upper bound on the
+// explicit integration step: the classical RK4 stability limit is
+// ~2.78/λ for the fastest eigenvalue λ; we bound λ by max_i (ΣG_i/C_i)
+// and keep a 2× margin. The bound depends only on the network, so the
+// template computes it once at build time.
+func (t *Template) computeMaxStableStep() float64 {
 	maxRate := 0.0
-	for i := 0; i < m.n; i++ {
-		if r := m.gTotal[i] / m.cap[i]; r > maxRate {
+	for i := 0; i < t.n; i++ {
+		if r := t.gTotal[i] / t.cap[i]; r > maxRate {
 			maxRate = r
 		}
 	}
@@ -42,6 +41,9 @@ func (m *Model) MaxStableStep() float64 {
 	return 1.39 / maxRate
 }
 
+// MaxStableStep returns the precomputed RK4 stability bound.
+func (t *Template) MaxStableStep() float64 { return t.hMax }
+
 // Step advances the transient solution by dt seconds using classical
 // RK4, internally substepping if dt exceeds the stability bound. Power
 // inputs are held constant across the step (the simulator changes them
@@ -50,10 +52,9 @@ func (m *Model) Step(dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("thermal: non-positive step %g", dt))
 	}
-	hMax := m.MaxStableStep()
 	steps := 1
-	if dt > hMax {
-		steps = int(math.Ceil(dt / hMax))
+	if dt > m.hMax {
+		steps = int(math.Ceil(dt / m.hMax))
 	}
 	h := dt / float64(steps)
 	for s := 0; s < steps; s++ {
@@ -61,23 +62,67 @@ func (m *Model) Step(dt float64) {
 	}
 }
 
+// rk4 performs one classical RK4 step of size h with each derivative
+// evaluation fused into its state update: every stage walks the
+// adjacency once, accumulating the weighted k-sum and producing the
+// next stage input in the same pass.
 func (m *Model) rk4(h float64) {
 	t := m.temps
-	m.derivs(t, m.k1)
-	for i := range m.tmp {
-		m.tmp[i] = t[i] + 0.5*h*m.k1[i]
+	acc, ta, tb := m.acc, m.tmpA, m.tmpB
+	m.firstStage(t, ta, acc, 0.5*h) // k1
+	m.stage(ta, tb, acc, 0.5*h, 2)  // k2
+	m.stage(tb, ta, acc, h, 2)      // k3
+	m.finalStage(ta, acc, h)        // k4 + state update
+}
+
+// firstStage computes k1 = f(src), seeds acc = k1, and writes
+// dst = temps + hk·k1, saving the separate zeroing pass.
+func (m *Model) firstStage(src, dst, acc []float64, hk float64) {
+	t := m.temps
+	for i := 0; i < m.n; i++ {
+		flow := m.power[i] + m.ambFlow[i] - m.gTotal[i]*src[i]
+		idx := m.nbrIdx[i]
+		gs := m.nbrG[i]
+		for k, j := range idx {
+			flow += gs[k] * src[j]
+		}
+		kv := flow * m.invCap[i]
+		acc[i] = kv
+		dst[i] = t[i] + hk*kv
 	}
-	m.derivs(m.tmp, m.k2)
-	for i := range m.tmp {
-		m.tmp[i] = t[i] + 0.5*h*m.k2[i]
+}
+
+// stage computes k = f(src), accumulates accW·k into acc, and writes
+// dst = temps + hk·k in one pass.
+func (m *Model) stage(src, dst, acc []float64, hk, accW float64) {
+	t := m.temps
+	for i := 0; i < m.n; i++ {
+		flow := m.power[i] + m.ambFlow[i] - m.gTotal[i]*src[i]
+		idx := m.nbrIdx[i]
+		gs := m.nbrG[i]
+		for k, j := range idx {
+			flow += gs[k] * src[j]
+		}
+		kv := flow * m.invCap[i]
+		acc[i] += accW * kv
+		dst[i] = t[i] + hk*kv
 	}
-	m.derivs(m.tmp, m.k3)
-	for i := range m.tmp {
-		m.tmp[i] = t[i] + h*m.k3[i]
-	}
-	m.derivs(m.tmp, m.k4)
-	for i := range t {
-		t[i] += h / 6 * (m.k1[i] + 2*m.k2[i] + 2*m.k3[i] + m.k4[i])
+}
+
+// finalStage computes k4 = f(src) and applies the combined update
+// temps += h/6·(acc + k4) in the same pass.
+func (m *Model) finalStage(src, acc []float64, h float64) {
+	t := m.temps
+	w := h / 6
+	for i := 0; i < m.n; i++ {
+		flow := m.power[i] + m.ambFlow[i] - m.gTotal[i]*src[i]
+		idx := m.nbrIdx[i]
+		gs := m.nbrG[i]
+		for k, j := range idx {
+			flow += gs[k] * src[j]
+		}
+		kv := flow * m.invCap[i]
+		t[i] += w * (acc[i] + kv)
 	}
 }
 
@@ -106,9 +151,9 @@ func (m *Model) StoredEnergy() float64 {
 // C_i/ΣG_i in seconds — the scale on which its hotspot heats and cools.
 // The paper relies on these being milliseconds to justify its 30 ms
 // stop-go interval and 28 µs control sampling.
-func (m *Model) BlockTimeConstant(i int) float64 {
-	if i < 0 || i >= m.nBlocks {
+func (t *Template) BlockTimeConstant(i int) float64 {
+	if i < 0 || i >= t.nBlocks {
 		panic(fmt.Sprintf("thermal: block index %d out of range", i))
 	}
-	return m.cap[i] / m.gTotal[i]
+	return t.cap[i] / t.gTotal[i]
 }

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench.sh — benchmark the thermal kernel and the parallel sweep engine,
+# emitting a machine-readable summary to BENCH_sweep.json.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Measures:
+#   - kernel_ns_per_op: BenchmarkThermalStep (one 28 us transient step of
+#     the 55-node CMP4 RC network, RK4 with substeps)
+#   - kernel_flat_ns_per_op: BenchmarkThermalStepFlat (single RK4 step at
+#     the stability bound, no substep loop)
+#   - sweep wall-clock of a quick reproduction at -parallel 1 vs all CPUs
+#
+# On a single-core machine the two sweep times are expected to match;
+# the speedup column is only meaningful with GOMAXPROCS > 1.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sweep.json}"
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+
+bench_ns() {
+    # Fixed iteration count + min of 3 repetitions: robust on noisy VMs.
+    go test -run '^$' -bench "^$1\$" -benchtime=200000x -count=3 . |
+        awk '/ns\/op/ { if (min == "" || $3 < min) min = $3 } END { print (min == "" ? "null" : min) }'
+}
+
+sweep_seconds() {
+    start=$(date +%s.%N 2>/dev/null || date +%s)
+    go run ./cmd/sweep -quick -simtime 0.02 -parallel "$1" >/dev/null
+    end=$(date +%s.%N 2>/dev/null || date +%s)
+    awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }'
+}
+
+echo "building..." >&2
+go build ./...
+
+echo "kernel benchmarks (min of 3 x 200k iterations)..." >&2
+step_ns=$(bench_ns BenchmarkThermalStep)
+flat_ns=$(bench_ns BenchmarkThermalStepFlat)
+
+echo "quick sweep, sequential..." >&2
+seq_s=$(sweep_seconds 1)
+echo "quick sweep, ${ncpu} workers..." >&2
+par_s=$(sweep_seconds 0)
+
+speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
+
+cat >"$out" <<EOF
+{
+  "gomaxprocs": ${ncpu},
+  "kernel_ns_per_op": ${step_ns},
+  "kernel_flat_ns_per_op": ${flat_ns},
+  "sweep_quick_sequential_s": ${seq_s},
+  "sweep_quick_parallel_s": ${par_s},
+  "sweep_parallel_speedup": ${speedup}
+}
+EOF
+
+echo "wrote ${out}:" >&2
+cat "$out"
