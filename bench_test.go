@@ -90,6 +90,54 @@ func BenchmarkThermalStep(b *testing.B) {
 	}
 }
 
+// BenchmarkThermalStepExpm measures the same 28 µs step through the
+// exact ZOH discretization (T ← Φ·T + Ψ·u, no truncation error): one
+// fused pass over the dense packed propagator instead of the four RK4
+// stages. Compare against BenchmarkThermalStep for the speedup; power
+// is held constant here, so the memoized input term Ψ·P + ψ_amb is
+// reused across ticks just as in a fixed-power thermal study.
+func BenchmarkThermalStepExpm(b *testing.B) {
+	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.NumBlocks())
+	for i := range p {
+		p[i] = 1.5
+	}
+	m.SetPower(p)
+	if err := m.UseExact(control.PaperSamplePeriod); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(control.PaperSamplePeriod)
+	}
+}
+
+// BenchmarkThermalStepExpmDirty is the same exact step with SetPower
+// invalidating the memoized input term every tick — the simulator's
+// calling pattern under leakage-temperature feedback (both the Φ pass
+// and the Ψ pass run each iteration).
+func BenchmarkThermalStepExpmDirty(b *testing.B) {
+	m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, m.NumBlocks())
+	for i := range p {
+		p[i] = 1.5
+	}
+	if err := m.UseExact(control.PaperSamplePeriod); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetPower(p)
+		m.Step(control.PaperSamplePeriod)
+	}
+}
+
 // BenchmarkThermalStepFlat isolates the flattened-CSR RK4 kernel at its
 // raw stability-bound step (no substep loop), so improvements to the
 // integrator itself show without Step's ceil/substep bookkeeping.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"multitherm/internal/experiments"
@@ -29,7 +30,37 @@ func main() {
 	par := flag.Int("parallel", 0, "worker count for independent simulation cells (0 = all CPUs, 1 = sequential; results identical at any level)")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
 	mdPath := flag.String("md", "", "also write the report as markdown to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.Registry() {

@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expm computes the matrix exponential e^A by scaling and squaring with
+// diagonal Padé approximants (Higham, "The Scaling and Squaring Method
+// for the Matrix Exponential Revisited", 2005). The degree is chosen
+// from the 1-norm of A so the backward error stays at unit-roundoff
+// level: degrees 3/5/7/9 for small norms, otherwise A is scaled by 2^-s
+// until ‖A‖₁ ≤ θ₁₃, approximated at degree 13, and squared s times.
+//
+// The thermal model uses Expm to build the exact zero-order-hold
+// discretization of its RC network; there ‖A·dt‖₁ is tiny at the 28 µs
+// control period (the low-degree branch) and grows past θ₁₃ only for
+// multi-second steps (the scaling branch).
+func Expm(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("linalg: Expm needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	for _, v := range a.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("linalg: Expm input has non-finite entry %g", v)
+		}
+	}
+	norm := a.Norm1()
+	// θ_m bounds from Higham 2005, Table 2.3.
+	const (
+		theta3  = 1.495585217958292e-2
+		theta5  = 2.539398330063230e-1
+		theta7  = 9.504178996162932e-1
+		theta9  = 2.097847961257068e0
+		theta13 = 5.371920351148152e0
+	)
+	switch {
+	case norm <= theta3:
+		return padeExp(a, 3)
+	case norm <= theta5:
+		return padeExp(a, 5)
+	case norm <= theta7:
+		return padeExp(a, 7)
+	case norm <= theta9:
+		return padeExp(a, 9)
+	}
+	s := int(math.Ceil(math.Log2(norm / theta13)))
+	scaled := a.scaled(math.Ldexp(1, -s))
+	f, err := padeExp(scaled, 13)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s; i++ {
+		f = f.Mul(f)
+	}
+	return f, nil
+}
+
+// padeCoeffs[m] are the numerator coefficients b₀…b_m of the [m/m]
+// diagonal Padé approximant to e^x; the denominator uses the same
+// coefficients with alternating signs on the odd terms.
+var padeCoeffs = map[int][]float64{
+	3: {120, 60, 12, 1},
+	5: {30240, 15120, 3360, 420, 30, 1},
+	7: {17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1},
+	9: {17643225600, 8821612800, 2075673600, 302702400, 30270240,
+		2162160, 110880, 3960, 90, 1},
+	13: {64764752532480000, 32382376266240000, 7771770303897600,
+		1187353796428800, 129060195264000, 10559470521600,
+		670442572800, 33522128640, 1323241920, 40840800,
+		960960, 16380, 182, 1},
+}
+
+// padeExp evaluates the [m/m] Padé approximant r_m(A) = q_m(A)⁻¹·p_m(A)
+// where p_m = V+U and q_m = V−U split into the odd part U (a multiple
+// of A) and even part V.
+func padeExp(a *Matrix, m int) (*Matrix, error) {
+	b := padeCoeffs[m]
+	n := a.rows
+	a2 := a.Mul(a)
+	var u, v *Matrix
+	if m == 13 {
+		// Higham's factored form: only A², A⁴, A⁶ are needed.
+		a4 := a2.Mul(a2)
+		a6 := a4.Mul(a2)
+		w := combine(n, a6, b[13], a4, b[11], a2, b[9])
+		u = a.Mul(a6.Mul(w).addInPlace(combine(n, a6, b[7], a4, b[5], a2, b[3]).addDiag(b[1])))
+		z := combine(n, a6, b[12], a4, b[10], a2, b[8])
+		v = a6.Mul(z).addInPlace(combine(n, a6, b[6], a4, b[4], a2, b[2]).addDiag(b[0]))
+	} else {
+		// Powers A², A⁴, … up to A^(m-1), combined term by term.
+		pows := []*Matrix{a2}
+		for k := 4; k <= m-1; k += 2 {
+			pows = append(pows, pows[len(pows)-1].Mul(a2))
+		}
+		uSum := NewMatrix(n, n).addDiag(b[1])
+		vSum := NewMatrix(n, n).addDiag(b[0])
+		for i, p := range pows {
+			k := 2 * (i + 1)
+			uSum.addScaled(p, b[k+1])
+			vSum.addScaled(p, b[k])
+		}
+		u = a.Mul(uSum)
+		v = vSum
+	}
+	num := v.Clone().addScaled(u, 1)  // V + U
+	den := v.Clone().addScaled(u, -1) // V − U
+	f, err := Factor(den)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: Expm Padé denominator: %w", err)
+	}
+	return f.SolveMatrix(num)
+}
+
+// combine returns c1·m1 + c2·m2 + c3·m3 as a fresh n×n matrix.
+func combine(n int, m1 *Matrix, c1 float64, m2 *Matrix, c2 float64, m3 *Matrix, c3 float64) *Matrix {
+	out := NewMatrix(n, n)
+	for i, v := range m1.data {
+		out.data[i] = c1*v + c2*m2.data[i] + c3*m3.data[i]
+	}
+	return out
+}
+
+// addScaled adds c·b element-wise into m and returns m.
+func (m *Matrix) addScaled(b *Matrix, c float64) *Matrix {
+	for i, v := range b.data {
+		m.data[i] += c * v
+	}
+	return m
+}
+
+// addInPlace adds b element-wise into m and returns m.
+func (m *Matrix) addInPlace(b *Matrix) *Matrix {
+	for i, v := range b.data {
+		m.data[i] += v
+	}
+	return m
+}
+
+// addDiag adds c to every diagonal element and returns m.
+func (m *Matrix) addDiag(c float64) *Matrix {
+	for i := 0; i < m.rows && i < m.cols; i++ {
+		m.data[i*m.cols+i] += c
+	}
+	return m
+}
+
+// scaled returns c·m as a new matrix.
+func (m *Matrix) scaled(c float64) *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = c * v
+	}
+	return out
+}
+
+// Norm1 returns the 1-norm ‖m‖₁ (maximum absolute column sum).
+func (m *Matrix) Norm1() float64 {
+	var max float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

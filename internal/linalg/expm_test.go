@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	e, err := Expm(NewMatrix(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(e.At(i, j)-want) > 1e-15 {
+				t.Errorf("e^0[%d][%d] = %g", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	// Diagonal entries spanning the low-degree and the scaling branches.
+	for _, d := range [][]float64{
+		{1e-3, -2e-3, 5e-4},
+		{0.5, -1.5, 2.0},
+		{10, -30, 3}, // forces scaling-and-squaring
+	} {
+		a := NewMatrix(len(d), len(d))
+		for i, v := range d {
+			a.Set(i, i, v)
+		}
+		e, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range d {
+			want := math.Exp(v)
+			if rel := math.Abs(e.At(i, i)-want) / want; rel > 1e-13 {
+				t.Errorf("e^diag(%g) = %g, want %g (rel %g)", v, e.At(i, i), want, rel)
+			}
+			for j := range d {
+				if i != j && math.Abs(e.At(i, j)) > 1e-13 {
+					t.Errorf("off-diagonal fill e[%d][%d] = %g", i, j, e.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] is nilpotent: e^A = I + A exactly.
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 1}, {0, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(e.At(i, j)-want[i][j]) > 1e-14 {
+				t.Errorf("e[%d][%d] = %g, want %g", i, j, e.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// A = θ·[[0,−1],[1,0]] exponentiates to the rotation by θ.
+	for _, theta := range []float64{0.01, 1.0, 6.0} {
+		a := NewMatrix(2, 2)
+		a.Set(0, 1, -theta)
+		a.Set(1, 0, theta)
+		e, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, s := math.Cos(theta), math.Sin(theta)
+		for _, chk := range []struct{ i, j int; want float64 }{
+			{0, 0, c}, {0, 1, -s}, {1, 0, s}, {1, 1, c},
+		} {
+			if math.Abs(e.At(chk.i, chk.j)-chk.want) > 1e-12 {
+				t.Errorf("θ=%g: e[%d][%d] = %g, want %g", theta, chk.i, chk.j, e.At(chk.i, chk.j), chk.want)
+			}
+		}
+	}
+}
+
+func TestExpmSemigroupProperty(t *testing.T) {
+	// e^{A}·e^{A} = e^{2A} for any A (A commutes with itself).
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, (rng.Float64()-0.5)*0.8)
+		}
+	}
+	e1, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Expm(a.scaled(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := e1.Mul(e1)
+	scale := e2.MaxAbs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(sq.At(i, j)-e2.At(i, j)) > 1e-12*scale {
+				t.Fatalf("semigroup violated at [%d][%d]: %g vs %g", i, j, sq.At(i, j), e2.At(i, j))
+			}
+		}
+	}
+}
+
+func TestExpmInverse(t *testing.T) {
+	// e^{A}·e^{−A} = I.
+	rng := rand.New(rand.NewSource(9))
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, (rng.Float64()-0.5)*3)
+		}
+	}
+	ep, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := Expm(a.scaled(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := ep.Mul(em)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-10 {
+				t.Fatalf("e^A·e^−A [%d][%d] = %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestExpmRejectsNonSquare(t *testing.T) {
+	if _, err := Expm(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestExpmRejectsNonFinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, math.NaN())
+	if _, err := Expm(a); err == nil {
+		t.Fatal("NaN entry accepted")
+	}
+	a.Set(0, 0, math.Inf(1))
+	if _, err := Expm(a); err == nil {
+		t.Fatal("Inf entry accepted")
+	}
+}
+
+func TestNorm1(t *testing.T) {
+	m, err := NewMatrixFrom([][]float64{{1, -2}, {-3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Norm1(); got != 6 {
+		t.Fatalf("Norm1 = %g, want 6 (max column sum)", got)
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {55, 45}, {7, 64}} {
+		r, c := dims[0], dims[1]
+		m := NewMatrix(r, c)
+		x := make([]float64, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		want := m.MulVec(x)
+		got := m.MulVecInto(make([]float64, r), x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("%dx%d row %d: MulVecInto %g vs MulVec %g", r, c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecIntoPanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for _, f := range []func(){
+		func() { m.MulVecInto(make([]float64, 2), make([]float64, 2)) },
+		func() { m.MulVecInto(make([]float64, 3), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("dimension mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

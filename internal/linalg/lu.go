@@ -96,6 +96,29 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
+// SolveMatrix solves A·X = B column by column for the factored matrix
+// A, returning X. Expm uses it to apply the inverted Padé denominator.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	if b.rows != f.n {
+		return nil, fmt.Errorf("linalg: rhs has %d rows, matrix order %d", b.rows, f.n)
+	}
+	x := NewMatrix(b.rows, b.cols)
+	col := make([]float64, b.rows)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < b.rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range sol {
+			x.Set(i, j, v)
+		}
+	}
+	return x, nil
+}
+
 // Det returns the determinant of the factored matrix.
 func (f *LU) Det() float64 {
 	d := float64(f.sign)

@@ -92,6 +92,37 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecInto computes dst = m·x without allocating. dst must have
+// length Rows and must not alias x. The inner product is split across
+// four accumulators so the floating-point adds pipeline instead of
+// forming one long dependency chain; the summation order is fixed, so
+// results are deterministic.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVecInto dimension mismatch: %d cols vs %d vector", m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dst length %d, want %d rows", len(dst), m.rows))
+	}
+	n := m.cols
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*n : i*n+n]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0 += row[j] * x[j]
+			s1 += row[j+1] * x[j+1]
+			s2 += row[j+2] * x[j+2]
+			s3 += row[j+3] * x[j+3]
+		}
+		for ; j < n; j++ {
+			s0 += row[j] * x[j]
+		}
+		dst[i] = (s0 + s1) + (s2 + s3)
+	}
+	return dst
+}
+
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {

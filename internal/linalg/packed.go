@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// packedStride is the fixed column stride (in float64s) of the SIMD
+// kernel: eight ZMM accumulators of eight lanes each cover up to 64
+// rows, so every column occupies one 512-byte panel and the assembly
+// needs no masking or tail handling. Matrices with more rows fall back
+// to the generic path at their natural stride.
+const packedStride = 64
+
+// Packed is a column-major, zero-padded packing of one or more
+// equal-row matrices laid side by side, built for the fused update
+// y = bias + M₁·x₁ + M₂·x₂ + … that the thermal model's exact
+// discretization performs once per control tick. Column j is stored
+// contiguously at offset j·Stride, so a matrix-vector product streams
+// the data linearly and vectorizes across rows (axpy form) instead of
+// reducing along them. A Packed is read-only after construction and
+// safe to share across goroutines.
+type Packed struct {
+	rows, cols, stride int
+	data               []float64
+}
+
+// Pack concatenates the given matrices column-wise into one packed
+// operand. All matrices must have the same number of rows.
+func Pack(ms ...*Matrix) *Packed {
+	if len(ms) == 0 {
+		panic("linalg: Pack needs at least one matrix")
+	}
+	rows := ms[0].rows
+	cols := 0
+	for _, m := range ms {
+		if m.rows != rows {
+			panic(fmt.Sprintf("linalg: Pack row mismatch: %d vs %d", m.rows, rows))
+		}
+		cols += m.cols
+	}
+	stride := rows
+	if rows <= packedStride {
+		stride = packedStride
+	}
+	p := &Packed{rows: rows, cols: cols, stride: stride,
+		data: alignedSlice(cols * stride)}
+	j0 := 0
+	for _, m := range ms {
+		for j := 0; j < m.cols; j++ {
+			col := p.data[(j0+j)*stride:]
+			for i := 0; i < rows; i++ {
+				col[i] = m.At(i, j)
+			}
+		}
+		j0 += m.cols
+	}
+	return p
+}
+
+// Rows returns the logical (unpadded) row count.
+func (p *Packed) Rows() int { return p.rows }
+
+// Cols returns the total column count across the packed matrices.
+func (p *Packed) Cols() int { return p.cols }
+
+// Stride returns the padded column stride; callers of MulAddInto must
+// size y and bias to it.
+func (p *Packed) Stride() int { return p.stride }
+
+// SIMDAccelerated reports whether MulAddInto on this operand runs the
+// vectorized kernel rather than the generic loop.
+func (p *Packed) SIMDAccelerated() bool {
+	return simdAvailable && p.stride == packedStride
+}
+
+// MulAddInto computes y = bias + P·x. x must have length Cols; y and
+// bias must have length Stride (entries past Rows are padding — the
+// kernel writes them, so y[Rows:Stride] is scratch, and bias padding
+// should be zero). y must not alias x or bias.
+func (p *Packed) MulAddInto(y, bias, x []float64) {
+	if len(x) != p.cols {
+		panic(fmt.Sprintf("linalg: MulAddInto x length %d, want %d cols", len(x), p.cols))
+	}
+	if len(y) != p.stride || len(bias) != p.stride {
+		panic(fmt.Sprintf("linalg: MulAddInto y/bias lengths %d/%d, want stride %d",
+			len(y), len(bias), p.stride))
+	}
+	if p.SIMDAccelerated() && p.cols > 0 {
+		fusedTick64(&p.data[0], p.cols, &x[0], &bias[0], &y[0])
+		return
+	}
+	copy(y, bias)
+	for j := 0; j < p.cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		col := p.data[j*p.stride : j*p.stride+p.rows]
+		for i, v := range col {
+			y[i] += v * xj
+		}
+	}
+}
+
+// SIMDEnabled reports whether this binary runs the vectorized packed
+// kernel on this machine (AVX-512F detected at startup). The thermal
+// model consults it when deciding whether the exact-discretization step
+// beats the sparse RK4 kernel at small step sizes.
+func SIMDEnabled() bool { return simdAvailable }
+
+// SIMDCapableRows reports whether a packed operand with the given row
+// count would run the vectorized kernel on this machine.
+func SIMDCapableRows(rows int) bool { return simdAvailable && rows <= packedStride }
+
+// alignedSlice returns a zeroed slice of n float64s whose backing array
+// starts on a 64-byte boundary, so every 512-byte packed column maps to
+// whole cache lines (and aligned ZMM loads).
+func alignedSlice(n int) []float64 {
+	buf := make([]float64, n+7)
+	addr := uintptr(unsafe.Pointer(&buf[0]))
+	off := 0
+	if r := addr % 64; r != 0 {
+		off = int((64 - r) / 8)
+	}
+	return buf[off : off+n : off+n]
+}

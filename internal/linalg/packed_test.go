@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// randomPacked builds a rows×(c1+c2) packed pair plus the row-major
+// originals for reference.
+func randomPacked(rng *rand.Rand, rows, c1, c2 int) (*Packed, *Matrix, *Matrix) {
+	m1 := NewMatrix(rows, c1)
+	m2 := NewMatrix(rows, c2)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < c1; j++ {
+			m1.Set(i, j, rng.NormFloat64())
+		}
+		for j := 0; j < c2; j++ {
+			m2.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return Pack(m1, m2), m1, m2
+}
+
+// mulAddGeneric forces the generic path regardless of SIMD support.
+func mulAddGeneric(p *Packed, y, bias, x []float64) {
+	copy(y, bias)
+	for j := 0; j < p.cols; j++ {
+		xj := x[j]
+		col := p.data[j*p.stride : j*p.stride+p.rows]
+		for i, v := range col {
+			y[i] += v * xj
+		}
+	}
+}
+
+func TestPackedMulAddMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][3]int{{55, 55, 45}, {1, 1, 1}, {64, 10, 3}, {23, 23, 13}, {70, 20, 5}} {
+		rows, c1, c2 := dims[0], dims[1], dims[2]
+		p, m1, m2 := randomPacked(rng, rows, c1, c2)
+		x := make([]float64, c1+c2)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		bias := make([]float64, p.Stride())
+		for i := 0; i < rows; i++ {
+			bias[i] = rng.NormFloat64()
+		}
+		y := make([]float64, p.Stride())
+		p.MulAddInto(y, bias, x)
+
+		w1 := m1.MulVec(x[:c1])
+		w2 := m2.MulVec(x[c1:])
+		for i := 0; i < rows; i++ {
+			want := bias[i] + w1[i] + w2[i]
+			if math.Abs(y[i]-want) > 1e-11*(1+math.Abs(want)) {
+				t.Fatalf("rows=%d: y[%d] = %g, want %g", rows, i, y[i], want)
+			}
+		}
+	}
+}
+
+func TestPackedSIMDMatchesGeneric(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no SIMD on this machine; generic path is the only path")
+	}
+	rng := rand.New(rand.NewSource(33))
+	p, _, _ := randomPacked(rng, 55, 55, 45)
+	if !p.SIMDAccelerated() {
+		t.Fatal("55-row packed operand should take the SIMD path")
+	}
+	x := make([]float64, p.Cols())
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	bias := make([]float64, p.Stride())
+	for i := 0; i < p.Rows(); i++ {
+		bias[i] = rng.NormFloat64()
+	}
+	simd := make([]float64, p.Stride())
+	gen := make([]float64, p.Stride())
+	p.MulAddInto(simd, bias, x)
+	mulAddGeneric(p, gen, bias, x)
+	// FMA contracts the multiply-add, so the two paths agree to a few
+	// ulps, not bit-exactly.
+	for i := 0; i < p.Rows(); i++ {
+		if math.Abs(simd[i]-gen[i]) > 1e-12*(1+math.Abs(gen[i])) {
+			t.Fatalf("row %d: simd %g vs generic %g", i, simd[i], gen[i])
+		}
+	}
+}
+
+func TestPackedAlignment(t *testing.T) {
+	p, _, _ := randomPacked(rand.New(rand.NewSource(1)), 55, 55, 45)
+	if addr := uintptr(unsafe.Pointer(&p.data[0])); addr%64 != 0 {
+		t.Fatalf("packed data misaligned: %#x", addr)
+	}
+	if p.Stride() != packedStride {
+		t.Fatalf("stride %d, want %d", p.Stride(), packedStride)
+	}
+	// Padding rows must be zero so the SIMD lanes beyond Rows stay inert.
+	for j := 0; j < p.Cols(); j++ {
+		for i := p.Rows(); i < p.Stride(); i++ {
+			if v := p.data[j*p.Stride()+i]; v != 0 {
+				t.Fatalf("padding row %d of column %d holds %g", i, j, v)
+			}
+		}
+	}
+}
+
+func TestPackedWideFallsBackToGeneric(t *testing.T) {
+	// More than 64 rows cannot use the 8-accumulator kernel.
+	p, m1, m2 := randomPacked(rand.New(rand.NewSource(2)), 70, 20, 5)
+	if p.SIMDAccelerated() {
+		t.Fatal("70-row operand claimed SIMD acceleration")
+	}
+	if p.Stride() != 70 {
+		t.Fatalf("wide stride %d, want natural 70", p.Stride())
+	}
+	x := make([]float64, 25)
+	for j := range x {
+		x[j] = 1
+	}
+	y := make([]float64, 70)
+	p.MulAddInto(y, make([]float64, 70), x)
+	w1 := m1.MulVec(x[:20])
+	w2 := m2.MulVec(x[20:])
+	for i := range y {
+		want := w1[i] + w2[i]
+		if math.Abs(y[i]-want) > 1e-11*(1+math.Abs(want)) {
+			t.Fatalf("row %d: %g vs %g", i, y[i], want)
+		}
+	}
+}
+
+func TestPackedPanics(t *testing.T) {
+	p, _, _ := randomPacked(rand.New(rand.NewSource(4)), 8, 4, 4)
+	cases := []func(){
+		func() { Pack() },
+		func() { Pack(NewMatrix(2, 2), NewMatrix(3, 2)) },
+		func() { p.MulAddInto(make([]float64, p.Stride()), make([]float64, p.Stride()), make([]float64, 3)) },
+		func() { p.MulAddInto(make([]float64, 8), make([]float64, p.Stride()), make([]float64, 8)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: bad dimensions accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkPackedMulAdd55(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	p, _, _ := randomPacked(rng, 55, 55, 45)
+	x := make([]float64, p.Cols())
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	bias := make([]float64, p.Stride())
+	y := make([]float64, p.Stride())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulAddInto(y, bias, x)
+	}
+}

@@ -1,0 +1,44 @@
+//go:build amd64
+
+package linalg
+
+// fusedTick64 computes y = bias + M·x for the packed column-major
+// operand at the fixed 64-row stride: eight ZMM accumulators hold the
+// whole output vector, and each column contributes one broadcast plus
+// eight fused multiply-adds. Implemented in simd_amd64.s; only called
+// when detectAVX512 reported support.
+//
+//go:noescape
+func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+var simdAvailable = detectAVX512()
+
+// detectAVX512 reports whether the CPU and OS support the AVX-512F
+// instructions the packed kernel uses: XSAVE/OSXSAVE enabled, XCR0
+// advertising XMM+YMM+opmask+ZMM state saving, and the AVX-512
+// Foundation feature bit set.
+func detectAVX512() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const xsave, osxsave, avx = 1 << 26, 1 << 27, 1 << 28
+	if c1&xsave == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0: SSE (1), AVX (2), opmask (5), ZMM0-15 upper (6), ZMM16-31 (7).
+	const zmmState = 1<<1 | 1<<2 | 1<<5 | 1<<6 | 1<<7
+	if lo, _ := xgetbv(); lo&zmmState != zmmState {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	return b7&avx512f != 0
+}

@@ -1,0 +1,104 @@
+#include "textflag.h"
+
+// func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)
+//
+// y[0:64] = bias[0:64] + Σ_j x[j] · m[j·64 : j·64+64]
+//
+// The eight ZMM accumulators Z0–Z7 hold the 64-entry output for the
+// whole loop; each column costs one VBROADCASTSD plus eight
+// memory-operand VFMADD231PD, i.e. the matrix streams through the FMA
+// units once with no horizontal reductions. Columns are 64-byte
+// aligned (Pack aligns the backing array), so every load is a whole
+// cache line.
+TEXT ·fusedTick64(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), SI
+	MOVQ cols+8(FP), CX
+	MOVQ x+16(FP), DX
+	MOVQ bias+24(FP), BX
+	MOVQ y+32(FP), DI
+
+	VMOVUPD (BX), Z0
+	VMOVUPD 64(BX), Z1
+	VMOVUPD 128(BX), Z2
+	VMOVUPD 192(BX), Z3
+	VMOVUPD 256(BX), Z4
+	VMOVUPD 320(BX), Z5
+	VMOVUPD 384(BX), Z6
+	VMOVUPD 448(BX), Z7
+
+	TESTQ CX, CX
+	JZ    done
+
+	// Main loop: two columns per iteration so the broadcast loads of
+	// one column overlap the FMAs of the other.
+	MOVQ CX, AX
+	SHRQ $1, AX
+	JZ   tail
+
+pair:
+	VBROADCASTSD (DX), Z8
+	VBROADCASTSD 8(DX), Z9
+	VFMADD231PD  (SI), Z8, Z0
+	VFMADD231PD  64(SI), Z8, Z1
+	VFMADD231PD  128(SI), Z8, Z2
+	VFMADD231PD  192(SI), Z8, Z3
+	VFMADD231PD  256(SI), Z8, Z4
+	VFMADD231PD  320(SI), Z8, Z5
+	VFMADD231PD  384(SI), Z8, Z6
+	VFMADD231PD  448(SI), Z8, Z7
+	VFMADD231PD  512(SI), Z9, Z0
+	VFMADD231PD  576(SI), Z9, Z1
+	VFMADD231PD  640(SI), Z9, Z2
+	VFMADD231PD  704(SI), Z9, Z3
+	VFMADD231PD  768(SI), Z9, Z4
+	VFMADD231PD  832(SI), Z9, Z5
+	VFMADD231PD  896(SI), Z9, Z6
+	VFMADD231PD  960(SI), Z9, Z7
+	ADDQ $1024, SI
+	ADDQ $16, DX
+	DECQ AX
+	JNZ  pair
+
+tail:
+	ANDQ $1, CX
+	JZ   done
+	VBROADCASTSD (DX), Z8
+	VFMADD231PD  (SI), Z8, Z0
+	VFMADD231PD  64(SI), Z8, Z1
+	VFMADD231PD  128(SI), Z8, Z2
+	VFMADD231PD  192(SI), Z8, Z3
+	VFMADD231PD  256(SI), Z8, Z4
+	VFMADD231PD  320(SI), Z8, Z5
+	VFMADD231PD  384(SI), Z8, Z6
+	VFMADD231PD  448(SI), Z8, Z7
+
+done:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VMOVUPD Z4, 256(DI)
+	VMOVUPD Z5, 320(DI)
+	VMOVUPD Z6, 384(DI)
+	VMOVUPD Z7, 448(DI)
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

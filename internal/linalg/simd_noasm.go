@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package linalg
+
+var simdAvailable = false
+
+// fusedTick64 is never reached on non-amd64 builds: SIMDAccelerated is
+// false everywhere, so MulAddInto always takes the generic path.
+func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64) {
+	panic("linalg: fusedTick64 called without SIMD support")
+}

@@ -219,7 +219,7 @@ func (r *Runner) averageTracePower() []float64 {
 		}
 		r.fillCoreActivity(activity, counts, c, &mean, 1.0)
 	}
-	finalizeShared(activity, counts)
+	r.finalizeShared(activity, counts)
 	temps := make([]float64, nb)
 	for i := range temps {
 		temps[i] = 75
@@ -247,13 +247,20 @@ func (r *Runner) fillCoreActivity(activity, shared []float64, c int, s *uarch.Sa
 }
 
 // finalizeShared converts accumulated shared-block demand into a
-// bounded activity factor.
-func finalizeShared(activity, shared []float64) {
+// bounded activity factor. The summed per-core shares are lightly
+// damped by half the core count — shared structures see interleaved,
+// not perfectly additive, traffic — so the factor is floorplan-derived
+// rather than assuming the paper's four cores.
+func (r *Runner) finalizeShared(activity, shared []float64) {
+	damp := float64(r.nCores) / 2
+	if damp < 1 {
+		damp = 1
+	}
 	for i, v := range shared {
 		if v == 0 {
 			continue
 		}
-		a := v / 2 // four cores' summed share, lightly damped
+		a := v / damp
 		if a > 1 {
 			a = 1
 		}
@@ -267,6 +274,17 @@ func (r *Runner) Run() (*metrics.Run, error) {
 	cfg := r.cfg
 	dt := cfg.Policy.SamplePeriod
 	nb := len(cfg.Floorplan.Blocks)
+
+	// Arm the exact ZOH fast path for the control tick where it beats
+	// substepped RK4 on this machine (see thermal.PreferExact). The
+	// discretization is memoized per (template, dt) and deterministic,
+	// so parallel sweep workers share one build and produce identical
+	// trajectories. Off-grid steps still fall back to RK4.
+	if r.model.PreferExact(dt) {
+		if err := r.model.UseExact(dt); err != nil {
+			return nil, fmt.Errorf("sim: arming exact thermal step: %w", err)
+		}
+	}
 
 	// Pre-warm the package to the memoized warmup steady state (hottest
 	// block WarmupMarginC below the PI setpoint).
@@ -401,7 +419,7 @@ func (r *Runner) Run() (*metrics.Run, error) {
 			// (frozen state still leaks and burns residual clock power).
 			r.fillCoreActivity(activity, shared, c, sample, effScale)
 		}
-		finalizeShared(activity, shared)
+		r.finalizeShared(activity, shared)
 
 		// Thermal step with leakage-temperature feedback.
 		r.calc.BlockPower(powerVec, activity, coreStates, temps)

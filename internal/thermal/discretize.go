@@ -1,0 +1,175 @@
+package thermal
+
+import (
+	"fmt"
+
+	"multitherm/internal/linalg"
+)
+
+// Discretization is the exact zero-order-hold discretization of the RC
+// network at a fixed step dt. Writing the continuous model as
+//
+//	dT/dt = A·T + B·u,   A = −C⁻¹·G,  B = C⁻¹,  u = P + gAmb·T_amb
+//
+// the solution with u held constant over [t, t+dt] (exactly the
+// simulator's contract: power changes only at tick boundaries) is
+//
+//	T(t+dt) = Φ·T(t) + Ψ·u,   Φ = e^{A·dt},  Ψ = ∫₀^dt e^{A·s}·B ds
+//
+// with no truncation error and no stability limit — the update is exact
+// for any dt, where explicit RK4 must substep past hMax. Both matrices
+// come out of one matrix exponential of the Van Loan augmented block
+// matrix, avoiding the cancellation-prone A⁻¹(Φ−I)B form:
+//
+//	exp([[A·dt, B·dt], [0, 0]]) = [[Φ, Ψ], [0, I]]
+//
+// Ψ is then split into its die-block columns (the live power inputs)
+// and its contraction against the constant ambient inflow, so the
+// per-tick update touches only what actually changes. A Discretization
+// is immutable and shared by every Model stamped from the template; the
+// template memoizes one per dt (see Template.Discretization).
+type Discretization struct {
+	dt  float64
+	n   int
+	phi *linalg.Matrix // n×n state propagator Φ
+	psi *linalg.Matrix // n×nBlocks input propagator: Ψ restricted to power columns
+
+	// psiAmb = Ψ·(gAmb·T_amb): the constant ambient contribution per
+	// tick, folded once at build time.
+	psiAmb []float64
+
+	// Packed column-major operands for the fused per-tick kernel. Both
+	// share the same stride; psiAmbPad is psiAmb zero-padded to it.
+	phiPacked *linalg.Packed
+	psiPacked *linalg.Packed
+	psiAmbPad []float64
+}
+
+// buildDiscretization computes Φ and Ψ via the augmented-matrix
+// exponential. Cost is one 2n×2n Expm — milliseconds for the 55-node
+// CMP4 network — paid once per (Template, dt).
+func (t *Template) buildDiscretization(dt float64) (*Discretization, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive discretization step %g", dt)
+	}
+	n := t.n
+	g := t.ConductanceMatrix()
+	aug := linalg.NewMatrix(2*n, 2*n)
+	for i := 0; i < n; i++ {
+		ic := t.invCap[i]
+		for j := 0; j < n; j++ {
+			aug.Set(i, j, -ic*g.At(i, j)*dt) // A·dt
+		}
+		aug.Set(i, n+i, ic*dt) // B·dt
+	}
+	e, err := linalg.Expm(aug)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: discretizing at dt=%g: %w", dt, err)
+	}
+	d := &Discretization{dt: dt, n: n,
+		phi:    linalg.NewMatrix(n, n),
+		psi:    linalg.NewMatrix(n, t.nBlocks),
+		psiAmb: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.phi.Set(i, j, e.At(i, j))
+		}
+		for j := 0; j < t.nBlocks; j++ {
+			d.psi.Set(i, j, e.At(i, n+j))
+		}
+		var amb float64
+		for j := 0; j < n; j++ {
+			amb += e.At(i, n+j) * t.ambFlow[j]
+		}
+		d.psiAmb[i] = amb
+	}
+	d.phiPacked = linalg.Pack(d.phi)
+	d.psiPacked = linalg.Pack(d.psi)
+	d.psiAmbPad = make([]float64, d.phiPacked.Stride())
+	copy(d.psiAmbPad, d.psiAmb)
+	return d, nil
+}
+
+// Discretization returns the memoized exact ZOH discretization of this
+// template at step dt, building it on first use. The cache key is
+// (Template, dt): templates are themselves memoized per (floorplan,
+// params), so a parallel sweep pays the matrix exponential once per
+// configuration, not once per run. Concurrent first callers may race to
+// build; the construction is deterministic, so whichever instance wins
+// the store is identical to the losers.
+func (t *Template) Discretization(dt float64) (*Discretization, error) {
+	if v, ok := t.discCache.Load(dt); ok {
+		return v.(*Discretization), nil
+	}
+	d, err := t.buildDiscretization(dt)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := t.discCache.LoadOrStore(dt, d)
+	return v.(*Discretization), nil
+}
+
+// Dt returns the step size the discretization was built for.
+func (d *Discretization) Dt() float64 { return d.dt }
+
+// SIMDAccelerated reports whether the per-tick update runs the
+// vectorized packed kernel on this machine.
+func (d *Discretization) SIMDAccelerated() bool { return d.phiPacked.SIMDAccelerated() }
+
+// Phi returns Φ[i][j], the exact dt-step response of node i to a unit
+// initial temperature on node j. Exposed for validation tests.
+func (d *Discretization) Phi(i, j int) float64 { return d.phi.At(i, j) }
+
+// PreferExact reports whether the exact discretized step is expected to
+// beat substepped RK4 at step dt on this machine. Two regimes qualify:
+// the dense Φ kernel is SIMD-accelerated (a single fused pass beats
+// even one sparse RK4 substep), or dt is far enough past the stability
+// bound that RK4 must substep repeatedly while the exact update stays a
+// single application regardless of dt.
+func (t *Template) PreferExact(dt float64) bool {
+	if dt > 2*t.hMax {
+		return true
+	}
+	return linalg.SIMDCapableRows(t.n)
+}
+
+// UseExact switches the model's Step(dt) onto the exact discretized
+// update for exactly this dt; Step at any other size still runs RK4 on
+// the same state, so off-grid steps (warmup, odd remainders) fall back
+// transparently. The discretization comes from the template's memoized
+// cache. Calling UseExact again re-targets the fast path to the new dt.
+func (m *Model) UseExact(dt float64) error {
+	d, err := m.Template.Discretization(dt)
+	if err != nil {
+		return err
+	}
+	stride := d.phiPacked.Stride()
+	if len(m.xbuf) != stride {
+		// Double-buffered state: temps aliases the live buffer, the kernel
+		// writes the other, and the two swap each tick — no per-tick copy.
+		m.xbuf = make([]float64, stride)
+		m.ybuf = make([]float64, stride)
+		m.uCache = make([]float64, stride)
+		copy(m.xbuf[:m.n], m.temps)
+		m.temps = m.xbuf[:m.n]
+	}
+	m.disc = d
+	m.powerDirty = true
+	return nil
+}
+
+// stepExact advances one exact tick: T ← Φ·T + (Ψ·P + ψ_amb). The
+// input term is memoized in uCache and recomputed only when SetPower
+// has run since the last tick, so constant-power stretches pay only the
+// Φ pass. Zero allocations; buffer padding rows stay zero because the
+// packed operands' padding rows are zero.
+func (m *Model) stepExact(d *Discretization) {
+	if m.powerDirty {
+		d.psiPacked.MulAddInto(m.uCache, d.psiAmbPad, m.power[:m.nBlocks])
+		m.powerDirty = false
+	}
+	d.phiPacked.MulAddInto(m.ybuf, m.uCache, m.temps)
+	m.xbuf, m.ybuf = m.ybuf, m.xbuf
+	m.temps = m.xbuf[:m.n]
+}

@@ -151,6 +151,10 @@ type Template struct {
 	// hMax is the RK4 stability bound, invariant for the network and
 	// hoisted here at build time so Step need not rescan the graph.
 	hMax float64
+
+	// discCache memoizes exact ZOH discretizations keyed by dt
+	// (float64); see Template.Discretization.
+	discCache sync.Map
 }
 
 // Model is one integrable instance of a Template: the shared immutable
@@ -179,6 +183,15 @@ type Model struct {
 
 	// scratch buffers for the fused RK4 kernel
 	acc, tmpA, tmpB []float64
+
+	// Exact-discretization fast path (nil disc = RK4 only). When armed
+	// via UseExact, temps aliases xbuf[:n] and each exact tick writes
+	// ybuf and swaps the two; uCache memoizes Ψ·P + ψ_amb until
+	// SetPower invalidates it.
+	disc       *Discretization
+	xbuf, ybuf []float64
+	uCache     []float64
+	powerDirty bool
 }
 
 // Node index helpers (offsets after the die blocks).
@@ -474,6 +487,7 @@ func (m *Model) SetPower(watts []float64) {
 		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(watts), m.nBlocks))
 	}
 	copy(m.power[:m.nBlocks], watts)
+	m.powerDirty = true
 }
 
 // Power returns the current power vector (shared storage; do not mutate).

@@ -44,13 +44,19 @@ func (t *Template) computeMaxStableStep() float64 {
 // MaxStableStep returns the precomputed RK4 stability bound.
 func (t *Template) MaxStableStep() float64 { return t.hMax }
 
-// Step advances the transient solution by dt seconds using classical
-// RK4, internally substepping if dt exceeds the stability bound. Power
-// inputs are held constant across the step (the simulator changes them
-// only at trace-sample boundaries, every 28 µs).
+// Step advances the transient solution by dt seconds. If UseExact has
+// armed the exact ZOH discretization for this dt, the step is a single
+// application of T ← Φ·T + Ψ·u with no truncation error; any other dt
+// falls back to classical RK4, internally substepping if dt exceeds the
+// stability bound. Power inputs are held constant across the step (the
+// simulator changes them only at trace-sample boundaries, every 28 µs).
 func (m *Model) Step(dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("thermal: non-positive step %g", dt))
+	}
+	if d := m.disc; d != nil && d.dt == dt {
+		m.stepExact(d)
+		return
 	}
 	steps := 1
 	if dt > m.hMax {

@@ -9,6 +9,11 @@
 #     the 55-node CMP4 RC network, RK4 with substeps)
 #   - kernel_flat_ns_per_op: BenchmarkThermalStepFlat (single RK4 step at
 #     the stability bound, no substep loop)
+#   - kernel_expm_ns_per_op: BenchmarkThermalStepExpm (exact ZOH step
+#     through the packed propagator, constant power)
+#   - kernel_expm_dirty_ns_per_op: BenchmarkThermalStepExpmDirty (same
+#     with per-tick SetPower, the simulator's leakage-feedback pattern)
+#   - kernel_expm_speedup: RK4 step time / exact step time
 #   - sweep wall-clock of a quick reproduction at -parallel 1 vs all CPUs
 #
 # On a single-core machine the two sweep times are expected to match;
@@ -38,6 +43,9 @@ go build ./...
 echo "kernel benchmarks (min of 3 x 200k iterations)..." >&2
 step_ns=$(bench_ns BenchmarkThermalStep)
 flat_ns=$(bench_ns BenchmarkThermalStepFlat)
+expm_ns=$(bench_ns BenchmarkThermalStepExpm)
+expm_dirty_ns=$(bench_ns BenchmarkThermalStepExpmDirty)
+expm_speedup=$(awk -v a="$step_ns" -v b="$expm_ns" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
 echo "quick sweep, sequential..." >&2
 seq_s=$(sweep_seconds 1)
@@ -51,6 +59,9 @@ cat >"$out" <<EOF
   "gomaxprocs": ${ncpu},
   "kernel_ns_per_op": ${step_ns},
   "kernel_flat_ns_per_op": ${flat_ns},
+  "kernel_expm_ns_per_op": ${expm_ns},
+  "kernel_expm_dirty_ns_per_op": ${expm_dirty_ns},
+  "kernel_expm_speedup": ${expm_speedup},
   "sweep_quick_sequential_s": ${seq_s},
   "sweep_quick_parallel_s": ${par_s},
   "sweep_parallel_speedup": ${speedup}
