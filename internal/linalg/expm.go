@@ -45,6 +45,11 @@ func Expm(a *Matrix) (*Matrix, error) {
 		return padeExp(a, 9)
 	}
 	s := int(math.Ceil(math.Log2(norm / theta13)))
+	if s < 0 {
+		// norm ∈ (θ₉, θ₁₃/2] makes the exponent negative; scaling up
+		// would compute e^(2^-s·A), so evaluate at degree 13 unscaled.
+		s = 0
+	}
 	scaled := a.scaled(math.Ldexp(1, -s))
 	f, err := padeExp(scaled, 13)
 	if err != nil {

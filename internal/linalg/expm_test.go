@@ -92,6 +92,45 @@ func TestExpmRotation(t *testing.T) {
 	}
 }
 
+func TestExpmNormBetweenTheta9AndHalfTheta13(t *testing.T) {
+	// Regression: for ‖A‖₁ ∈ (θ₉, θ₁₃/2] ≈ (2.098, 2.686] the scaling
+	// exponent ceil(log2(norm/θ₁₃)) is negative; without clamping to
+	// zero the matrix was scaled UP by 2 and never squared, returning
+	// e^(2A). diag(2.5, −2.5) and the θ=2.5 rotation both land there.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2.5)
+	a.Set(1, 1, -2.5)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []float64{2.5, -2.5} {
+		want := math.Exp(d)
+		if rel := math.Abs(e.At(i, i)-want) / want; rel > 1e-13 {
+			t.Errorf("e^diag(%g) = %g, want %g (rel %g)", d, e.At(i, i), want, rel)
+		}
+	}
+
+	rot := NewMatrix(2, 2)
+	rot.Set(0, 1, -2.5)
+	rot.Set(1, 0, 2.5)
+	er, err := Expm(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := math.Cos(2.5), math.Sin(2.5)
+	for _, chk := range []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, c}, {0, 1, -s}, {1, 0, s}, {1, 1, c},
+	} {
+		if math.Abs(er.At(chk.i, chk.j)-chk.want) > 1e-12 {
+			t.Errorf("θ=2.5: e[%d][%d] = %g, want %g", chk.i, chk.j, er.At(chk.i, chk.j), chk.want)
+		}
+	}
+}
+
 func TestExpmSemigroupProperty(t *testing.T) {
 	// e^{A}·e^{A} = e^{2A} for any A (A commutes with itself).
 	rng := rand.New(rand.NewSource(3))
