@@ -138,6 +138,46 @@ func BenchmarkThermalStepExpmDirty(b *testing.B) {
 	}
 }
 
+// benchThermalStepBatch measures one lockstep batched tick over k
+// lanes in the simulator's calling pattern (every lane's power set
+// each tick, so the fused Ψ panel pass and the Φ panel pass both run).
+// ns/op is the whole batched tick; the ns/lane metric divides by k for
+// direct comparison against BenchmarkThermalStepExpmDirty, which is
+// the same work at k=1 through the unbatched path.
+func benchThermalStepBatch(b *testing.B, k int) {
+	models := make([]*thermal.Model, k)
+	powers := make([][]float64, k)
+	for l := range models {
+		m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := make([]float64, m.NumBlocks())
+		for i := range p {
+			p[i] = 1.5 + 0.1*float64(l)
+		}
+		models[l] = m
+		powers[l] = p
+	}
+	batch, err := thermal.NewBatch(models, control.PaperSamplePeriod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l, m := range models {
+			m.SetPower(powers[l])
+		}
+		batch.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/lane")
+}
+
+func BenchmarkThermalStepBatch1(b *testing.B)  { benchThermalStepBatch(b, 1) }
+func BenchmarkThermalStepBatch8(b *testing.B)  { benchThermalStepBatch(b, 8) }
+func BenchmarkThermalStepBatch32(b *testing.B) { benchThermalStepBatch(b, 32) }
+
 // BenchmarkThermalStepFlat isolates the flattened-CSR RK4 kernel at its
 // raw stability-bound step (no substep loop), so improvements to the
 // integrator itself show without Step's ceil/substep bookkeeping.
@@ -166,6 +206,32 @@ func BenchmarkSweepParallel(b *testing.B) {
 		b.Run("workers"+itoa(int64(workers)), func(b *testing.B) {
 			opt := benchOptions()
 			opt.Parallelism = workers
+			r, err := experiments.Find("table8")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Run(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res.Render()
+			}
+		})
+	}
+}
+
+// BenchmarkSweepBatched runs the same fixed study at several lockstep
+// batch widths with one worker, so the sub-bench ratios isolate what
+// batching alone buys the sweep engine (BenchmarkSweepParallel covers
+// the worker axis).
+func BenchmarkSweepBatched(b *testing.B) {
+	for _, width := range []int{1, 8} {
+		b.Run("batch"+itoa(int64(width)), func(b *testing.B) {
+			opt := benchOptions()
+			opt.Parallelism = 1
+			opt.Batch = width
 			r, err := experiments.Find("table8")
 			if err != nil {
 				b.Fatal(err)

@@ -9,6 +9,7 @@
 //	sweep -list           # list artifacts
 //	sweep -simtime 0.25   # custom simulated silicon time
 //	sweep -parallel 8     # fan (policy, workload) cells across 8 workers
+//	sweep -batch 8        # step 8 same-propagator cells in lockstep
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	list := flag.Bool("list", false, "list reproducible artifacts and exit")
 	simtime := flag.Float64("simtime", 0, "simulated silicon time per run in seconds (default 0.5)")
 	par := flag.Int("parallel", 0, "worker count for independent simulation cells (0 = all CPUs, 1 = sequential; results identical at any level)")
+	batch := flag.Int("batch", 0, "lockstep batch width for cells sharing one thermal propagator (0 = auto-size from cache, 1 = no batching; results identical at any width)")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
 	mdPath := flag.String("md", "", "also write the report as markdown to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -80,6 +82,7 @@ func main() {
 		opt.SimTime = *simtime
 	}
 	opt.Parallelism = *par
+	opt.Batch = *batch
 
 	runners := experiments.Registry()
 	if *ablations {

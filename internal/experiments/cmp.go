@@ -57,11 +57,13 @@ type PolicyStudy struct {
 }
 
 // runStudy executes the given policy set (always including the
-// baseline) over the workload suite. The full specs × workloads grid is
-// fanned out across the worker pool at once — a study is the unit with
-// the most exposed parallelism (Table 8: 13 specs × 12 workloads = 156
-// independent cells) — and every result lands in its (spec, workload)
-// slot, so the assembled study is identical at any parallelism.
+// baseline) over the workload suite. The full specs × workloads grid
+// goes through the batched cell engine at once — a study is the unit
+// with the most exposed parallelism (Table 8: 13 specs × 12 workloads
+// = 156 independent cells), and since every cell shares one thermal
+// template, the engine cuts the whole grid into lockstep batches —
+// and every result lands in its (spec, workload) slot, so the
+// assembled study is identical at any parallelism and batch width.
 func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*PolicyStudy, error) {
 	s := &PolicyStudy{
 		id:      id,
@@ -79,25 +81,20 @@ func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*P
 		specs = append([]core.PolicySpec{core.Baseline}, specs...)
 	}
 	mixes := o.workloads()
-	grid := make([][]*metrics.Run, len(specs))
-	for i := range grid {
-		grid[i] = make([]*metrics.Run, len(mixes))
+	cells := make([]cell, 0, len(specs)*len(mixes))
+	for _, spec := range specs {
+		for _, mix := range mixes {
+			cells = append(cells, cell{cfg: cfg, mix: mix, spec: spec})
+		}
 	}
-	err := parallel.RunGrid(context.Background(), o.Parallelism, len(specs), len(mixes),
-		func(_ context.Context, si, wi int) error {
-			m, err := runCell(cfg, mixes[wi], specs[si])
-			if err != nil {
-				return err
-			}
-			grid[si][wi] = m
-			return nil
-		})
+	runs, err := runCells(o, cells)
 	if err != nil {
 		return nil, err
 	}
 	for si, spec := range specs {
-		s.Runs[spec] = grid[si]
-		s.Summary[spec] = metrics.Summarize(spec.String(), grid[si])
+		row := runs[si*len(mixes) : (si+1)*len(mixes)]
+		s.Runs[spec] = row
+		s.Summary[spec] = metrics.Summarize(spec.String(), row)
 	}
 	s.Baseline = s.Summary[core.Baseline]
 	return s, nil

@@ -12,6 +12,55 @@ import (
 // shared mutable state leaked between cells (a template mutated, a
 // cache returned a non-deterministic value, a result slotted by arrival
 // order) and would silently corrupt every parallel reproduction.
+// TestBatchingDoesNotChangeResults is the determinism guard for the
+// lockstep batch engine: the same study at -batch 1 (every cell runs
+// its own thermal model) and at -batch 8 (cells fused through the
+// shared-propagator panel kernel) must render byte-identical reports.
+// Any drift means the batched tick perturbed a rounding somewhere —
+// the panel kernel reordered an FMA, a lane read a neighbour's state —
+// and would silently change every batched reproduction.
+func TestBatchingDoesNotChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full studies twice")
+	}
+	cases := []struct {
+		name string
+		opt  Options
+		run  func(Options) (Result, error)
+	}{
+		{
+			name: "fig3",
+			opt:  Options{SimTime: 0.02, Workloads: workload.Mixes[:3]},
+			run:  func(o Options) (Result, error) { return RunFig3(o) },
+		},
+		{
+			name: "table8",
+			opt:  Options{SimTime: 0.01, Workloads: workload.Mixes[:2]},
+			run:  func(o Options) (Result, error) { return RunTable8(o) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			unbatched := tc.opt
+			unbatched.Batch = 1
+			a, err := tc.run(unbatched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched := tc.opt
+			batched.Batch = 8
+			b, err := tc.run(batched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Render() != b.Render() {
+				t.Errorf("%s renders differently at Batch=1 vs 8:\n--- unbatched ---\n%s\n--- batched ---\n%s",
+					tc.name, a.Render(), b.Render())
+			}
+		})
+	}
+}
+
 func TestParallelismDoesNotChangeResults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full studies twice")

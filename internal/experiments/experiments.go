@@ -17,6 +17,7 @@ import (
 	"multitherm/internal/metrics"
 	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
+	"multitherm/internal/thermal"
 	"multitherm/internal/workload"
 )
 
@@ -33,6 +34,12 @@ type Options struct {
 	// any parallelism level — because every cell is independent and
 	// results are slotted by index, not arrival order.
 	Parallelism int
+	// Batch is the lockstep batch width: cells sharing one thermal
+	// propagator — same template and control period — are stepped
+	// together through a fused panel update (sim.BatchRunner), which is
+	// bit-identical to running them one by one. 0 picks the cache-sized
+	// default (sim.DefaultBatchSize); 1 disables batching.
+	Batch int
 }
 
 // DefaultOptions runs the full paper configuration.
@@ -60,6 +67,13 @@ func (o Options) simConfig() sim.Config {
 	return cfg
 }
 
+func (o Options) batchSize() int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	return sim.DefaultBatchSize()
+}
+
 // runCell executes one (policy, workload) cell.
 func runCell(cfg sim.Config, mix workload.Mix, spec core.PolicySpec) (*metrics.Run, error) {
 	r, err := sim.New(cfg, mix, spec)
@@ -73,25 +87,101 @@ func runCell(cfg sim.Config, mix workload.Mix, spec core.PolicySpec) (*metrics.R
 	return m, nil
 }
 
-// runPolicy executes one policy over the option's workload set,
-// fanning workloads across the worker pool. Result order matches the
-// workload order regardless of completion order.
-func runPolicy(o Options, cfg sim.Config, spec core.PolicySpec) ([]*metrics.Run, error) {
-	mixes := o.workloads()
-	runs := make([]*metrics.Run, len(mixes))
-	err := parallel.ForEach(context.Background(), o.Parallelism, len(mixes),
-		func(_ context.Context, i int) error {
-			m, err := runCell(cfg, mixes[i], spec)
+// cell is one (config, workload, policy) simulation of a study.
+type cell struct {
+	cfg  sim.Config
+	mix  workload.Mix
+	spec core.PolicySpec
+}
+
+// batchKey identifies the shared propagator a cell steps through:
+// templates are memoized singletons, so pointer identity plus the
+// control period decides whether two cells can run in lockstep.
+type batchKey struct {
+	tmpl *thermal.Template
+	dt   float64
+}
+
+// runCells executes the given cells and slots each result at its input
+// index. Cells are grouped by shared propagator in first-seen order,
+// each group is cut into batch-sized lockstep units, and the worker
+// pool schedules batches — not cells — so one fused thermal advance
+// serves a whole batch. Because batched stepping is bit-identical to
+// sequential stepping (sim.BatchRunner's contract), the assembled
+// results are independent of both the batch width and the parallelism.
+func runCells(o Options, cells []cell) ([]*metrics.Run, error) {
+	groups := map[batchKey][]int{}
+	var order []batchKey
+	for i, c := range cells {
+		tmpl, err := thermal.TemplateFor(c.cfg.Floorplan, c.cfg.Thermal)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", c.spec, c.mix.Name, err)
+		}
+		k := batchKey{tmpl: tmpl, dt: c.cfg.Policy.SamplePeriod}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	size := o.batchSize()
+	var batches [][]int
+	for _, k := range order {
+		idx := groups[k]
+		for _, span := range parallel.Chunks(len(idx), size) {
+			batches = append(batches, idx[span[0]:span[1]])
+		}
+	}
+
+	runs := make([]*metrics.Run, len(cells))
+	err := parallel.ForEach(context.Background(), o.Parallelism, len(batches),
+		func(_ context.Context, bi int) error {
+			idx := batches[bi]
+			if len(idx) == 1 {
+				c := cells[idx[0]]
+				m, err := runCell(c.cfg, c.mix, c.spec)
+				if err != nil {
+					return err
+				}
+				runs[idx[0]] = m
+				return nil
+			}
+			runners := make([]*sim.Runner, len(idx))
+			for j, ci := range idx {
+				c := cells[ci]
+				r, err := sim.New(c.cfg, c.mix, c.spec)
+				if err != nil {
+					return fmt.Errorf("experiments: %s on %s: %w", c.spec, c.mix.Name, err)
+				}
+				runners[j] = r
+			}
+			br, err := sim.NewBatchRunner(runners)
 			if err != nil {
 				return err
 			}
-			runs[i] = m
+			ms, err := br.Run()
+			if err != nil {
+				return err
+			}
+			for j, ci := range idx {
+				runs[ci] = ms[j]
+			}
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	return runs, nil
+}
+
+// runPolicy executes one policy over the option's workload set through
+// the batched cell engine. Result order matches the workload order.
+func runPolicy(o Options, cfg sim.Config, spec core.PolicySpec) ([]*metrics.Run, error) {
+	mixes := o.workloads()
+	cells := make([]cell, len(mixes))
+	for i, mix := range mixes {
+		cells[i] = cell{cfg: cfg, mix: mix, spec: spec}
+	}
+	return runCells(o, cells)
 }
 
 // Result is the common interface of all experiment outputs.

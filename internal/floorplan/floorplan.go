@@ -32,6 +32,10 @@ const (
 	KindRename              // rename/dispatch logic
 	KindIssueQ              // issue queues / reservation stations
 	KindL2                  // shared L2 cache
+
+	// NumUnitKinds is the number of distinct unit kinds; useful for
+	// fixed-size per-kind arrays.
+	NumUnitKinds
 )
 
 var kindNames = map[UnitKind]string{

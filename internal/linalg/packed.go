@@ -90,6 +90,13 @@ func (p *Packed) MulAddInto(y, bias, x []float64) {
 		fusedTick64(&p.data[0], p.cols, &x[0], &bias[0], &y[0])
 		return
 	}
+	p.mulAddGeneric(y, bias, x)
+}
+
+// mulAddGeneric is the portable axpy-form y = bias + P·x for one lane.
+// Both MulAddInto and MulBatchInto fall back to it, so the two paths
+// produce bit-identical results on machines without the SIMD kernel.
+func (p *Packed) mulAddGeneric(y, bias, x []float64) {
 	copy(y, bias)
 	for j := 0; j < p.cols; j++ {
 		xj := x[j]
@@ -103,6 +110,56 @@ func (p *Packed) MulAddInto(y, bias, x []float64) {
 	}
 }
 
+// MulBatchInto is the multi-RHS (GEMM) form of MulAddInto: for each
+// lane l in [0, k) it computes
+//
+//	y[l·Stride : (l+1)·Stride] = bias[l·Stride : (l+1)·Stride] + P·x[l·xStride : l·xStride+Cols]
+//
+// amortizing the propagator stream across all lanes of the panel. Lane
+// l of y and bias occupies one full padded column at offset l·Stride;
+// lane l of x starts at l·xStride and spans Cols entries, so xStride ≥
+// Cols lets callers hand over padded state panels directly (xStride ==
+// Stride for a state panel, xStride == Cols for a tightly packed input
+// panel). Per lane the arithmetic — operation kind and column order —
+// is exactly MulAddInto's, so a batched tick is bit-identical to k
+// sequential ticks. Zero allocations; y must not alias x or bias.
+//
+// Unlike MulAddInto, entries past Rows in each y lane are unspecified
+// on return: when the live rows fit in seven of the eight ZMM chunks
+// (Rows ≤ 56) the kernel skips the all-zero padding chunk entirely
+// and never writes it.
+func (p *Packed) MulBatchInto(y, bias []float64, k int, x []float64, xStride int) {
+	if k < 0 {
+		panic(fmt.Sprintf("linalg: MulBatchInto negative lane count %d", k))
+	}
+	if k == 0 {
+		return
+	}
+	if xStride < p.cols {
+		panic(fmt.Sprintf("linalg: MulBatchInto xStride %d below %d cols", xStride, p.cols))
+	}
+	if len(y) != k*p.stride || len(bias) != k*p.stride {
+		panic(fmt.Sprintf("linalg: MulBatchInto y/bias lengths %d/%d, want %d lanes x stride %d",
+			len(y), len(bias), k, p.stride))
+	}
+	if need := (k-1)*xStride + p.cols; len(x) < need {
+		panic(fmt.Sprintf("linalg: MulBatchInto x length %d, want at least %d", len(x), need))
+	}
+	if p.SIMDAccelerated() && p.cols > 0 {
+		if p.rows <= 56 {
+			fusedTickBatch56(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], k)
+		} else {
+			fusedTickBatch64(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], k)
+		}
+		return
+	}
+	for l := 0; l < k; l++ {
+		p.mulAddGeneric(y[l*p.stride:(l+1)*p.stride],
+			bias[l*p.stride:(l+1)*p.stride],
+			x[l*xStride:l*xStride+p.cols])
+	}
+}
+
 // SIMDEnabled reports whether this binary runs the vectorized packed
 // kernel on this machine (AVX-512F detected at startup). The thermal
 // model consults it when deciding whether the exact-discretization step
@@ -112,6 +169,11 @@ func SIMDEnabled() bool { return simdAvailable }
 // SIMDCapableRows reports whether a packed operand with the given row
 // count would run the vectorized kernel on this machine.
 func SIMDCapableRows(rows int) bool { return simdAvailable && rows <= packedStride }
+
+// NewAligned returns a zeroed []float64 whose backing array starts on
+// a 64-byte boundary — the allocation helper for the state panels fed
+// to MulBatchInto, so every padded lane maps to whole cache lines.
+func NewAligned(n int) []float64 { return alignedSlice(n) }
 
 // alignedSlice returns a zeroed slice of n float64s whose backing array
 // starts on a 64-byte boundary, so every 512-byte packed column maps to

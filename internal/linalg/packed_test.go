@@ -155,6 +155,86 @@ func TestPackedPanics(t *testing.T) {
 	}
 }
 
+// TestMulBatchIntoMatchesSequential is the bit-identity guard of the
+// batched tick: every lane of a MulBatchInto panel must equal the
+// corresponding MulAddInto result exactly — not to tolerance — for odd
+// and even lane counts (the kernel pairs lanes, so odd k exercises the
+// trailing single-lane path) and for both padded and tight x strides.
+func TestMulBatchIntoMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, rows := range []int{55, 8, 70} {
+		p, _, _ := randomPacked(rng, rows, rows, 13)
+		stride := p.Stride()
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			for _, xStride := range []int{p.Cols(), p.Cols() + 9} {
+				x := make([]float64, (k-1)*xStride+p.Cols())
+				for j := range x {
+					x[j] = rng.NormFloat64()
+				}
+				bias := make([]float64, k*stride)
+				for l := 0; l < k; l++ {
+					for i := 0; i < rows; i++ {
+						bias[l*stride+i] = rng.NormFloat64()
+					}
+				}
+				y := make([]float64, k*stride)
+				p.MulBatchInto(y, bias, k, x, xStride)
+
+				ref := make([]float64, stride)
+				for l := 0; l < k; l++ {
+					p.MulAddInto(ref, bias[l*stride:(l+1)*stride], x[l*xStride:l*xStride+p.Cols()])
+					for i := 0; i < rows; i++ {
+						if got := y[l*stride+i]; got != ref[i] {
+							t.Fatalf("rows=%d k=%d xStride=%d: lane %d row %d: batch %g != sequential %g",
+								rows, k, xStride, l, i, got, ref[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulBatchIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	p, _, _ := randomPacked(rng, 55, 42, 13) // 55 cols ≤ the 64-entry stride
+	k := 8
+	x := make([]float64, k*p.Stride())
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	y := make([]float64, k*p.Stride())
+	bias := make([]float64, k*p.Stride())
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.MulBatchInto(y, bias, k, x, p.Stride())
+	}); allocs != 0 {
+		t.Fatalf("MulBatchInto allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+func TestMulBatchIntoPanics(t *testing.T) {
+	p, _, _ := randomPacked(rand.New(rand.NewSource(57)), 8, 4, 4)
+	st := p.Stride()
+	cases := []func(){
+		func() { p.MulBatchInto(make([]float64, st), make([]float64, st), -1, make([]float64, 8), 8) },
+		func() { p.MulBatchInto(make([]float64, st), make([]float64, st), 1, make([]float64, 8), 4) },
+		func() { p.MulBatchInto(make([]float64, st), make([]float64, 2*st), 2, make([]float64, 16), 8) },
+		func() { p.MulBatchInto(make([]float64, 2*st), make([]float64, 2*st), 2, make([]float64, 10), 8) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: bad batch dimensions accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// k == 0 is a no-op, not a panic.
+	p.MulBatchInto(nil, nil, 0, nil, 8)
+}
+
 func BenchmarkPackedMulAdd55(b *testing.B) {
 	rng := rand.New(rand.NewSource(8))
 	p, _, _ := randomPacked(rng, 55, 55, 45)

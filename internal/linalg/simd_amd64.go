@@ -11,6 +11,26 @@ package linalg
 //go:noescape
 func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)
 
+// fusedTickBatch64 is the multi-lane (GEMM) form of fusedTick64: for
+// each lane l in [0,k) it computes y[l·64:] = bias[l·64:] + M·x[l·xStride:].
+// Lanes are walked in pairs so each 512-byte propagator column is
+// loaded into registers once and feeds two lanes' FMA chains; per lane
+// the operation sequence is identical to fusedTick64's, so batched and
+// sequential ticks are bit-identical. Implemented in simd_amd64.s.
+//
+//go:noescape
+func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
+
+// fusedTickBatch56 is fusedTickBatch64 specialized for operands whose
+// live rows fit in seven ZMM chunks (Rows ≤ 56): the top padding chunk
+// of every column is provably zero, so the kernel skips ~12% of the
+// FMA stream and leaves rows 56–63 of each y lane unwritten. Live rows
+// keep fusedTick64's exact operation sequence. Implemented in
+// simd_amd64.s.
+//
+//go:noescape
+func fusedTickBatch56(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
+
 // cpuid executes the CPUID instruction for the given leaf/subleaf.
 func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 

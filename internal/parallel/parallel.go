@@ -104,6 +104,29 @@ feed:
 	return ctx.Err()
 }
 
+// Chunks splits n consecutive items into spans of at most size,
+// returned as [start, end) index pairs in order. size <= 0 yields one
+// span covering everything; n <= 0 yields none. Work schedulers use it
+// to turn an item list into batch-sized work units while preserving
+// item order inside each unit.
+func Chunks(n, size int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
 // RunGrid runs fn(ctx, r, c) for every cell of an rows×cols grid using
 // ForEach's worker pool and error semantics. Cells are indexed
 // row-major, so the "first" error is the one in the lowest (row, col)

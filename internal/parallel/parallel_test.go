@@ -166,3 +166,36 @@ func TestRunGridRowMajorIndexing(t *testing.T) {
 		}
 	}
 }
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    [][2]int
+	}{
+		{0, 4, nil},
+		{-3, 4, nil},
+		{10, 0, [][2]int{{0, 10}}},
+		{10, -1, [][2]int{{0, 10}}},
+		{10, 4, [][2]int{{0, 4}, {4, 8}, {8, 10}}},
+		{8, 4, [][2]int{{0, 4}, {4, 8}}},
+		{3, 4, [][2]int{{0, 3}}},
+		{1, 1, [][2]int{{0, 1}}},
+	}
+	for _, tc := range cases {
+		got := Chunks(tc.n, tc.size)
+		if len(got) != len(tc.want) {
+			t.Fatalf("Chunks(%d, %d) = %v, want %v", tc.n, tc.size, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("Chunks(%d, %d) = %v, want %v", tc.n, tc.size, got, tc.want)
+			}
+		}
+	}
+	// Spans must tile [0, n) exactly, in order.
+	for _, span := range Chunks(23, 5) {
+		if span[1] <= span[0] {
+			t.Fatalf("empty span %v", span)
+		}
+	}
+}

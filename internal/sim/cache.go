@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -55,23 +56,63 @@ func recordedTrace(uc uarch.Config, bench string, n int) (*trace.Trace, error) {
 	return v.(*trace.Trace), nil
 }
 
+// powerKey is a comparable projection of power.Config: the scalar
+// fields verbatim plus the UnitDynamic map spread into a fixed
+// per-kind array (blocks only ever carry enum kinds, so the array
+// captures every entry the calculator can read). Being a flat value
+// type it hashes without formatting anything, unlike the old
+// fmt.Sprintf("%+v") fingerprint, and cannot silently collide if a
+// field's print format changes.
+type powerKey struct {
+	vMax, vFloor, sMin                 float64
+	leakPerArea, leakBeta, leakT0      float64
+	stallDynFraction, globalDynamicScl float64
+	unitDynamic                        [floorplan.NumUnitKinds]float64
+}
+
+func powerFingerprint(c power.Config) powerKey {
+	k := powerKey{
+		vMax: c.VMax, vFloor: c.VFloor, sMin: c.SMin,
+		leakPerArea: c.LeakagePerArea, leakBeta: c.LeakageBeta, leakT0: c.LeakageT0,
+		stallDynFraction: c.StallDynFraction, globalDynamicScl: c.GlobalDynamicScale,
+	}
+	for kind, w := range c.UnitDynamic {
+		if kind >= 0 && kind < floorplan.NumUnitKinds {
+			k.unitDynamic[kind] = w
+		}
+	}
+	return k
+}
+
 // warmupKey identifies one pre-warm steady state. Floorplans are
-// memoized singletons, so pointer identity suffices; power.Config
-// contains a map and is fingerprinted through fmt (map keys print in
-// sorted order, so the string is deterministic).
+// memoized singletons, so pointer identity suffices; power.Config is
+// projected into the comparable powerKey. caps folds in CoreMaxScale
+// (bit-exact, one hex word per core), since heterogeneous frequency
+// caps change the average warmup power.
 type warmupKey struct {
 	fp      *floorplan.Floorplan
 	tp      thermal.Params
 	uc      uarch.Config
-	pw      string
+	pw      powerKey
 	benches string // the initial core assignment, in order
+	caps    string
 	nTrace  int
 	target  float64 // warmup target temperature, °C
 }
 
 var warmupCache sync.Map // warmupKey -> []float64 (read-only node temps)
 
-func powerFingerprint(c power.Config) string { return fmt.Sprintf("%+v", c) }
+func coreCapsFingerprint(caps []float64) string {
+	if len(caps) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, v := range caps {
+		sb.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
 
 // initialTemps returns the pre-warmed full-node temperature vector for
 // this runner's configuration: the steady state of the mix's average
@@ -91,6 +132,7 @@ func (r *Runner) initialTemps() ([]float64, error) {
 		uc:      cfg.Uarch,
 		pw:      powerFingerprint(cfg.Power),
 		benches: strings.Join(r.benchNames[:r.nCores], "\x1f"),
+		caps:    coreCapsFingerprint(cfg.CoreMaxScale),
 		nTrace:  cfg.TraceIntervals,
 		target:  target,
 	}

@@ -204,7 +204,7 @@ func (r *Runner) Throttler() core.Throttler { return r.throt }
 func (r *Runner) averageTracePower() []float64 {
 	nb := len(r.cfg.Floorplan.Blocks)
 	activity := make([]float64, nb)
-	counts := make([]float64, nb)
+	shared := make([]float64, nb)
 	for c := 0; c < r.nCores; c++ {
 		tr := r.cursors[c].Trace()
 		var mean uarch.Sample
@@ -217,9 +217,16 @@ func (r *Runner) averageTracePower() []float64 {
 		for k := range mean.Activity {
 			mean.Activity[k] /= float64(tr.Len())
 		}
-		r.fillCoreActivity(activity, counts, c, &mean, 1.0)
+		// The warmup estimate sees each core at the fastest it can
+		// actually run: capped cores (heterogeneous chips) issue
+		// correspondingly less shared-structure traffic.
+		eff := 1.0
+		if len(r.cfg.CoreMaxScale) == r.nCores {
+			eff = r.cfg.CoreMaxScale[c]
+		}
+		r.fillCoreActivity(activity, shared, c, &mean, eff)
 	}
-	r.finalizeShared(activity, counts)
+	r.finalizeShared(activity, shared)
 	temps := make([]float64, nb)
 	for i := range temps {
 		temps[i] = 75
@@ -271,6 +278,46 @@ func (r *Runner) finalizeShared(activity, shared []float64) {
 
 // Run executes the simulation and returns the collected metrics.
 func (r *Runner) Run() (*metrics.Run, error) {
+	st, err := r.begin(true)
+	if err != nil {
+		return nil, err
+	}
+	for !st.done() {
+		if err := st.pre(); err != nil {
+			return nil, err
+		}
+		r.model.Step(st.dt)
+		st.post()
+	}
+	return st.finish()
+}
+
+// tickState is the per-run loop state of one simulation, split out of
+// Run so the sequential driver above and the lockstep BatchRunner can
+// execute the identical per-tick code — controllers, scheduling,
+// power, metrics — with only the thermal advance differing between
+// them. One tick is pre() (everything up to and including SetPower),
+// the thermal step (owned by the driver), then post() (metrics and the
+// probe).
+type tickState struct {
+	r     *Runner
+	m     *metrics.Run
+	dt    float64
+	ticks int64
+	tick  int64
+	now   float64
+
+	temps, activity, shared, powerVec []float64
+
+	coreStates []power.CoreState
+	assignment []int
+	cmds       []core.CoreCommand
+}
+
+// begin arms the thermal fast path (unless the caller owns it, as the
+// batch driver does), installs the memoized warmup state, and returns
+// the loop state positioned at tick 0.
+func (r *Runner) begin(armExact bool) (*tickState, error) {
 	cfg := r.cfg
 	dt := cfg.Policy.SamplePeriod
 	nb := len(cfg.Floorplan.Blocks)
@@ -280,7 +327,7 @@ func (r *Runner) Run() (*metrics.Run, error) {
 	// discretization is memoized per (template, dt) and deterministic,
 	// so parallel sweep workers share one build and produce identical
 	// trajectories. Off-grid steps still fall back to RK4.
-	if r.model.PreferExact(dt) {
+	if armExact && r.model.PreferExact(dt) {
 		if err := r.model.UseExact(dt); err != nil {
 			return nil, fmt.Errorf("sim: arming exact thermal step: %w", err)
 		}
@@ -294,154 +341,179 @@ func (r *Runner) Run() (*metrics.Run, error) {
 	}
 	r.model.SetNodeTemps(warm)
 
-	m := metrics.NewRun(r.spec.String(), r.label, r.nCores)
-	temps := make([]float64, nb)
-	activity := make([]float64, nb)
-	shared := make([]float64, nb)
-	powerVec := make([]float64, nb)
-	coreStates := make([]power.CoreState, r.nCores)
-	assignment := r.sched.Assignment()
+	return &tickState{
+		r:          r,
+		m:          metrics.NewRun(r.spec.String(), r.label, r.nCores),
+		dt:         dt,
+		ticks:      int64(cfg.SimTime/dt + 0.5),
+		temps:      make([]float64, nb),
+		activity:   make([]float64, nb),
+		shared:     make([]float64, nb),
+		powerVec:   make([]float64, nb),
+		coreStates: make([]power.CoreState, r.nCores),
+		assignment: r.sched.Assignment(),
+	}, nil
+}
 
-	now := 0.0
-	ticks := int64(cfg.SimTime/dt + 0.5)
-	for tick := int64(0); tick < ticks; tick++ {
-		r.model.BlockTemps(temps)
+// done reports whether the run has completed all its ticks.
+func (s *tickState) done() bool { return s.tick >= s.ticks }
 
-		// Inner loop: throttling decision.
-		cmds := r.throt.Decide(now, tick, temps)
+// pre executes the control half of one tick: throttling, preemption,
+// migration, per-core progress accounting, and the power computation,
+// ending with the power vector installed on the thermal model. The
+// driver must follow it with exactly one dt-sized thermal advance and
+// then post.
+func (s *tickState) pre() error {
+	r, m, cfg := s.r, s.m, s.r.cfg
+	now, tick, dt := s.now, s.tick, s.dt
+	temps, activity, shared := s.temps, s.activity, s.shared
 
-		// Fairness preemption (time-shared multiprogramming): when more
-		// processes than cores are runnable, the longest-waiting process
-		// replaces the longest-running one each timeslice.
-		if r.timeshared && r.sched.NeedsRotation(now) {
-			before := r.sched.Assignment()
-			next := r.sched.RotationAssignment(now)
-			if _, err := r.sched.Apply(now, next); err != nil {
-				return nil, err
-			}
-			r.sched.MarkRotation(now)
-			m.Preemptions++
-			for c := range next {
-				if before[c] != next[c] {
-					r.throt.NotifyMigration(c)
-				}
-			}
-			assignment = r.sched.Assignment()
+	r.model.BlockTemps(temps)
+
+	// Inner loop: throttling decision.
+	s.cmds = r.throt.Decide(now, tick, temps)
+
+	// Fairness preemption (time-shared multiprogramming): when more
+	// processes than cores are runnable, the longest-waiting process
+	// replaces the longest-running one each timeslice.
+	if r.timeshared && r.sched.NeedsRotation(now) {
+		before := r.sched.Assignment()
+		next := r.sched.RotationAssignment(now)
+		if _, err := r.sched.Apply(now, next); err != nil {
+			return err
 		}
-
-		// Outer loop: migration decision (Figure 1).
-		if r.migCtl != nil {
-			// The scaling relation used to normalize observations back to
-			// full speed depends on the inner mechanism: cubic for DVFS
-			// (§6.1/§6.3), linear for stop-go, whose trend scale is a
-			// run/stall duty rather than a frequency.
-			dynScale := cfg.Power.DynamicScale
-			if r.spec.Mechanism == core.StopGo {
-				dynScale = func(s float64) float64 { return s }
-			}
-			ctx := &migration.Context{
-				Now: now, Tick: tick,
-				Sched: r.sched, BlockTemps: temps,
-				Throttler: r.throt, FP: cfg.Floorplan, Bank: r.bank,
-				DynScale: dynScale,
-			}
-			if assign, decided := r.migCtl.Step(ctx); decided {
-				before := r.sched.Assignment()
-				moved, err := r.sched.Apply(now, assign)
-				if err != nil {
-					return nil, err
-				}
-				if moved > 0 {
-					m.Migrations++
-					for c := range assign {
-						if before[c] != assign[c] {
-							r.throt.NotifyMigration(c)
-						}
-					}
-				}
-				assignment = r.sched.Assignment()
+		r.sched.MarkRotation(now)
+		m.Preemptions++
+		for c := range next {
+			if before[c] != next[c] {
+				r.throt.NotifyMigration(c)
 			}
 		}
-
-		// Per-core progress in absolute time.
-		for c := 0; c < r.nCores; c++ {
-			cmd := cmds[c]
-			// Heterogeneous cores: a little core cannot exceed its cap
-			// regardless of the thermal controller's output.
-			if len(cfg.CoreMaxScale) == r.nCores && cmd.Scale > cfg.CoreMaxScale[c] {
-				cmd.Scale = cfg.CoreMaxScale[c]
-			}
-			avail := dt
-			if r.sched.InPenalty(c, now) {
-				// Migration penalty consumes the whole tick (100 µs ≈ 3.6
-				// ticks); count it as overhead.
-				avail = 0
-				m.PenaltySeconds += dt
-			}
-			if cmd.Stall {
-				avail = 0
-				m.StallSeconds += dt
-				coreStates[c] = power.CoreState{Scale: 1, Stalled: true}
-			} else {
-				if cmd.Scale != r.prevScale[c] {
-					// PLL/voltage retarget cost (10 µs, Table 3).
-					avail -= cfg.Policy.TransitionPenalty
-					if avail < 0 {
-						avail = 0
-					}
-					m.PenaltySeconds += cfg.Policy.TransitionPenalty
-					m.Transitions++
-					r.prevScale[c] = cmd.Scale
-				}
-				coreStates[c] = power.CoreState{Scale: cmd.Scale}
-			}
-
-			proc := r.sched.ProcessOn(c)
-			cur := r.cursors[proc.ID]
-			sample := cur.Current()
-			effScale := 0.0
-			if avail > 0 && !cmd.Stall {
-				effScale = cmd.Scale * (avail / dt)
-				retired := cur.Advance(effScale)
-				m.Instructions += retired
-				m.PerCoreInstr[c] += retired
-				adjCycles := effScale * float64(cfg.Uarch.SampleCycles)
-				proc.Account(dt, osched.Counters{
-					AdjCycles:    adjCycles,
-					Instructions: retired,
-					IntRFAccess:  sample.ActivityFor(floorplan.KindIntRegFile) * adjCycles,
-					FPRFAccess:   sample.ActivityFor(floorplan.KindFPRegFile) * adjCycles,
-				})
-			}
-			m.WorkSeconds += effScale * dt
-
-			// Power inputs reflect the thread state even when stalled
-			// (frozen state still leaks and burns residual clock power).
-			r.fillCoreActivity(activity, shared, c, sample, effScale)
-		}
-		r.finalizeShared(activity, shared)
-
-		// Thermal step with leakage-temperature feedback.
-		r.calc.BlockPower(powerVec, activity, coreStates, temps)
-		r.model.SetPower(powerVec)
-		r.model.Step(dt)
-
-		// Metrics: emergencies measured on true block temperatures.
-		hot, _ := r.model.MaxBlockTemp()
-		if hot > m.MaxTempC {
-			m.MaxTempC = hot
-		}
-		if hot > cfg.Policy.ThresholdC {
-			m.EmergencySeconds += dt
-		}
-		if r.probe != nil {
-			r.probe(now, tick, temps, cmds, assignment)
-		}
-		now += dt
+		s.assignment = r.sched.Assignment()
 	}
-	m.SimTime = now
-	if err := m.Validate(); err != nil {
+
+	// Outer loop: migration decision (Figure 1).
+	if r.migCtl != nil {
+		// The scaling relation used to normalize observations back to
+		// full speed depends on the inner mechanism: cubic for DVFS
+		// (§6.1/§6.3), linear for stop-go, whose trend scale is a
+		// run/stall duty rather than a frequency.
+		dynScale := cfg.Power.DynamicScale
+		if r.spec.Mechanism == core.StopGo {
+			dynScale = func(s float64) float64 { return s }
+		}
+		ctx := &migration.Context{
+			Now: now, Tick: tick,
+			Sched: r.sched, BlockTemps: temps,
+			Throttler: r.throt, FP: cfg.Floorplan, Bank: r.bank,
+			DynScale: dynScale,
+		}
+		if assign, decided := r.migCtl.Step(ctx); decided {
+			before := r.sched.Assignment()
+			moved, err := r.sched.Apply(now, assign)
+			if err != nil {
+				return err
+			}
+			if moved > 0 {
+				m.Migrations++
+				for c := range assign {
+					if before[c] != assign[c] {
+						r.throt.NotifyMigration(c)
+					}
+				}
+			}
+			s.assignment = r.sched.Assignment()
+		}
+	}
+
+	// Per-core progress in absolute time.
+	for c := 0; c < r.nCores; c++ {
+		cmd := s.cmds[c]
+		// Heterogeneous cores: a little core cannot exceed its cap
+		// regardless of the thermal controller's output.
+		if len(cfg.CoreMaxScale) == r.nCores && cmd.Scale > cfg.CoreMaxScale[c] {
+			cmd.Scale = cfg.CoreMaxScale[c]
+		}
+		avail := dt
+		if r.sched.InPenalty(c, now) {
+			// Migration penalty consumes the whole tick (100 µs ≈ 3.6
+			// ticks); count it as overhead.
+			avail = 0
+			m.PenaltySeconds += dt
+		}
+		if cmd.Stall {
+			avail = 0
+			m.StallSeconds += dt
+			s.coreStates[c] = power.CoreState{Scale: 1, Stalled: true}
+		} else {
+			if cmd.Scale != r.prevScale[c] {
+				// PLL/voltage retarget cost (10 µs, Table 3).
+				avail -= cfg.Policy.TransitionPenalty
+				if avail < 0 {
+					avail = 0
+				}
+				m.PenaltySeconds += cfg.Policy.TransitionPenalty
+				m.Transitions++
+				r.prevScale[c] = cmd.Scale
+			}
+			s.coreStates[c] = power.CoreState{Scale: cmd.Scale}
+		}
+
+		proc := r.sched.ProcessOn(c)
+		cur := r.cursors[proc.ID]
+		sample := cur.Current()
+		effScale := 0.0
+		if avail > 0 && !cmd.Stall {
+			effScale = cmd.Scale * (avail / dt)
+			retired := cur.Advance(effScale)
+			m.Instructions += retired
+			m.PerCoreInstr[c] += retired
+			adjCycles := effScale * float64(cfg.Uarch.SampleCycles)
+			proc.Account(dt, osched.Counters{
+				AdjCycles:    adjCycles,
+				Instructions: retired,
+				IntRFAccess:  sample.ActivityFor(floorplan.KindIntRegFile) * adjCycles,
+				FPRFAccess:   sample.ActivityFor(floorplan.KindFPRegFile) * adjCycles,
+			})
+		}
+		m.WorkSeconds += effScale * dt
+
+		// Power inputs reflect the thread state even when stalled
+		// (frozen state still leaks and burns residual clock power).
+		r.fillCoreActivity(activity, shared, c, sample, effScale)
+	}
+	r.finalizeShared(activity, shared)
+
+	// Power for the thermal step, with leakage-temperature feedback.
+	r.calc.BlockPower(s.powerVec, activity, s.coreStates, temps)
+	r.model.SetPower(s.powerVec)
+	return nil
+}
+
+// post executes the metrics half of one tick, after the thermal
+// advance: emergencies measured on true block temperatures, then the
+// probe, then the clock.
+func (s *tickState) post() {
+	r, m := s.r, s.m
+	hot, _ := r.model.MaxBlockTemp()
+	if hot > m.MaxTempC {
+		m.MaxTempC = hot
+	}
+	if hot > r.cfg.Policy.ThresholdC {
+		m.EmergencySeconds += s.dt
+	}
+	if r.probe != nil {
+		r.probe(s.now, s.tick, s.temps, s.cmds, s.assignment)
+	}
+	s.now += s.dt
+	s.tick++
+}
+
+// finish seals and validates the collected metrics.
+func (s *tickState) finish() (*metrics.Run, error) {
+	s.m.SimTime = s.now
+	if err := s.m.Validate(); err != nil {
 		return nil, err
 	}
-	return m, nil
+	return s.m, nil
 }

@@ -14,6 +14,9 @@
 #   - kernel_expm_dirty_ns_per_op: BenchmarkThermalStepExpmDirty (same
 #     with per-tick SetPower, the simulator's leakage-feedback pattern)
 #   - kernel_expm_speedup: RK4 step time / exact step time
+#   - kernel_batch_ns_per_lane: BenchmarkThermalStepBatch8 per-lane cost
+#     (eight models stepped in lockstep through one shared propagator)
+#   - batch_speedup: dirty exact step time / batched per-lane step time
 #   - sweep wall-clock of a quick reproduction at -parallel 1 vs all CPUs
 #
 # On a single-core machine the two sweep times are expected to match;
@@ -46,6 +49,11 @@ flat_ns=$(bench_ns BenchmarkThermalStepFlat)
 expm_ns=$(bench_ns BenchmarkThermalStepExpm)
 expm_dirty_ns=$(bench_ns BenchmarkThermalStepExpmDirty)
 expm_speedup=$(awk -v a="$step_ns" -v b="$expm_ns" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
+# BenchmarkThermalStepBatch8 steps eight lanes per op; per-lane cost is
+# ns/op divided by the batch width.
+batch8_ns=$(bench_ns BenchmarkThermalStepBatch8)
+batch_lane_ns=$(awk -v a="$batch8_ns" 'BEGIN { printf "%.1f", a / 8 }')
+batch_speedup=$(awk -v a="$expm_dirty_ns" -v b="$batch_lane_ns" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
 echo "quick sweep, sequential..." >&2
 seq_s=$(sweep_seconds 1)
@@ -62,6 +70,8 @@ cat >"$out" <<EOF
   "kernel_expm_ns_per_op": ${expm_ns},
   "kernel_expm_dirty_ns_per_op": ${expm_dirty_ns},
   "kernel_expm_speedup": ${expm_speedup},
+  "kernel_batch_ns_per_lane": ${batch_lane_ns},
+  "batch_speedup": ${batch_speedup},
   "sweep_quick_sequential_s": ${seq_s},
   "sweep_quick_parallel_s": ${par_s},
   "sweep_parallel_speedup": ${speedup}
