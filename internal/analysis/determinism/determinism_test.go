@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/determinism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", determinism.Analyzer)
+}

@@ -1,0 +1,3 @@
+module fixture.example/determinism
+
+go 1.22

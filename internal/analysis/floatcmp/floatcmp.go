@@ -1,0 +1,98 @@
+// Package floatcmp flags == and != between floating-point operands
+// (and switch statements dispatching on a float tag). Temperature
+// thresholds, duty cycles, and controller outputs are exactly where
+// DTM policies go subtly wrong: `temp == threshold` silently never
+// fires, and a policy compares equal on one build and not another once
+// FMA contraction or SIMD dispatch changes the low bits. Comparisons
+// should go through a tolerance helper (internal/poly keeps the
+// approved ones) or, where exact equality is genuinely the contract —
+// memo-key checks, saturation sentinels, skip-zero fast paths — carry
+// a //mtlint:allow floatcmp annotation stating why.
+//
+// Test files are exempt (tests legitimately assert bit-exactness), as
+// is the internal/poly package itself.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the float-comparison check.
+var Analyzer = &driver.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= and switch on floating-point operands outside approved tolerance helpers",
+	Run:  run,
+}
+
+// AllowedPackages are packages whose whole purpose is exact float
+// manipulation; their comparisons are the approved tolerance helpers
+// everyone else should call.
+var AllowedPackages = map[string]bool{
+	"poly": true,
+}
+
+func run(pass *driver.Pass) error {
+	pkg := pass.Pkg
+	if AllowedPackages[pkg.Name] {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for i, file := range pass.Files() {
+		if strings.HasSuffix(pkg.GoFiles[i], "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkCmp(pass, info, n)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(info, n.Tag) && !constExpr(info, n.Tag) {
+					if !driver.Allowed(pkg, n.Pos(), "floatcmp") {
+						pass.Reportf(n.Pos(), "switch on floating-point value; equality cases are unreliable — compare with a tolerance instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCmp(pass *driver.Pass, info *types.Info, cmp *ast.BinaryExpr) {
+	if !isFloat(info, cmp.X) && !isFloat(info, cmp.Y) {
+		return
+	}
+	// Both sides compile-time constants: the comparison is resolved by
+	// the compiler in exact arithmetic and cannot drift at run time.
+	if constExpr(info, cmp.X) && constExpr(info, cmp.Y) {
+		return
+	}
+	if driver.Allowed(pass.Pkg, cmp.Pos(), "floatcmp") {
+		return
+	}
+	pass.Reportf(cmp.Pos(), "floating-point %s comparison; use a tolerance helper or annotate //mtlint:allow floatcmp with why exact equality is the contract", cmp.Op)
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func constExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

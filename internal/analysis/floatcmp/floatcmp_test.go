@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/floatcmp"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", floatcmp.Analyzer)
+}

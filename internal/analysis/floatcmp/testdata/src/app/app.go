@@ -1,0 +1,37 @@
+// Package app exercises the float-comparison check: bare ==/!= and
+// float switches are flagged, constant folds and annotated sentinels
+// are not.
+package app
+
+func Equal(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func NotEqual(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func MixedConst(x float64) bool {
+	return x == 1.5 // want `floating-point == comparison`
+}
+
+func Classify(x float64) int {
+	switch x { // want `switch on floating-point value`
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+const eps = 1e-9
+
+// BothConst folds at compile time in exact arithmetic; not flagged.
+func BothConst() bool { return eps == 1e-9 }
+
+// SkipZero documents an exact-equality contract; suppressed.
+func SkipZero(x float64) bool {
+	return x == 0 //mtlint:allow floatcmp exact-zero sentinel is the contract
+}
+
+// Ints are not the analyzer's business.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,4 @@
+package app
+
+// Test files are exempt: asserting bit-exactness is what they are for.
+func bitExact(a, b float64) bool { return a == b }

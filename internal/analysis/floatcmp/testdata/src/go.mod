@@ -1,0 +1,3 @@
+module fixture.example/floatcmp
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package poly is name-exempt: its comparisons ARE the approved
+// tolerance helpers, so nothing here is flagged.
+package poly
+
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,125 @@
+// Package kernelparity keeps the assembly kernels honest. Every
+// body-less Go declaration backed by a .s file (the AVX-512 fused-tick
+// kernels in internal/linalg) must name a pure-Go twin via
+// //mtlint:generic and the differential test or fuzz target that
+// exercises both, so the generic fallback — the only path on
+// non-AVX-512 hosts and under the noasm build tag — can never rot
+// silently. Detection primitives that have no meaningful generic
+// counterpart (CPUID probes) opt out explicitly with
+// //mtlint:nogeneric and a reason.
+//
+// Checked per prototype:
+//
+//  1. a //mtlint:generic <twin> tested-by <TestOrFuzz> (or
+//     //mtlint:nogeneric <reason>) directive is present;
+//  2. the named twin exists in the package with a body;
+//  3. the named test/fuzz function exists in the package's test files
+//     and its body references the twin, so the differential coverage
+//     claim is real.
+package kernelparity
+
+import (
+	"go/ast"
+	"strings"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the asm/generic parity check.
+var Analyzer = &driver.Analyzer{
+	Name: "kernelparity",
+	Doc:  "require every asm-backed function to declare a generic twin and a differential test referencing it",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) error {
+	pkg := pass.Pkg
+	if len(pkg.SFiles) == 0 {
+		return nil
+	}
+
+	// Functions with bodies, by name (receivers ignored: kernel twins
+	// are uniquely named within the package).
+	defined := map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				defined[fn.Name.Name] = true
+			}
+		}
+	}
+	// Test/fuzz functions, by name, with their bodies for reference
+	// scanning.
+	testFns := map[string]*ast.FuncDecl{}
+	for _, file := range pkg.TestFiles {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				testFns[fn.Name.Name] = fn
+			}
+		}
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body != nil {
+				continue
+			}
+			checkPrototype(pass, fn, defined, testFns)
+		}
+	}
+	return nil
+}
+
+func checkPrototype(pass *driver.Pass, fn *ast.FuncDecl, defined map[string]bool, testFns map[string]*ast.FuncDecl) {
+	name := fn.Name.Name
+	if reason, ok := driver.FuncDirective(fn, "nogeneric"); ok {
+		if strings.TrimSpace(reason) == "" {
+			pass.Reportf(fn.Pos(), "asm function %s: //mtlint:nogeneric needs a reason", name)
+		}
+		return
+	}
+	args, ok := driver.FuncDirective(fn, "generic")
+	if !ok {
+		pass.Reportf(fn.Pos(), "asm function %s has no registered generic twin; add //mtlint:generic <twin> tested-by <TestOrFuzz> (or //mtlint:nogeneric <reason>)", name)
+		return
+	}
+	fields := strings.Fields(args)
+	if len(fields) != 3 || fields[1] != "tested-by" {
+		pass.Reportf(fn.Pos(), "asm function %s: malformed directive; want //mtlint:generic <twin> tested-by <TestOrFuzz>", name)
+		return
+	}
+	twin, testName := fields[0], fields[2]
+	if !defined[twin] {
+		pass.Reportf(fn.Pos(), "asm function %s: generic twin %s is not defined in this package", name, twin)
+		return
+	}
+	tf, ok := testFns[testName]
+	if !ok {
+		pass.Reportf(fn.Pos(), "asm function %s: differential target %s not found in package tests", name, testName)
+		return
+	}
+	if !references(tf, twin) {
+		pass.Reportf(fn.Pos(), "asm function %s: %s does not reference generic twin %s, so it cannot be differential", name, testName, twin)
+	}
+}
+
+// references reports whether fn's body mentions ident name (as a plain
+// identifier or a method selector).
+func references(fn *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == name {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package kernelparity_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/kernelparity"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", kernelparity.Analyzer)
+}

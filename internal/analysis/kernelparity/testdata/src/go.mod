@@ -1,0 +1,3 @@
+module fixture.example/kernelparity
+
+go 1.22

@@ -1,0 +1,34 @@
+// Package kern exercises the asm/generic parity contract: one
+// prototype per failure mode, plus fully compliant registrations.
+package kern
+
+// addGeneric is the pure-Go twin of addAsm.
+func addGeneric(a, b float64) float64 { return a + b }
+
+// addAsm is properly registered: twin defined, test exists and
+// references the twin.
+//
+//mtlint:generic addGeneric tested-by TestAddDiff
+func addAsm(a, b float64) float64
+
+// cpuidAsm opts out with a reason.
+//
+//mtlint:nogeneric feature probe, no arithmetic to mirror
+func cpuidAsm() uint32
+
+//mtlint:generic subGeneric tested-by TestAddDiff
+func subAsm(a, b float64) float64 // want `generic twin subGeneric is not defined`
+
+//mtlint:generic addGeneric tested-by TestDivDiff
+func divAsm(a, b float64) float64 // want `differential target TestDivDiff not found`
+
+//mtlint:generic addGeneric tested-by TestUnrelated
+func negAsm(a float64) float64 // want `TestUnrelated does not reference generic twin addGeneric`
+
+//mtlint:generic addGeneric
+func badAsm(a float64) float64 // want `malformed directive`
+
+//mtlint:nogeneric
+func probeAsm() uint32 // want `//mtlint:nogeneric needs a reason`
+
+func mulAsm(a, b float64) float64 // want `asm function mulAsm has no registered generic twin`

@@ -1,0 +1,15 @@
+package kern
+
+import "testing"
+
+// TestAddDiff references the generic twin, so the coverage claim in
+// the addAsm directive is real.
+func TestAddDiff(t *testing.T) {
+	if addGeneric(1, 2) != 3 {
+		t.Fatal("addGeneric(1, 2)")
+	}
+}
+
+// TestUnrelated never touches addGeneric; directives naming it must be
+// rejected.
+func TestUnrelated(t *testing.T) {}

@@ -1,0 +1,2 @@
+// Empty assembly file: its presence lets the compiler accept the
+// body-less prototypes in kern.go; nothing here is ever linked.

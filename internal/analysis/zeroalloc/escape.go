@@ -1,0 +1,87 @@
+package zeroalloc
+
+import (
+	"bufio"
+	"io"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Escape is one heap allocation reported by the compiler's escape
+// analysis (`go build -gcflags=-m`).
+type Escape struct {
+	File string // base name of the source file
+	Line int
+	Col  int
+	Msg  string // the compiler's message, e.g. "make([]float64, n) escapes to heap"
+}
+
+// ParseEscapes extracts heap-allocation events from -gcflags=-m
+// output. Only messages that imply a per-call or per-variable heap
+// allocation are returned:
+//
+//	foo.go:12:9: make([]float64, n) escapes to heap
+//	foo.go:7:2: moved to heap: buf
+//
+// Inlining notes, "does not escape" lines, "leaking param" notes (a
+// pointer outliving the call is not an allocation), and "# pkg"
+// headers are ignored.
+func ParseEscapes(r io.Reader) []Escape {
+	var out []Escape
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, ln, col, msg, ok := splitPos(line)
+		if !ok {
+			continue
+		}
+		if !isAllocation(msg) {
+			continue
+		}
+		out = append(out, Escape{File: path.Base(file), Line: ln, Col: col, Msg: msg})
+	}
+	return out
+}
+
+// isAllocation reports whether a -m message describes a heap
+// allocation, as opposed to inlining chatter or pointer-flow notes.
+func isAllocation(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	if strings.HasPrefix(msg, "leaking param") {
+		return false
+	}
+	return strings.HasSuffix(msg, "escapes to heap") ||
+		strings.Contains(msg, "escapes to heap:") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// splitPos parses "file.go:line:col: message". The compiler may print
+// the file with a relative directory prefix; it is preserved here and
+// reduced to a base name by the caller.
+func splitPos(line string) (file string, ln, col int, msg string, ok bool) {
+	// message = text after the third colon-space.
+	i := strings.Index(line, ": ")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	pos, msg := line[:i], line[i+2:]
+	parts := strings.Split(pos, ":")
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	colStr, lineStr := parts[len(parts)-1], parts[len(parts)-2]
+	file = strings.Join(parts[:len(parts)-2], ":")
+	ln, err1 := strconv.Atoi(lineStr)
+	col, err2 := strconv.Atoi(colStr)
+	if err1 != nil || err2 != nil || !strings.HasSuffix(file, ".go") {
+		return "", 0, 0, "", false
+	}
+	return file, ln, col, msg, true
+}

@@ -1,0 +1,60 @@
+package zeroalloc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// pinnedEscapeOutput is a verbatim `go build -gcflags=-m` transcript
+// (go1.22, linux/amd64) of a small package exercising every diagnostic
+// shape the parser must classify: inlining notes, non-escaping params,
+// leaking params, argument-box escapes, and heap moves. Pinning the
+// text keeps the parser honest even if the local toolchain later
+// changes its phrasing — such a change should fail here first, not
+// silently blind the analyzer.
+const pinnedEscapeOutput = `# esc.example/sample
+./sample.go:5:6: can inline Sum
+./sample.go:13:6: can inline Grow
+./sample.go:21:6: can inline Boxed
+./sample.go:25:6: can inline Moved
+./sample.go:30:6: can inline Keep
+./sample.go:5:10: xs does not escape
+./sample.go:14:13: make([]float64, n) escapes to heap
+./sample.go:22:19: fmt.Sprintf("bad value %g", ... argument...) escapes to heap
+./sample.go:22:19: ... argument does not escape
+./sample.go:22:36: x escapes to heap
+./sample.go:26:2: moved to heap: v
+./sample.go:30:11: leaking param: p to result ~r0 level=0
+`
+
+func TestParseEscapesPinned(t *testing.T) {
+	got := ParseEscapes(strings.NewReader(pinnedEscapeOutput))
+	want := []Escape{
+		{File: "sample.go", Line: 14, Col: 13, Msg: "make([]float64, n) escapes to heap"},
+		{File: "sample.go", Line: 22, Col: 19, Msg: `fmt.Sprintf("bad value %g", ... argument...) escapes to heap`},
+		{File: "sample.go", Line: 22, Col: 36, Msg: "x escapes to heap"},
+		{File: "sample.go", Line: 26, Col: 2, Msg: "moved to heap: v"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseEscapes:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseEscapesNonAllocationLinesIgnored(t *testing.T) {
+	// Every line here is compiler chatter, not an allocation: package
+	// headers, inlining decisions, parameters that merely leak (the
+	// allocation, if any, happens at the caller), and explicit
+	// non-escapes.
+	const chatter = `# pkg/path
+./a.go:5:6: can inline Sum
+./a.go:7:10: inlining call to Sum
+./a.go:5:10: xs does not escape
+./a.go:30:11: leaking param: p to result ~r0 level=0
+./a.go:31:12: leaking param content: q
+not a diagnostic line at all
+`
+	if got := ParseEscapes(strings.NewReader(chatter)); len(got) != 0 {
+		t.Fatalf("expected no escapes from chatter, got %+v", got)
+	}
+}

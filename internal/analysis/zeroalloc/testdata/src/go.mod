@@ -1,0 +1,3 @@
+module fixture.example/zeroalloc
+
+go 1.22

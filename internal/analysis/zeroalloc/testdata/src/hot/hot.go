@@ -1,0 +1,47 @@
+// Package hot exercises the zero-allocation gate: escapes inside
+// marked functions are flagged, everything else is ignored.
+package hot
+
+// Sum is marked and clean: it only reads its arguments.
+//
+//mtlint:zeroalloc
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Scale is marked and clean: it writes through a caller-owned buffer.
+//
+//mtlint:zeroalloc
+func Scale(dst, src []float64, c float64) {
+	for i, v := range src {
+		dst[i] = c * v
+	}
+}
+
+// Grow is marked and allocates: the make escapes through the return.
+//
+//mtlint:zeroalloc
+func Grow(n int) []float64 {
+	out := make([]float64, n) // want `heap allocation in zeroalloc function Grow`
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// Box is marked and moves its local to the heap.
+//
+//mtlint:zeroalloc
+func Box() *float64 {
+	v := 1.0 // want `heap allocation in zeroalloc function Box`
+	return &v
+}
+
+// Fine allocates but is unmarked, so it is not the analyzer's business.
+func Fine(n int) []float64 {
+	return make([]float64, n)
+}

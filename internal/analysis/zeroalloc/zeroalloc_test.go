@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/zeroalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", zeroalloc.Analyzer)
+}

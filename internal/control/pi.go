@@ -120,7 +120,7 @@ func (p *PIRuntime) Step(measuredTemp float64) float64 {
 	// steady-state accuracy; rail values always pass through so full
 	// recovery is never held up.
 	if math.Abs(next-p.applied) >= p.limits.MinTransition ||
-		next == p.limits.Max || next == p.limits.Min {
+		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits
 		p.applied = next
 	}
 

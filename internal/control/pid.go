@@ -17,7 +17,7 @@ import (
 // that claim testable.
 func PID(kp, ki, kd, tauF float64) TF {
 	pi := PI(kp, ki)
-	if kd == 0 {
+	if kd == 0 { //mtlint:allow floatcmp exact zero means no derivative term configured
 		return pi
 	}
 	d := TF{Num: poly.New(0, kd), Den: poly.New(1, tauF)}
@@ -86,7 +86,7 @@ func (p *PIDRuntime) Step(measuredTemp float64) float64 {
 	}
 	p.u = next
 	if math.Abs(next-p.applied) >= p.limits.MinTransition ||
-		next == p.limits.Max || next == p.limits.Min {
+		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits
 		p.applied = next
 	}
 	p.prev2 = p.prevErr

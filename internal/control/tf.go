@@ -5,6 +5,8 @@
 // the discrete PI runtime with the hardware non-idealities the paper
 // discusses — output clipping, anti-windup, and a minimum-transition
 // deadband.
+//
+//mtlint:deterministic
 package control
 
 import (
@@ -84,7 +86,7 @@ func (g TF) Eval(s complex128) complex128 {
 // the origin (e.g. a pure integrator).
 func (g TF) DCGain() float64 {
 	d := g.Den.Eval(0)
-	if d == 0 {
+	if d == 0 { //mtlint:allow floatcmp exact zero denominator is the pole-at-origin contract
 		return math.Inf(sign(g.Num.Eval(0)))
 	}
 	return g.Num.Eval(0) / d

@@ -6,6 +6,8 @@
 // §2.4). Migration controllers (the third taxonomy axis) build on these
 // throttlers' trend data and live in internal/migration; the two-loop
 // composition of Figure 1 is assembled by the simulator.
+//
+//mtlint:deterministic
 package core
 
 import (

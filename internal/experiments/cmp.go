@@ -113,8 +113,8 @@ func (s *PolicyStudy) Relative(spec core.PolicySpec) float64 {
 // thermal emergencies).
 func (s *PolicyStudy) Emergencies() float64 {
 	var total float64
-	for _, runs := range s.Runs {
-		for _, r := range runs {
+	for _, spec := range s.Specs {
+		for _, r := range s.Runs[spec] {
 			total += r.EmergencySeconds
 		}
 	}

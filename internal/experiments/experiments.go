@@ -5,6 +5,8 @@
 // sensitivity/validation studies of §5.3. Each experiment returns a
 // result value with a Render method that prints the table or series in
 // the paper's format next to the published values.
+//
+//mtlint:deterministic
 package experiments
 
 import (

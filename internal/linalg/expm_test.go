@@ -82,7 +82,10 @@ func TestExpmRotation(t *testing.T) {
 			t.Fatal(err)
 		}
 		c, s := math.Cos(theta), math.Sin(theta)
-		for _, chk := range []struct{ i, j int; want float64 }{
+		for _, chk := range []struct {
+			i, j int
+			want float64
+		}{
 			{0, 0, c}, {0, 1, -s}, {1, 0, s}, {1, 1, c},
 		} {
 			if math.Abs(e.At(chk.i, chk.j)-chk.want) > 1e-12 {

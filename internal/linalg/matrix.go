@@ -6,6 +6,8 @@
 // G is small (tens of nodes), dense enough after package coupling, and
 // diagonally dominant, so LU with partial pivoting is both simple and
 // robust here.
+//
+//mtlint:deterministic
 package linalg
 
 import (
@@ -97,12 +99,11 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 // four accumulators so the floating-point adds pipeline instead of
 // forming one long dependency chain; the summation order is fixed, so
 // results are deterministic.
+//
+//mtlint:zeroalloc
 func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
-	if len(x) != m.cols {
-		panic(fmt.Sprintf("linalg: MulVecInto dimension mismatch: %d cols vs %d vector", m.cols, len(x)))
-	}
-	if len(dst) != m.rows {
-		panic(fmt.Sprintf("linalg: MulVecInto dst length %d, want %d rows", len(dst), m.rows))
+	if len(x) != m.cols || len(dst) != m.rows {
+		m.badMulVecIntoArgs(len(x), len(dst))
 	}
 	n := m.cols
 	for i := 0; i < m.rows; i++ {
@@ -123,6 +124,18 @@ func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	return dst
 }
 
+// badMulVecIntoArgs formats the MulVecInto argument panics off the hot
+// path: fmt.Sprintf's interface conversions are heap allocations that
+// must not appear inside the zeroalloc-marked kernel body.
+//
+//go:noinline
+func (m *Matrix) badMulVecIntoArgs(nx, ndst int) {
+	if nx != m.cols {
+		panic(fmt.Sprintf("linalg: MulVecInto dimension mismatch: %d cols vs %d vector", m.cols, nx))
+	}
+	panic(fmt.Sprintf("linalg: MulVecInto dst length %d, want %d rows", ndst, m.rows))
+}
+
 // Mul returns the matrix product m·b.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {
@@ -132,7 +145,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.At(i, k)
-			if a == 0 {
+			if a == 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
 				continue
 			}
 			for j := 0; j < b.cols; j++ {

@@ -78,13 +78,11 @@ func (p *Packed) SIMDAccelerated() bool {
 // bias must have length Stride (entries past Rows are padding — the
 // kernel writes them, so y[Rows:Stride] is scratch, and bias padding
 // should be zero). y must not alias x or bias.
+//
+//mtlint:zeroalloc
 func (p *Packed) MulAddInto(y, bias, x []float64) {
-	if len(x) != p.cols {
-		panic(fmt.Sprintf("linalg: MulAddInto x length %d, want %d cols", len(x), p.cols))
-	}
-	if len(y) != p.stride || len(bias) != p.stride {
-		panic(fmt.Sprintf("linalg: MulAddInto y/bias lengths %d/%d, want stride %d",
-			len(y), len(bias), p.stride))
+	if len(x) != p.cols || len(y) != p.stride || len(bias) != p.stride {
+		p.badMulAddArgs(len(x), len(y), len(bias))
 	}
 	if p.SIMDAccelerated() && p.cols > 0 {
 		fusedTick64(&p.data[0], p.cols, &x[0], &bias[0], &y[0])
@@ -93,14 +91,29 @@ func (p *Packed) MulAddInto(y, bias, x []float64) {
 	p.mulAddGeneric(y, bias, x)
 }
 
+// badMulAddArgs formats the MulAddInto argument panic off the hot
+// path: the fmt.Sprintf interface conversions are heap allocations
+// that must not appear inside the zeroalloc-marked kernel body.
+//
+//go:noinline
+func (p *Packed) badMulAddArgs(nx, ny, nbias int) {
+	if nx != p.cols {
+		panic(fmt.Sprintf("linalg: MulAddInto x length %d, want %d cols", nx, p.cols))
+	}
+	panic(fmt.Sprintf("linalg: MulAddInto y/bias lengths %d/%d, want stride %d",
+		ny, nbias, p.stride))
+}
+
 // mulAddGeneric is the portable axpy-form y = bias + P·x for one lane.
 // Both MulAddInto and MulBatchInto fall back to it, so the two paths
 // produce bit-identical results on machines without the SIMD kernel.
+//
+//mtlint:zeroalloc
 func (p *Packed) mulAddGeneric(y, bias, x []float64) {
 	copy(y, bias)
 	for j := 0; j < p.cols; j++ {
 		xj := x[j]
-		if xj == 0 {
+		if xj == 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
 			continue
 		}
 		col := p.data[j*p.stride : j*p.stride+p.rows]
@@ -128,22 +141,15 @@ func (p *Packed) mulAddGeneric(y, bias, x []float64) {
 // on return: when the live rows fit in seven of the eight ZMM chunks
 // (Rows ≤ 56) the kernel skips the all-zero padding chunk entirely
 // and never writes it.
+//
+//mtlint:zeroalloc
 func (p *Packed) MulBatchInto(y, bias []float64, k int, x []float64, xStride int) {
-	if k < 0 {
-		panic(fmt.Sprintf("linalg: MulBatchInto negative lane count %d", k))
-	}
 	if k == 0 {
 		return
 	}
-	if xStride < p.cols {
-		panic(fmt.Sprintf("linalg: MulBatchInto xStride %d below %d cols", xStride, p.cols))
-	}
-	if len(y) != k*p.stride || len(bias) != k*p.stride {
-		panic(fmt.Sprintf("linalg: MulBatchInto y/bias lengths %d/%d, want %d lanes x stride %d",
-			len(y), len(bias), k, p.stride))
-	}
-	if need := (k-1)*xStride + p.cols; len(x) < need {
-		panic(fmt.Sprintf("linalg: MulBatchInto x length %d, want at least %d", len(x), need))
+	if k < 0 || xStride < p.cols || len(y) != k*p.stride || len(bias) != k*p.stride ||
+		len(x) < (k-1)*xStride+p.cols {
+		p.badMulBatchArgs(len(y), len(bias), k, len(x), xStride)
 	}
 	if p.SIMDAccelerated() && p.cols > 0 {
 		if p.rows <= 56 {
@@ -158,6 +164,25 @@ func (p *Packed) MulBatchInto(y, bias []float64, k int, x []float64, xStride int
 			bias[l*p.stride:(l+1)*p.stride],
 			x[l*xStride:l*xStride+p.cols])
 	}
+}
+
+// badMulBatchArgs formats the MulBatchInto argument panics off the hot
+// path (see badMulAddArgs).
+//
+//go:noinline
+func (p *Packed) badMulBatchArgs(ny, nbias, k, nx, xStride int) {
+	if k < 0 {
+		panic(fmt.Sprintf("linalg: MulBatchInto negative lane count %d", k))
+	}
+	if xStride < p.cols {
+		panic(fmt.Sprintf("linalg: MulBatchInto xStride %d below %d cols", xStride, p.cols))
+	}
+	if ny != k*p.stride || nbias != k*p.stride {
+		panic(fmt.Sprintf("linalg: MulBatchInto y/bias lengths %d/%d, want %d lanes x stride %d",
+			ny, nbias, k, p.stride))
+	}
+	panic(fmt.Sprintf("linalg: MulBatchInto x length %d, want at least %d",
+		nx, (k-1)*xStride+p.cols))
 }
 
 // SIMDEnabled reports whether this binary runs the vectorized packed

@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package linalg
 
@@ -8,6 +8,7 @@ package linalg
 // eight fused multiply-adds. Implemented in simd_amd64.s; only called
 // when detectAVX512 reported support.
 //
+//mtlint:generic mulAddGeneric tested-by FuzzMulAddInto
 //go:noescape
 func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)
 
@@ -18,6 +19,7 @@ func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)
 // the operation sequence is identical to fusedTick64's, so batched and
 // sequential ticks are bit-identical. Implemented in simd_amd64.s.
 //
+//mtlint:generic mulAddGeneric tested-by FuzzMulBatchInto
 //go:noescape
 func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
 
@@ -28,13 +30,18 @@ func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float
 // keep fusedTick64's exact operation sequence. Implemented in
 // simd_amd64.s.
 //
+//mtlint:generic mulAddGeneric tested-by FuzzMulBatchInto
 //go:noescape
 func fusedTickBatch56(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
 
 // cpuid executes the CPUID instruction for the given leaf/subleaf.
+//
+//mtlint:nogeneric feature-detection primitive, no arithmetic to mirror
 func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
 // xgetbv reads extended control register 0 (XCR0).
+//
+//mtlint:nogeneric feature-detection primitive, no arithmetic to mirror
 func xgetbv() (eax, edx uint32)
 
 var simdAvailable = detectAVX512()

@@ -1,3 +1,5 @@
+//go:build amd64 && !noasm
+
 #include "textflag.h"
 
 // func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64)

@@ -1,22 +1,23 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package linalg
 
 var simdAvailable = false
 
-// fusedTick64 is never reached on non-amd64 builds: SIMDAccelerated is
-// false everywhere, so MulAddInto always takes the generic path.
+// fusedTick64 is never reached on non-amd64 or noasm builds:
+// SIMDAccelerated is false everywhere, so MulAddInto always takes the
+// generic path.
 func fusedTick64(m *float64, cols int, x *float64, bias *float64, y *float64) {
 	panic("linalg: fusedTick64 called without SIMD support")
 }
 
-// fusedTickBatch64 is never reached on non-amd64 builds: MulBatchInto
-// always takes the generic per-lane path.
+// fusedTickBatch64 is never reached on non-amd64 or noasm builds:
+// MulBatchInto always takes the generic per-lane path.
 func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int) {
 	panic("linalg: fusedTickBatch64 called without SIMD support")
 }
 
-// fusedTickBatch56 is never reached on non-amd64 builds either.
+// fusedTickBatch56 is never reached on non-amd64 or noasm builds either.
 func fusedTickBatch56(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int) {
 	panic("linalg: fusedTickBatch56 called without SIMD support")
 }

@@ -114,7 +114,7 @@ func Summarize(policy string, runs []*Run) Summary {
 // Relative returns this summary's mean throughput normalized to a
 // baseline summary (the paper's "relative throughput" column).
 func (s Summary) Relative(baseline Summary) float64 {
-	if baseline.MeanBIPS == 0 {
+	if baseline.MeanBIPS == 0 { //mtlint:allow floatcmp division guard; an exactly zero baseline is degenerate
 		return 0
 	}
 	return s.MeanBIPS / baseline.MeanBIPS

@@ -7,6 +7,8 @@
 // through the on-chip thermal sensors and the inner PI loop's recorded
 // scaling factors, maintaining an OS-managed thread×core thermal-trend
 // table (§6.3, Figure 6).
+//
+//mtlint:deterministic
 package migration
 
 import (

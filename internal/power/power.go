@@ -48,7 +48,7 @@ type Config struct {
 
 // globalScale returns the effective global multiplier (zero value → 1).
 func (c Config) globalScale() float64 {
-	if c.GlobalDynamicScale == 0 {
+	if c.GlobalDynamicScale == 0 { //mtlint:allow floatcmp exact zero is the unset-config sentinel
 		return 1
 	}
 	return c.GlobalDynamicScale

@@ -76,6 +76,7 @@ func powerFingerprint(c power.Config) powerKey {
 		leakPerArea: c.LeakagePerArea, leakBeta: c.LeakageBeta, leakT0: c.LeakageT0,
 		stallDynFraction: c.StallDynFraction, globalDynamicScl: c.GlobalDynamicScale,
 	}
+	//mtlint:allow maprange scatter into a fixed array indexed by key; order-insensitive
 	for kind, w := range c.UnitDynamic {
 		if kind >= 0 && kind < floorplan.NumUnitKinds {
 			k.unitDynamic[kind] = w

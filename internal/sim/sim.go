@@ -4,6 +4,8 @@
 // own cycle length under DVFS), feeds the resulting per-block power —
 // dynamic plus temperature-dependent leakage — into the HotSpot-style
 // thermal model, and accumulates the paper's metrics.
+//
+//mtlint:deterministic
 package sim
 
 import (
@@ -264,7 +266,7 @@ func (r *Runner) finalizeShared(activity, shared []float64) {
 		damp = 1
 	}
 	for i, v := range shared {
-		if v == 0 {
+		if v == 0 { //mtlint:allow floatcmp exact zero marks untouched shared blocks
 			continue
 		}
 		a := v / damp
@@ -446,7 +448,7 @@ func (s *tickState) pre() error {
 			m.StallSeconds += dt
 			s.coreStates[c] = power.CoreState{Scale: 1, Stalled: true}
 		} else {
-			if cmd.Scale != r.prevScale[c] {
+			if cmd.Scale != r.prevScale[c] { //mtlint:allow floatcmp PLL retarget fires only on an exact setpoint change
 				// PLL/voltage retarget cost (10 µs, Table 3).
 				avail -= cfg.Policy.TransitionPenalty
 				if avail < 0 {

@@ -117,6 +117,8 @@ func (b *BatchModel) SIMDAccelerated() bool { return b.d.phiPacked.SIMDAccelerat
 // which is why the update runs as two sweeps rather than one fused
 // [Ψ|Φ] pass: the concatenated operand would exceed L1 and re-stream
 // from L2 for every pair. Zero allocations.
+//
+//mtlint:zeroalloc
 func (b *BatchModel) Step() {
 	d, k := b.d, len(b.lanes)
 	dirty := 0

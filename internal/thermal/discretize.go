@@ -164,6 +164,8 @@ func (m *Model) UseExact(dt float64) error {
 // has run since the last tick, so constant-power stretches pay only the
 // Φ pass. Zero allocations; buffer padding rows stay zero because the
 // packed operands' padding rows are zero.
+//
+//mtlint:zeroalloc
 func (m *Model) stepExact(d *Discretization) {
 	if m.powerDirty {
 		d.psiPacked.MulAddInto(m.uCache, d.psiAmbPad, m.power[:m.nBlocks])

@@ -13,6 +13,8 @@
 // (temperatures, power inputs, integrator scratch). Templates are safe
 // to share across goroutines, so a parallel sweep builds the RC network
 // once per configuration instead of once per run.
+//
+//mtlint:deterministic
 package thermal
 
 import (
@@ -88,18 +90,23 @@ func DefaultParams() Params {
 
 // Validate checks the parameters for physical plausibility.
 func (p Params) Validate() error {
-	pos := map[string]float64{
-		"DieThickness": p.DieThickness, "KSilicon": p.KSilicon, "CSilicon": p.CSilicon,
-		"TIMThickness": p.TIMThickness, "KTIM": p.KTIM,
-		"SpreaderSide": p.SpreaderSide, "SpreaderThickness": p.SpreaderThickness,
-		"KSpreader": p.KSpreader, "CSpreader": p.CSpreader,
-		"SinkSide": p.SinkSide, "SinkThickness": p.SinkThickness,
-		"KSink": p.KSink, "CSink": p.CSink, "SinkMassFactor": p.SinkMassFactor,
-		"ConvectionResistance": p.ConvectionResistance,
+	// Checked in declaration order (not a map) so the reported parameter
+	// is deterministic when several are invalid.
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"DieThickness", p.DieThickness}, {"KSilicon", p.KSilicon}, {"CSilicon", p.CSilicon},
+		{"TIMThickness", p.TIMThickness}, {"KTIM", p.KTIM},
+		{"SpreaderSide", p.SpreaderSide}, {"SpreaderThickness", p.SpreaderThickness},
+		{"KSpreader", p.KSpreader}, {"CSpreader", p.CSpreader},
+		{"SinkSide", p.SinkSide}, {"SinkThickness", p.SinkThickness},
+		{"KSink", p.KSink}, {"CSink", p.CSink}, {"SinkMassFactor", p.SinkMassFactor},
+		{"ConvectionResistance", p.ConvectionResistance},
 	}
-	for name, v := range pos {
-		if v <= 0 {
-			return fmt.Errorf("thermal: parameter %s must be positive, got %g", name, v)
+	for _, c := range pos {
+		if c.v <= 0 {
+			return fmt.Errorf("thermal: parameter %s must be positive, got %g", c.name, c.v)
 		}
 	}
 	if p.SpreaderSide < 1e-3 || p.SinkSide < p.SpreaderSide {

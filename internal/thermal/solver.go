@@ -35,7 +35,7 @@ func (t *Template) computeMaxStableStep() float64 {
 			maxRate = r
 		}
 	}
-	if maxRate == 0 {
+	if maxRate == 0 { //mtlint:allow floatcmp exact zero rate means an unconnected network
 		return math.Inf(1)
 	}
 	return 1.39 / maxRate
@@ -50,11 +50,13 @@ func (t *Template) MaxStableStep() float64 { return t.hMax }
 // falls back to classical RK4, internally substepping if dt exceeds the
 // stability bound. Power inputs are held constant across the step (the
 // simulator changes them only at trace-sample boundaries, every 28 µs).
+//
+//mtlint:zeroalloc
 func (m *Model) Step(dt float64) {
 	if dt <= 0 {
-		panic(fmt.Sprintf("thermal: non-positive step %g", dt))
+		badStepSize(dt)
 	}
-	if d := m.disc; d != nil && d.dt == dt {
+	if d := m.disc; d != nil && d.dt == dt { //mtlint:allow floatcmp the exact path is armed for bit-exactly this dt
 		m.stepExact(d)
 		return
 	}
@@ -68,10 +70,21 @@ func (m *Model) Step(dt float64) {
 	}
 }
 
+// badStepSize formats the Step argument panic off the hot path:
+// fmt.Sprintf's interface conversion is a heap allocation that must not
+// appear inside the zeroalloc-marked step body.
+//
+//go:noinline
+func badStepSize(dt float64) {
+	panic(fmt.Sprintf("thermal: non-positive step %g", dt))
+}
+
 // rk4 performs one classical RK4 step of size h with each derivative
 // evaluation fused into its state update: every stage walks the
 // adjacency once, accumulating the weighted k-sum and producing the
 // next stage input in the same pass.
+//
+//mtlint:zeroalloc
 func (m *Model) rk4(h float64) {
 	t := m.temps
 	acc, ta, tb := m.acc, m.tmpA, m.tmpB
@@ -83,6 +96,8 @@ func (m *Model) rk4(h float64) {
 
 // firstStage computes k1 = f(src), seeds acc = k1, and writes
 // dst = temps + hk·k1, saving the separate zeroing pass.
+//
+//mtlint:zeroalloc
 func (m *Model) firstStage(src, dst, acc []float64, hk float64) {
 	t := m.temps
 	for i := 0; i < m.n; i++ {
@@ -100,6 +115,8 @@ func (m *Model) firstStage(src, dst, acc []float64, hk float64) {
 
 // stage computes k = f(src), accumulates accW·k into acc, and writes
 // dst = temps + hk·k in one pass.
+//
+//mtlint:zeroalloc
 func (m *Model) stage(src, dst, acc []float64, hk, accW float64) {
 	t := m.temps
 	for i := 0; i < m.n; i++ {
@@ -117,6 +134,8 @@ func (m *Model) stage(src, dst, acc []float64, hk, accW float64) {
 
 // finalStage computes k4 = f(src) and applies the combined update
 // temps += h/6·(acc + k4) in the same pass.
+//
+//mtlint:zeroalloc
 func (m *Model) finalStage(src, acc []float64, h float64) {
 	t := m.temps
 	w := h / 6
