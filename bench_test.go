@@ -16,6 +16,7 @@ import (
 	"multitherm/internal/sensor"
 	"multitherm/internal/sim"
 	"multitherm/internal/thermal"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -79,7 +80,7 @@ func BenchmarkThermalStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	for i := range p {
 		p[i] = 1.5
 	}
@@ -101,7 +102,7 @@ func BenchmarkThermalStepExpm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	for i := range p {
 		p[i] = 1.5
 	}
@@ -124,7 +125,7 @@ func BenchmarkThermalStepExpmDirty(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	for i := range p {
 		p[i] = 1.5
 	}
@@ -146,13 +147,13 @@ func BenchmarkThermalStepExpmDirty(b *testing.B) {
 // the same work at k=1 through the unbatched path.
 func benchThermalStepBatch(b *testing.B, k int) {
 	models := make([]*thermal.Model, k)
-	powers := make([][]float64, k)
+	powers := make([]units.PowerVec, k)
 	for l := range models {
 		m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
 		if err != nil {
 			b.Fatal(err)
 		}
-		p := make([]float64, m.NumBlocks())
+		p := make(units.PowerVec, m.NumBlocks())
 		for i := range p {
 			p[i] = 1.5 + 0.1*float64(l)
 		}
@@ -186,7 +187,7 @@ func BenchmarkThermalStepFlat(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	for i := range p {
 		p[i] = 1.5
 	}
@@ -254,7 +255,7 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	p[3] = 8
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -268,7 +269,7 @@ func BenchmarkThermalSteadyState(b *testing.B) {
 func BenchmarkPIStep(b *testing.B) {
 	rt := control.NewPaperPIRuntime(81.8)
 	for i := 0; i < b.N; i++ {
-		rt.Step(80 + float64(i%7))
+		rt.Step(units.Celsius(80 + float64(i%7)))
 	}
 }
 
@@ -320,7 +321,7 @@ func ablationRun(b *testing.B, mutate func(*sim.Config), spec core.PolicySpec) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bips = m.BIPS()
+		bips = float64(m.BIPS())
 	}
 	b.ReportMetric(bips, "BIPS")
 }
@@ -338,8 +339,8 @@ func BenchmarkAblationControllerBangBang(b *testing.B) {
 
 // BenchmarkAblationMigrationEpoch sweeps the OS migration epoch.
 func BenchmarkAblationMigrationEpoch(b *testing.B) {
-	for _, epoch := range []float64{2e-3, 10e-3, 50e-3} {
-		b.Run(formatMS(epoch), func(b *testing.B) {
+	for _, epoch := range []units.Seconds{2e-3, 10e-3, 50e-3} {
+		b.Run(formatMS(float64(epoch)), func(b *testing.B) {
 			ablationRun(b, func(c *sim.Config) { c.MigrationEpoch = epoch },
 				core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.CounterMigration})
 		})
@@ -348,8 +349,8 @@ func BenchmarkAblationMigrationEpoch(b *testing.B) {
 
 // BenchmarkAblationMigrationPenalty sweeps the context-switch cost.
 func BenchmarkAblationMigrationPenalty(b *testing.B) {
-	for _, pen := range []float64{10e-6, 100e-6, 1e-3} {
-		b.Run(formatUS(pen), func(b *testing.B) {
+	for _, pen := range []units.Seconds{10e-6, 100e-6, 1e-3} {
+		b.Run(formatUS(float64(pen)), func(b *testing.B) {
 			ablationRun(b, func(c *sim.Config) { c.MigrationPenalty = pen },
 				core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.SensorMigration})
 		})
@@ -377,8 +378,8 @@ func BenchmarkAblationSensorNoise(b *testing.B) {
 	// Sensor parameters live on the bank built inside the runner;
 	// emulate degradation through quantization-equivalent threshold
 	// margin instead.
-	for _, margin := range []float64{0.3, 1.0, 2.0} {
-		b.Run(formatC(margin), func(b *testing.B) {
+	for _, margin := range []units.Celsius{0.3, 1.0, 2.0} {
+		b.Run(formatC(float64(margin)), func(b *testing.B) {
 			ablationRun(b, func(c *sim.Config) { c.Policy.TripMarginC = margin },
 				core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.SensorMigration})
 		})
@@ -395,9 +396,9 @@ func BenchmarkAblationDiscretization(b *testing.B) {
 			var worst float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				u := rt.Step(temp)
+				u := float64(rt.Step(units.Celsius(temp)))
 				eq := 45 + 52*u*u*u
-				temp += (eq - temp) * control.PaperSamplePeriod / 25e-3
+				temp += (eq - temp) * float64(control.PaperSamplePeriod) / 25e-3
 				if temp > worst {
 					worst = temp
 				}
@@ -409,13 +410,13 @@ func BenchmarkAblationDiscretization(b *testing.B) {
 
 // BenchmarkAblationThermalStepSize measures integrator cost vs step.
 func BenchmarkAblationThermalStepSize(b *testing.B) {
-	for _, dt := range []float64{7e-6, 28e-6, 112e-6} {
-		b.Run(formatUS(dt), func(b *testing.B) {
+	for _, dt := range []units.Seconds{7e-6, 28e-6, 112e-6} {
+		b.Run(formatUS(float64(dt)), func(b *testing.B) {
 			m, err := thermal.New(floorplan.CMP4(), thermal.DefaultParams())
 			if err != nil {
 				b.Fatal(err)
 			}
-			p := make([]float64, m.NumBlocks())
+			p := make(units.PowerVec, m.NumBlocks())
 			for i := range p {
 				p[i] = 1.5
 			}
@@ -436,7 +437,7 @@ func BenchmarkSensorRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	temps := make([]float64, len(fp.Blocks))
+	temps := make(units.TempVec, len(fp.Blocks))
 	for i := range temps {
 		temps[i] = 70 + float64(i%9)
 	}

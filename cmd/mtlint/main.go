@@ -13,6 +13,9 @@
 //	               (from `go build -gcflags=-m` output)
 //	kernelparity — asm kernels must register a generic twin and a
 //	               differential test via //mtlint:generic
+//	unitsafety   — raw floats in unit-bearing APIs, cross-dimension
+//	               conversions, and unaudited .Raw() escapes in
+//	               //mtlint:units packages
 //
 // Exit status is 2 on findings or type errors, 1 on infrastructure
 // failure, 0 when clean. -json emits machine-readable findings.
@@ -29,6 +32,7 @@ import (
 	"multitherm/internal/analysis/driver"
 	"multitherm/internal/analysis/floatcmp"
 	"multitherm/internal/analysis/kernelparity"
+	"multitherm/internal/analysis/unitsafety"
 	"multitherm/internal/analysis/zeroalloc"
 )
 
@@ -37,6 +41,7 @@ var all = []*driver.Analyzer{
 	floatcmp.Analyzer,
 	zeroalloc.Analyzer,
 	kernelparity.Analyzer,
+	unitsafety.Analyzer,
 }
 
 func main() {

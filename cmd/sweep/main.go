@@ -10,6 +10,8 @@
 //	sweep -simtime 0.25   # custom simulated silicon time
 //	sweep -parallel 8     # fan (policy, workload) cells across 8 workers
 //	sweep -batch 8        # step 8 same-propagator cells in lockstep
+//
+//mtlint:units
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"multitherm/internal/experiments"
+	"multitherm/internal/units"
 )
 
 func main() {
@@ -79,7 +82,7 @@ func main() {
 		opt = experiments.QuickOptions()
 	}
 	if *simtime > 0 {
-		opt.SimTime = *simtime
+		opt.SimTime = units.Seconds(*simtime)
 	}
 	opt.Parallelism = *par
 	opt.Batch = *batch
@@ -111,7 +114,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer md.Close()
-		fmt.Fprintf(md, "# multitherm reproduction report\n\nSimulated silicon time per run: %.2f s.\n\n", opt.SimTime)
+		fmt.Fprintf(md, "# multitherm reproduction report\n\nSimulated silicon time per run: %.2f s.\n\n", float64(opt.SimTime))
 	}
 
 	workers := *par

@@ -7,6 +7,8 @@
 //	thermalsim -workload workload7 -policy dist-dvfs
 //	thermalsim -workload workload3 -policy dist-stopgo+counter -timeline
 //	thermalsim -list
+//
+//mtlint:units
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"multitherm/internal/core"
 	"multitherm/internal/floorplan"
 	"multitherm/internal/sim"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -59,8 +62,8 @@ func main() {
 	}
 
 	cfg := multitherm.DefaultConfig()
-	cfg.SimTime = *simtime
-	cfg.Policy.ThresholdC = *threshold
+	cfg.SimTime = units.Seconds(*simtime)
+	cfg.Policy.ThresholdC = units.Celsius(*threshold)
 
 	mix, err := workload.MixByName(*wl)
 	fatal(err)
@@ -81,11 +84,11 @@ func main() {
 		period := cfg.Policy.SamplePeriod
 		every := int64(2e-3 / period)
 		fmt.Printf("%8s  %s\n", "t (ms)", strings.Join(mix.Benchmarks[:], " / "))
-		runner.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+		runner.SetProbe(func(now units.Seconds, tick int64, temps units.TempVec, cmds []core.CoreCommand, assign []int) {
 			if tick%every != 0 {
 				return
 			}
-			line := fmt.Sprintf("%8.1f", now*1e3)
+			line := fmt.Sprintf("%8.1f", float64(now)*1e3)
 			for c := range cmds {
 				state := fmt.Sprintf("%.2f", cmds[c].Scale)
 				if cmds[c].Stall {
@@ -107,18 +110,18 @@ func main() {
 	} else {
 		fmt.Printf("policy:        %s\n", spec)
 	}
-	fmt.Printf("sim time:      %.3f s\n", res.SimTime)
-	fmt.Printf("throughput:    %.2f BIPS\n", res.BIPS())
-	fmt.Printf("duty cycle:    %.1f %%\n", res.DutyCycle()*100)
-	fmt.Printf("max temp:      %.2f °C (threshold %.1f)\n", res.MaxTempC, *threshold)
-	fmt.Printf("emergencies:   %.2f ms above threshold\n", res.EmergencySeconds*1e3)
-	fmt.Printf("stall time:    %.1f ms\n", res.StallSeconds*1e3)
-	fmt.Printf("penalty time:  %.2f ms (PLL transitions: %d)\n", res.PenaltySeconds*1e3, res.Transitions)
+	fmt.Printf("sim time:      %.3f s\n", float64(res.SimTime))
+	fmt.Printf("throughput:    %.2f BIPS\n", float64(res.BIPS()))
+	fmt.Printf("duty cycle:    %.1f %%\n", float64(res.DutyCycle())*100)
+	fmt.Printf("max temp:      %.2f °C (threshold %.1f)\n", float64(res.MaxTempC), *threshold)
+	fmt.Printf("emergencies:   %.2f ms above threshold\n", float64(res.EmergencySeconds)*1e3)
+	fmt.Printf("stall time:    %.1f ms\n", float64(res.StallSeconds)*1e3)
+	fmt.Printf("penalty time:  %.2f ms (PLL transitions: %d)\n", float64(res.PenaltySeconds)*1e3, res.Transitions)
 	fmt.Printf("migrations:    %d\n", res.Migrations)
 }
 
 // hottestKind picks the hotter register file of core c for display.
-func hottestKind(temps []float64, cfg sim.Config, c int) (k floorplanKind) {
+func hottestKind(temps units.TempVec, cfg sim.Config, c int) (k floorplanKind) {
 	irf := cfg.Floorplan.FindCoreBlock(c, kindInt)
 	fprf := cfg.Floorplan.FindCoreBlock(c, kindFP)
 	if temps[irf] >= temps[fprf] {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"multitherm/internal/control"
+	"multitherm/internal/units"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 	loop := pi.Series(plant).Feedback()
 	fmt.Printf("\nclosed-loop poles: %v\n", loop.Poles())
 	fmt.Printf("stable: %v, stability margin: %.1f rad/s, settling: %.1f ms\n",
-		loop.IsStable(), loop.StabilityMargin(), loop.SettlingTime()*1e3)
+		loop.IsStable(), loop.StabilityMargin(), float64(loop.SettlingTime())*1e3)
 
 	pn, pd := control.DiscretizePlantZOH(12, 25e-3, control.PaperSamplePeriod)
 	fmt.Printf("discrete loop stable: %v\n", law.ClosedLoopStableZ(pn, pd))
@@ -50,12 +51,12 @@ func main() {
 	temp := 60.0
 	fmt.Println("\nruntime against a cubic-power hotspot (target 81.8 °C):")
 	for step := 0; step < 150000; step++ {
-		u := rt.Step(temp)
+		u := float64(rt.Step(units.Celsius(temp)))
 		eq := 45 + 52*u*u*u // equilibrium for the applied scale
-		temp += (eq - temp) * control.PaperSamplePeriod / 25e-3
+		temp += (eq - temp) * float64(control.PaperSamplePeriod) / 25e-3
 		if step%30000 == 0 {
 			fmt.Printf("  t=%6.0f ms  temp=%6.2f °C  scale=%.3f\n",
-				float64(step)*control.PaperSamplePeriod*1e3, temp, u)
+				float64(step)*float64(control.PaperSamplePeriod)*1e3, temp, u)
 		}
 	}
 	fmt.Printf("  settled: temp=%.2f °C, scale=%.3f, trend=%+v\n",

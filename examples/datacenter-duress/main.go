@@ -10,14 +10,16 @@ import (
 	"log"
 
 	"multitherm"
+
+	"multitherm/internal/units"
 )
 
 func main() {
 	policies := []string{"dist-stopgo", "global-dvfs", "dist-dvfs", "dist-dvfs+sensor"}
 	workloads := []string{"workload2", "workload7", "workload12"} // IIII / IIFF / FFFF
 
-	for _, ambient := range []float64{45, 55} {
-		fmt.Printf("\n=== inlet air at %.0f °C ===\n", ambient)
+	for _, ambient := range []units.Celsius{45, 55} {
+		fmt.Printf("\n=== inlet air at %.0f °C ===\n", float64(ambient))
 		fmt.Printf("%-20s", "policy")
 		for _, w := range workloads {
 			fmt.Printf("  %12s", w)
@@ -30,7 +32,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-20s", pname)
-			worst := 0.0
+			worst := units.Celsius(0)
 			for _, w := range workloads {
 				cfg := multitherm.DefaultConfig()
 				cfg.SimTime = 0.15
@@ -39,12 +41,12 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				fmt.Printf("  %7.2f BIPS", res.BIPS())
+				fmt.Printf("  %7.2f BIPS", float64(res.BIPS()))
 				if res.MaxTempC > worst {
 					worst = res.MaxTempC
 				}
 			}
-			fmt.Printf("  %8.2f °C\n", worst)
+			fmt.Printf("  %8.2f °C\n", float64(worst))
 		}
 	}
 	fmt.Println("\nNote how the control-theoretic DVFS policies degrade gracefully as the")

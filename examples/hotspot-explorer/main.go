@@ -11,6 +11,7 @@ import (
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/thermal"
+	"multitherm/internal/units"
 )
 
 func main() {
@@ -22,7 +23,7 @@ func main() {
 
 	// Light background load everywhere, a fierce hotspot in core 1's
 	// integer register file, and a warm shared L2.
-	power := make([]float64, model.NumBlocks())
+	power := make(units.PowerVec, model.NumBlocks())
 	for i := range power {
 		power[i] = 0.6
 	}
@@ -38,8 +39,8 @@ func main() {
 	heatmap(fp, model)
 
 	hot, idx := model.MaxBlockTemp()
-	fmt.Printf("\nhottest block: %s at %.2f °C\n", model.NodeName(idx), hot)
-	fmt.Printf("local time constant of that block: %.1f ms\n", model.BlockTimeConstant(idx)*1e3)
+	fmt.Printf("\nhottest block: %s at %.2f °C\n", model.NodeName(idx), float64(hot))
+	fmt.Printf("local time constant of that block: %.1f ms\n", float64(model.BlockTimeConstant(idx))*1e3)
 
 	// Gate the hotspot and watch it cool through one 30 ms stop-go stall.
 	power[fp.BlockIndex("c1_iregfile")] = 0.3
@@ -47,7 +48,7 @@ func main() {
 	fmt.Println("\ncooling after clock-gating the hotspot:")
 	for t := 0.0; t <= 30e-3+1e-9; t += 5e-3 {
 		fmt.Printf("  t=%4.0f ms: c1_iregfile = %.2f °C\n",
-			t*1e3, model.Temp(fp.BlockIndex("c1_iregfile")))
+			t*1e3, float64(model.Temp(fp.BlockIndex("c1_iregfile"))))
 		model.Step(5e-3)
 	}
 }
@@ -58,7 +59,7 @@ func heatmap(fp *floorplan.Floorplan, m *thermal.Model) {
 	ramp := " .:-=+*#%@"
 	min, max := 1e9, -1e9
 	for i := 0; i < m.NumBlocks(); i++ {
-		t := m.Temp(i)
+		t := float64(m.Temp(i))
 		if t < min {
 			min = t
 		}
@@ -84,7 +85,7 @@ func heatmap(fp *floorplan.Floorplan, m *thermal.Model) {
 				sb.WriteByte(' ')
 				continue
 			}
-			frac := (m.Temp(i) - min) / (max - min + 1e-9)
+			frac := (float64(m.Temp(i)) - min) / (max - min + 1e-9)
 			sb.WriteByte(ramp[int(frac*float64(len(ramp)-1))])
 		}
 		sb.WriteByte('\n')

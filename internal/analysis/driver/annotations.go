@@ -27,10 +27,23 @@ import (
 //	    Function marker exempting an assembly prototype that is not a
 //	    compute kernel (e.g. CPUID feature probes) from kernel parity.
 //
+//	//mtlint:units
+//	    Package marker, placed with the package clause (any file).
+//	    Opts the package into the unitsafety analyzer: exported
+//	    signatures and struct fields must carry internal/units types
+//	    for unit-bearing quantities, cross-dimension conversions are
+//	    flagged, and .Raw() escapes must be audited.
+//
+//	//mtlint:unitboundary <reason>
+//	    Function marker, placed in a function's doc comment. Declares
+//	    the function a sanctioned unit-erasing boundary, permitting
+//	    .Raw() calls inside its body (//mtlint:zeroalloc implies the
+//	    same permission — the zero-alloc kernels are the boundary).
+//
 //	//mtlint:allow <check> [reason]
 //	    Line-level suppression, on the flagged line or the line
 //	    directly above it. Checks: floatcmp, maprange, time, rand,
-//	    goappend.
+//	    goappend, unit.
 const directivePrefix = "//mtlint:"
 
 // directive splits an "//mtlint:name args..." comment into its name

@@ -1,0 +1,3 @@
+module fixture.example/unitsafety
+
+go 1.22

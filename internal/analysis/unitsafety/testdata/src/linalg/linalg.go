@@ -1,0 +1,11 @@
+// Package linalg is a miniature stand-in for the unit-agnostic kernel
+// package: handing .Raw() storage directly to its functions is a
+// sanctioned boundary.
+package linalg
+
+// MulVec is a placeholder kernel.
+func MulVec(dst, src []float64) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}

@@ -1,0 +1,103 @@
+// Package marked opts into dimensional safety.
+//
+//mtlint:units
+package marked
+
+import (
+	"fixture.example/unitsafety/linalg"
+	"fixture.example/unitsafety/units"
+)
+
+// ---- rule 1: raw floats in exported unit-bearing APIs ----
+
+// Hottest scans a slice for its peak value. The raw parameter is the
+// seeded bug shape: callers can hand it a watts slice and it compiles.
+func Hottest(temps []float64) float64 { // want `unit-bearing parameter .temps. as raw \[\]float64` `returns a unit-bearing quantity as raw float64`
+	hi := 0.0
+	for _, t := range temps {
+		if t > hi {
+			hi = t
+		}
+	}
+	return hi
+}
+
+// Threshold returns the trip point.
+func Threshold() (thresholdC float64) { return 84.2 } // want `unit-bearing result .thresholdC. as raw float64`
+
+// Target returns the temperature target in degrees.
+func Target() float64 { return 81.8 } // want `returns a unit-bearing quantity as raw float64`
+
+// Ratio returns a plain dimensionless quotient; no lexicon words here.
+func Ratio() float64 { return 0.5 }
+
+// Gain returns the controller gain.
+//
+//mtlint:allow unit gain is scale per degree, not a units dimension
+func Gain() float64 { return -0.0107 }
+
+// Sample is a telemetry record.
+type Sample struct {
+	TempC float64 // want `field Sample.TempC holds a unit-bearing quantity as raw float64`
+	// Watts drawn by the block at this sample.
+	Draw float64 // want `field Sample.Draw holds a unit-bearing quantity as raw float64`
+	//mtlint:allow unit milliseconds for display, not the Seconds gauge
+	ElapsedMS float64
+	Count     int
+}
+
+// ---- rule 2: cross-dimension conversions ----
+
+// Swap is the watts-for-temps slice swap the seed code would have
+// compiled silently: both views share a []float64 underlying type, so
+// only the analyzer stands between the gauges.
+func Swap(p units.PowerVec) units.TempVec {
+	return units.TempVec(p) // want `cross-dimension conversion TempVec\(PowerVec\)`
+}
+
+// Reinterpret crosses scalar gauges.
+func Reinterpret(w units.Watts) units.Celsius {
+	return units.Celsius(w) // want `cross-dimension conversion Celsius\(Watts\)`
+}
+
+// Widen goes through float64 explicitly: that is the sanctioned
+// spelling for genuine reinterpretation.
+func Widen(w units.Watts) units.Celsius {
+	return units.Celsius(float64(w))
+}
+
+// Erase drops the dimension without the audited accessor.
+func Erase(v units.TempVec) []float64 {
+	return []float64(v) // want `converting TempVec straight to \[\]float64 erases its dimension silently`
+}
+
+// ---- rule 3: .Raw() audit ----
+
+// Leak calls the escape hatch outside any sanctioned boundary.
+func Leak(v units.TempVec) float64 {
+	raw := v.Raw() // want `\.Raw\(\) outside a //mtlint:zeroalloc or //mtlint:unitboundary function`
+	return raw[0]
+}
+
+// Kernel hands storage straight to the kernel package: sanctioned.
+func Kernel(dst units.TempVec, src units.PowerVec) {
+	linalg.MulVec(dst.Raw(), src.Raw())
+}
+
+// Boundary is a declared unit-erasing seam.
+//
+//mtlint:unitboundary adapts the typed state onto a wire format
+func Boundary(v units.PowerVec) []float64 {
+	return append([]float64(nil), v.Raw()...)
+}
+
+// Tick is a zero-alloc hot path; the marker implies boundary rights.
+//
+//mtlint:zeroalloc
+func Tick(v units.TempVec) float64 {
+	s := 0.0
+	for _, x := range v.Raw() {
+		s += x
+	}
+	return s
+}

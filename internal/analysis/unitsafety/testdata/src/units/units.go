@@ -1,0 +1,25 @@
+// Package units is a miniature stand-in for the repository's
+// internal/units: the analyzer identifies unit gauges by the declaring
+// package's name, so fixtures carry their own.
+package units
+
+// Celsius is a temperature.
+type Celsius float64
+
+// Watts is a power flow.
+type Watts float64
+
+// Seconds is a duration.
+type Seconds float64
+
+// TempVec is a typed temperature vector.
+type TempVec []float64
+
+// Raw exposes the backing storage.
+func (v TempVec) Raw() []float64 { return v }
+
+// PowerVec is a typed power vector.
+type PowerVec []float64
+
+// Raw exposes the backing storage.
+func (v PowerVec) Raw() []float64 { return v }

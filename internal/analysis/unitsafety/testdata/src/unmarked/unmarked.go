@@ -1,0 +1,14 @@
+// Package unmarked carries no //mtlint:units directive: the analyzer
+// must stay silent even on shapes it would flag in a marked package.
+package unmarked
+
+import "fixture.example/unitsafety/units"
+
+// Hottest takes raw temps; fine here.
+func Hottest(temps []float64) float64 { return temps[0] }
+
+// Swap crosses gauges; fine here.
+func Swap(p units.PowerVec) units.TempVec { return units.TempVec(p) }
+
+// Leak escapes; fine here.
+func Leak(v units.TempVec) []float64 { return v.Raw() }

@@ -1,0 +1,401 @@
+// Package unitsafety enforces the dimensional-safety contract that
+// internal/units establishes. The simulator chains quantities in
+// distinct physical dimensions — block power (W) → RC thermal state
+// (°C) → DVFS frequency scale (dimensionless) → throughput (BIPS) —
+// and the defined types in internal/units make cross-dimension
+// assignment a compile error. This analyzer closes the three holes the
+// type system leaves open in packages marked //mtlint:units:
+//
+//  1. Raw float64 / []float64 in exported signatures and struct
+//     fields whose name or doc matches the unit lexicon (temp, watts,
+//     seconds, duty, freq, bips, …) — the API should carry the typed
+//     quantity, or justify the raw float with //mtlint:allow unit.
+//  2. Cross-dimension conversions: units.Celsius(x) where x is
+//     another units type compiles (both are float64 underneath) but
+//     is exactly the silent dimension swap the types exist to stop.
+//     Converting a typed vector straight to []float64 is flagged the
+//     same way — the audited spelling is .Raw().
+//  3. Every .Raw() escape hatch must sit inside a //mtlint:zeroalloc
+//     or //mtlint:unitboundary function, or be handed directly to a
+//     linalg kernel call — keeping the unit-erasing sites auditable.
+//
+// Test files are exempt: tests legitimately probe raw representations
+// and bit-exactness.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the dimensional-safety check.
+var Analyzer = &driver.Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag raw floats in unit-bearing APIs, cross-dimension conversions, and unaudited .Raw() calls in //mtlint:units packages",
+	Run:  run,
+}
+
+// Marker is the package-level opt-in directive (//mtlint:units).
+const Marker = "units"
+
+// BoundaryMarker is the function-level directive that sanctions .Raw()
+// escape hatches (//mtlint:unitboundary <reason>).
+const BoundaryMarker = "unitboundary"
+
+// AllowCheck is the //mtlint:allow check name for rule-level
+// suppressions.
+const AllowCheck = "unit"
+
+// UnitsPackageName identifies the package whose named types are the
+// unit gauges. Matching by package name (not import path) lets the
+// analysistest fixtures declare their own miniature units package.
+const UnitsPackageName = "units"
+
+// KernelPackageName is the unit-agnostic kernel package; handing a
+// .Raw() result directly to one of its functions is a sanctioned
+// boundary without further annotation.
+const KernelPackageName = "linalg"
+
+// lexicon are the lowercase name/doc words that signal a quantity with
+// a physical dimension. A raw float64 whose identifier or doc comment
+// contains one of these words is presumed to be a unit-bearing value.
+var lexicon = map[string]bool{
+	"temp": true, "temps": true, "temperature": true, "temperatures": true, "celsius": true,
+	"watt": true, "watts": true, "power": true,
+	"joule": true, "joules": true, "energy": true,
+	"second": true, "seconds": true, "period": true, "time": true, "dt": true,
+	"duty": true, "freq": true, "frequency": true, "scale": true,
+	"bips": true, "throughput": true,
+	"setpoint": true, "threshold": true, "ambient": true, "margin": true, "slope": true,
+}
+
+func run(pass *driver.Pass) error {
+	pkg := pass.Pkg
+	if !driver.PackageMarked(pkg, Marker) {
+		return nil
+	}
+	// The gauge-defining package is definitionally the boundary: its
+	// Raw accessors return []float64 on purpose.
+	if pkg.Name == UnitsPackageName {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for i, file := range pass.Files() {
+		if strings.HasSuffix(pkg.GoFiles[i], "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, info, d)
+				checkBody(pass, info, d)
+			case *ast.GenDecl:
+				checkStructs(pass, info, d)
+			}
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ rule 1
+
+// checkSignature flags raw float64/[]float64 parameters and results of
+// exported functions whose name (or, for unnamed results, the function
+// name or doc) matches the lexicon.
+func checkSignature(pass *driver.Pass, info *types.Info, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() {
+		return
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if !rawFloat(info, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if !lexHit(name.Name) || driver.Allowed(pass.Pkg, name.Pos(), AllowCheck) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"exported %s takes unit-bearing parameter %q as raw %s; use a units type or annotate //mtlint:allow unit <reason>",
+					fn.Name.Name, name.Name, typeLabel(info, field.Type))
+			}
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			if !rawFloat(info, field.Type) {
+				continue
+			}
+			if len(field.Names) > 0 {
+				for _, name := range field.Names {
+					if !lexHit(name.Name) || driver.Allowed(pass.Pkg, name.Pos(), AllowCheck) {
+						continue
+					}
+					pass.Reportf(name.Pos(),
+						"exported %s returns unit-bearing result %q as raw %s; use a units type or annotate //mtlint:allow unit <reason>",
+						fn.Name.Name, name.Name, typeLabel(info, field.Type))
+				}
+				continue
+			}
+			if !lexHit(fn.Name.Name) && !docHit(fn.Doc) {
+				continue
+			}
+			if driver.Allowed(pass.Pkg, fn.Pos(), AllowCheck) || driver.Allowed(pass.Pkg, field.Pos(), AllowCheck) {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"exported %s returns a unit-bearing quantity as raw %s; use a units type or annotate //mtlint:allow unit <reason>",
+				fn.Name.Name, typeLabel(info, field.Type))
+		}
+	}
+}
+
+// checkStructs flags raw float64/[]float64 fields of exported struct
+// types whose name or doc matches the lexicon.
+func checkStructs(pass *driver.Pass, info *types.Info, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok || !ts.Name.IsExported() {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if !rawFloat(info, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !lexHit(name.Name) && !docHit(field.Doc) && !docHit(field.Comment) {
+					continue
+				}
+				if driver.Allowed(pass.Pkg, name.Pos(), AllowCheck) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"field %s.%s holds a unit-bearing quantity as raw %s; use a units type or annotate //mtlint:allow unit <reason>",
+					ts.Name.Name, name.Name, typeLabel(info, field.Type))
+			}
+		}
+	}
+}
+
+// --------------------------------------------------------- rules 2, 3
+
+// checkBody flags cross-dimension conversions and unaudited .Raw()
+// calls inside one function.
+func checkBody(pass *driver.Pass, info *types.Info, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	boundary := driver.FuncMarked(fn, BoundaryMarker) || driver.FuncMarked(fn, "zeroalloc")
+	// Raw() results handed directly to a linalg call are sanctioned:
+	// the parent call is visited before its arguments, so collect them
+	// on the way down.
+	sanctioned := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleePackage(info, call) == KernelPackageName {
+			for _, arg := range call.Args {
+				if rc, ok := arg.(*ast.CallExpr); ok && isRawCall(info, rc) {
+					sanctioned[rc] = true
+				}
+			}
+		}
+		checkConversion(pass, info, call)
+		if isRawCall(info, call) && !boundary && !sanctioned[call] {
+			if !driver.Allowed(pass.Pkg, call.Pos(), AllowCheck) {
+				pass.Reportf(call.Pos(),
+					".Raw() outside a //mtlint:zeroalloc or //mtlint:unitboundary function and not handed directly to a %s kernel; mark %s or move the escape to the kernel boundary",
+					KernelPackageName, fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkConversion flags T(x) where T and x's type are different units
+// gauges, and []float64(v) where v is a typed units vector.
+func checkConversion(pass *driver.Pass, info *types.Info, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	src, ok := info.Types[call.Args[0]]
+	if !ok || src.Type == nil {
+		return
+	}
+	dstName, dstUnits := unitsTypeName(tv.Type)
+	srcName, srcUnits := unitsTypeName(src.Type)
+	switch {
+	case dstUnits && srcUnits && dstName != srcName:
+		if !driver.Allowed(pass.Pkg, call.Pos(), AllowCheck) {
+			pass.Reportf(call.Pos(),
+				"cross-dimension conversion %s(%s); if the reinterpretation is intentional go through float64 or .Raw() and annotate //mtlint:allow unit <reason>",
+				dstName, srcName)
+		}
+	case !dstUnits && srcUnits && isRawFloatSlice(tv.Type):
+		if !driver.Allowed(pass.Pkg, call.Pos(), AllowCheck) {
+			pass.Reportf(call.Pos(),
+				"converting %s straight to []float64 erases its dimension silently; call .Raw() so the escape is auditable", srcName)
+		}
+	}
+}
+
+// ------------------------------------------------------------ helpers
+
+// unitsTypeName reports whether t is a named type declared in a
+// package named "units", and which one.
+func unitsTypeName(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != UnitsPackageName {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isRawCall reports whether call is v.Raw() on a units-typed receiver.
+func isRawCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Raw" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isUnits := unitsTypeName(tv.Type)
+	return isUnits
+}
+
+// calleePackage returns the package name a pkg.Func(...) call selects
+// through, or "" for method calls and local calls.
+func calleePackage(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name()
+	}
+	return ""
+}
+
+// rawFloat reports whether the type expression denotes plain float64
+// or []float64 (defined types over them are the fix, not the finding).
+func rawFloat(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isRawFloatScalar(tv.Type) || isRawFloatSlice(tv.Type)
+}
+
+func isRawFloatScalar(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isRawFloatSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isRawFloatScalar(s.Elem())
+}
+
+func typeLabel(info *types.Info, expr ast.Expr) string {
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		if _, ok := tv.Type.(*types.Slice); ok {
+			return "[]float64"
+		}
+	}
+	return "float64"
+}
+
+// lexHit reports whether any camelCase/underscore-separated word of
+// the identifier is in the unit lexicon.
+func lexHit(name string) bool {
+	for _, w := range splitWords(name) {
+		if lexicon[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// docHit reports whether a doc or line comment mentions a lexicon
+// word. Directive comments (//mtlint:...) are not prose and are
+// skipped.
+func docHit(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//mtlint:") {
+			continue
+		}
+		for _, w := range splitWords(c.Text) {
+			if lexicon[w] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitWords cuts an identifier or comment into lowercase words at
+// camelCase humps and non-letter boundaries.
+func splitWords(s string) []string {
+	var (
+		out []string
+		cur strings.Builder
+	)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case unicode.IsUpper(r):
+			if prevLower {
+				flush()
+			}
+			cur.WriteRune(r)
+			prevLower = false
+		case unicode.IsLetter(r):
+			cur.WriteRune(r)
+			prevLower = true
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return out
+}

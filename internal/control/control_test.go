@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"multitherm/internal/poly"
+	"multitherm/internal/units"
 )
 
 func TestPaperDiscreteCoefficients(t *testing.T) {
@@ -83,7 +84,7 @@ func TestClosedLoopStabilityProperty(t *testing.T) {
 		if kp > 1e4 || ki > 1e6 || k > 1e4 || tau > 10 {
 			return true // keep magnitudes in a numerically sane band
 		}
-		return PI(kp, ki).Series(FirstOrderPlant(k, tau)).Feedback().IsStable()
+		return PI(kp, ki).Series(FirstOrderPlant(k, units.Seconds(tau))).Feedback().IsStable()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -130,10 +131,10 @@ func TestDCGainAndSettling(t *testing.T) {
 	if g := plant.DCGain(); math.Abs(g-8) > 1e-12 {
 		t.Errorf("DC gain = %v, want 8", g)
 	}
-	if tc := plant.DominantTimeConstant(); math.Abs(tc-0.01) > 1e-9 {
+	if tc := plant.DominantTimeConstant(); math.Abs(float64(tc)-0.01) > 1e-9 {
 		t.Errorf("time constant = %v, want 0.01", tc)
 	}
-	if st := plant.SettlingTime(); math.Abs(st-0.04) > 1e-9 {
+	if st := plant.SettlingTime(); math.Abs(float64(st)-0.04) > 1e-9 {
 		t.Errorf("settling = %v, want 0.04", st)
 	}
 	// PI loop has integral action → closed-loop DC gain of 1 (zero
@@ -149,7 +150,7 @@ func TestUnstablePlantDetected(t *testing.T) {
 	if unstable.IsStable() {
 		t.Error("pole at +1 reported stable")
 	}
-	if !math.IsInf(unstable.DominantTimeConstant(), 1) {
+	if !math.IsInf(float64(unstable.DominantTimeConstant()), 1) {
 		t.Error("unstable plant should have infinite time constant")
 	}
 }
@@ -172,10 +173,10 @@ func TestPIRuntimeConvergesToSetpoint(t *testing.T) {
 		ambient  = 45.0
 		hotAtMax = 50.0 // °C rise above ambient at scale 1.0
 	)
-	dt := PaperSamplePeriod
+	dt := float64(PaperSamplePeriod)
 	var maxTemp float64
 	for i := 0; i < 200000; i++ {
-		u := pi.Step(temp)
+		u := float64(pi.Step(units.Celsius(temp)))
 		// Power ~ cubic in scale; first-order settle toward equilibrium.
 		eq := ambient + hotAtMax*u*u*u
 		temp += (eq - temp) * dt / tau
@@ -264,7 +265,8 @@ func TestPIRuntimeTrendRecording(t *testing.T) {
 		t.Fatalf("samples = %d, want 3", tr.Samples)
 	}
 	// Temperature rose 1 °C per sample period for the last two samples.
-	wantSlope := (0 + 1/PaperSamplePeriod + 1/PaperSamplePeriod) / 3
+	period := float64(PaperSamplePeriod)
+	wantSlope := (0 + 1/period + 1/period) / 3
 	if math.Abs(tr.AvgSlope-wantSlope) > 1e-6*wantSlope {
 		t.Errorf("avg slope = %v, want %v", tr.AvgSlope, wantSlope)
 	}
@@ -291,7 +293,7 @@ func TestPIRuntimeReset(t *testing.T) {
 func TestPlantZOHPole(t *testing.T) {
 	_, den := DiscretizePlantZOH(5, 0.004, PaperSamplePeriod)
 	roots := den.Roots()
-	want := math.Exp(-PaperSamplePeriod / 0.004)
+	want := math.Exp(float64(-PaperSamplePeriod / 0.004))
 	if len(roots) != 1 || math.Abs(real(roots[0])-want) > 1e-12 {
 		t.Errorf("ZOH pole = %v, want %v", roots, want)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"multitherm/internal/poly"
+	"multitherm/internal/units"
 )
 
 // DiscretizeMethod selects the continuous→discrete conversion rule used
@@ -47,30 +48,32 @@ func (m DiscretizeMethod) String() string {
 // response coefficients come out negative-leaning: hotter than target
 // drives the actuator (frequency scale) down.
 type DiscretePI struct {
-	B0, B1 float64 // coefficients on e[n] and e[n−1]
-	Period float64 // sample period in seconds
+	//mtlint:allow unit B0/B1 are gains in scale per °C (Rao et al.'s gain-units caveat), not a units dimension
+	B0, B1 float64       // coefficients on e[n] and e[n−1]
+	Period units.Seconds // sample period
 	Method DiscretizeMethod
 }
 
 // C2DPI converts the continuous PI controller u = −(Kp·e + Ki·∫e) to a
 // discrete difference equation with sample period T seconds. The sign
 // convention matches the paper: positive error (too hot) lowers u.
-func C2DPI(kp, ki, T float64, method DiscretizeMethod) DiscretePI {
+func C2DPI(kp, ki float64, T units.Seconds, method DiscretizeMethod) DiscretePI {
 	d := DiscretePI{Period: T, Method: method}
+	dt := float64(T)
 	switch method {
 	case ForwardEuler:
 		// I[n] = I[n−1] + T·e[n−1]
 		// u[n] − u[n−1] = −Kp(e[n]−e[n−1]) − Ki·T·e[n−1]
 		d.B0 = -kp
-		d.B1 = kp - ki*T
+		d.B1 = kp - ki*dt
 	case BackwardEuler:
 		// I[n] = I[n−1] + T·e[n]
-		d.B0 = -(kp + ki*T)
+		d.B0 = -(kp + ki*dt)
 		d.B1 = kp
 	case Tustin:
 		// I[n] = I[n−1] + T/2·(e[n]+e[n−1])
-		d.B0 = -(kp + ki*T/2)
-		d.B1 = kp - ki*T/2
+		d.B0 = -(kp + ki*dt/2)
+		d.B1 = kp - ki*dt/2
 	default:
 		panic(fmt.Sprintf("control: unknown discretization method %d", method))
 	}
@@ -102,7 +105,7 @@ func (d DiscretePI) ClosedLoopStableZ(pNum, pDen poly.Poly) bool {
 // exact zero-order-hold discrete equivalent
 //
 //	H(z) = K(1−a) / (z − a),  a = e^(−T/τ)
-func DiscretizePlantZOH(gain, tau, T float64) (num, den poly.Poly) {
-	a := math.Exp(-T / tau)
+func DiscretizePlantZOH(gain float64, tau, T units.Seconds) (num, den poly.Poly) {
+	a := math.Exp(-float64(T / tau))
 	return poly.New(gain * (1 - a)), poly.New(-a, 1)
 }

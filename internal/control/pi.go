@@ -3,28 +3,34 @@ package control
 import (
 	"fmt"
 	"math"
+
+	"multitherm/internal/units"
 )
 
 // Paper §4 constants: the published controller gains and the sample
 // interval of one thermal measurement every 100,000 cycles at 3.6 GHz.
+// Kp and Ki are controller gains, not pure numbers: Kp is scale per °C
+// and Ki scale per (°C·s) — the gain-units subtlety Rao et al. highlight
+// for integral thermal controllers. There is no units type for either,
+// so they stay float64 by design.
 const (
 	PaperKp = 0.0107
 	PaperKi = 248.5
 	// PaperSamplePeriod is 100000 cycles / 3.6 GHz ≈ 27.78 µs. The paper
 	// rounds this to "28 µs" in prose; the discrete coefficients it
 	// publishes correspond to the exact value.
-	PaperSamplePeriod = 100000.0 / 3.6e9
+	PaperSamplePeriod units.Seconds = 100000.0 / 3.6e9
 )
 
 // PILimits describes the actuator constraints of §4.2.
 type PILimits struct {
-	Min float64 // minimum output (frequency scale floor, paper: 0.2)
-	Max float64 // maximum output (paper: 1.0)
+	Min units.ScaleFactor // minimum output (frequency scale floor, paper: 0.2)
+	Max units.ScaleFactor // maximum output (paper: 1.0)
 	// MinTransition is the smallest |Δu| that is actually applied,
 	// expressed in absolute output units. The paper specifies a minimum
 	// transition of 2% of the scaling range; smaller moves are held to
 	// avoid thrashing the PLL.
-	MinTransition float64
+	MinTransition units.ScaleFactor
 }
 
 // DefaultPILimits returns the paper's actuator limits: output clipped to
@@ -47,12 +53,12 @@ type PIRuntime struct {
 	law    DiscretePI
 	limits PILimits
 
-	setpoint float64 // target temperature, °C
+	setpoint units.Celsius // target temperature
 
-	u        float64 // internal (clipped) controller state
-	applied  float64 // last output actually applied to the PLL
-	prevErr  float64
-	prevTemp float64
+	u        units.ScaleFactor // internal (clipped) controller state
+	applied  units.ScaleFactor // last output actually applied to the PLL
+	prevErr  float64           // °C error at the previous sample
+	prevTemp units.Celsius
 	started  bool
 
 	// Trend-recording window state (feeds sensor-based migration).
@@ -64,7 +70,7 @@ type PIRuntime struct {
 // NewPIRuntime builds a runtime from a discrete control law, actuator
 // limits, and the temperature setpoint in °C. The output starts at the
 // maximum (core at full speed while cool).
-func NewPIRuntime(law DiscretePI, limits PILimits, setpoint float64) *PIRuntime {
+func NewPIRuntime(law DiscretePI, limits PILimits, setpoint units.Celsius) *PIRuntime {
 	if limits.Min >= limits.Max {
 		panic(fmt.Sprintf("control: invalid PI limits [%g,%g]", limits.Min, limits.Max))
 	}
@@ -74,34 +80,34 @@ func NewPIRuntime(law DiscretePI, limits PILimits, setpoint float64) *PIRuntime 
 // NewPaperPIRuntime builds the exact controller used throughout the
 // paper's experiments: forward-Euler discretization of Kp=0.0107,
 // Ki=248.5 at the 100K-cycle sample period, clipped to [0.2, 1.0].
-func NewPaperPIRuntime(setpoint float64) *PIRuntime {
+func NewPaperPIRuntime(setpoint units.Celsius) *PIRuntime {
 	law := C2DPI(PaperKp, PaperKi, PaperSamplePeriod, ForwardEuler)
 	return NewPIRuntime(law, DefaultPILimits(), setpoint)
 }
 
 // Setpoint returns the target temperature.
-func (p *PIRuntime) Setpoint() float64 { return p.setpoint }
+func (p *PIRuntime) Setpoint() units.Celsius { return p.setpoint }
 
 // SetSetpoint retargets the controller (used by threshold-sensitivity
 // experiments).
-func (p *PIRuntime) SetSetpoint(t float64) { p.setpoint = t }
+func (p *PIRuntime) SetSetpoint(t units.Celsius) { p.setpoint = t }
 
 // Output returns the actuator value currently applied to the PLL.
-func (p *PIRuntime) Output() float64 { return p.applied }
+func (p *PIRuntime) Output() units.ScaleFactor { return p.applied }
 
 // Step advances the controller one sample period given the measured
 // hotspot temperature (the hottest of the sensors the controller
 // watches, per §5.2) and returns the actuator output — the frequency
 // scale factor in [limits.Min, limits.Max].
-func (p *PIRuntime) Step(measuredTemp float64) float64 {
-	e := measuredTemp - p.setpoint
+func (p *PIRuntime) Step(measuredTemp units.Celsius) units.ScaleFactor {
+	e := float64(measuredTemp - p.setpoint)
 	if !p.started {
 		// First sample: no previous error; treat history as steady.
 		p.prevErr = e
 		p.prevTemp = measuredTemp
 		p.started = true
 	}
-	next := p.u + p.law.B0*e + p.law.B1*p.prevErr
+	next := p.u + units.ScaleFactor(p.law.B0*e+p.law.B1*p.prevErr)
 
 	// Output clipping (§4.2). Because the integral state *is* the
 	// clipped previous output, clipping doubles as anti-windup: no
@@ -119,14 +125,14 @@ func (p *PIRuntime) Step(measuredTemp float64) float64 {
 	// state keeps integrating regardless, so the deadband costs no
 	// steady-state accuracy; rail values always pass through so full
 	// recovery is never held up.
-	if math.Abs(next-p.applied) >= p.limits.MinTransition ||
-		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits
+	if math.Abs(float64(next-p.applied)) >= float64(p.limits.MinTransition) ||
+		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits; both sides units.ScaleFactor, same dimension
 		p.applied = next
 	}
 
 	// Record trend data for the outer loop before rolling state.
-	p.sumScale += p.applied
-	p.sumSlope += (measuredTemp - p.prevTemp) / p.law.Period
+	p.sumScale += float64(p.applied)
+	p.sumSlope += float64(measuredTemp-p.prevTemp) / float64(p.law.Period)
 	p.numSamples++
 
 	p.prevErr = e
@@ -138,8 +144,9 @@ func (p *PIRuntime) Step(measuredTemp float64) float64 {
 // OS-level migration controller (Figure 1's "thread-core thermal trend
 // data").
 type TrendReport struct {
-	AvgScale float64 // mean applied frequency scale factor
-	AvgSlope float64 // mean dT/dt observed at the controlled hotspot, °C/s
+	AvgScale units.ScaleFactor // mean applied frequency scale factor
+	//mtlint:allow unit mean dT/dt at the controlled hotspot is °C/s — a rate, neither Celsius nor Seconds
+	AvgSlope float64
 	Samples  int
 }
 
@@ -149,7 +156,7 @@ func (p *PIRuntime) Trend() TrendReport {
 		return TrendReport{AvgScale: p.u}
 	}
 	return TrendReport{
-		AvgScale: p.sumScale / float64(p.numSamples),
+		AvgScale: units.ScaleFactor(p.sumScale / float64(p.numSamples)),
 		AvgSlope: p.sumSlope / float64(p.numSamples),
 		Samples:  p.numSamples,
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"multitherm/internal/poly"
+	"multitherm/internal/units"
 )
 
 // PID returns the three-term controller transfer function
@@ -31,19 +32,21 @@ func PID(kp, ki, kd, tauF float64) TF {
 //
 //	u[n] = u[n−1] + B0·e[n] + B1·e[n−1] + B2·e[n−2]
 type DiscretePID struct {
+	//mtlint:allow unit B0/B1/B2 are gains in scale per °C, not a units dimension
 	B0, B1, B2 float64
-	Period     float64
+	Period     units.Seconds
 }
 
 // C2DPID discretizes the PID using backward differences for both the
 // integral and the (unfiltered) derivative — the standard "velocity
 // form" digital PID. Sign convention matches the thermal loop: positive
 // error (too hot) lowers the output.
-func C2DPID(kp, ki, kd, T float64) DiscretePID {
+func C2DPID(kp, ki, kd float64, T units.Seconds) DiscretePID {
+	dt := float64(T)
 	return DiscretePID{
-		B0:     -(kp + ki*T + kd/T),
-		B1:     kp + 2*kd/T,
-		B2:     -kd / T,
+		B0:     -(kp + ki*dt + kd/dt),
+		B1:     kp + 2*kd/dt,
+		B2:     -kd / dt,
 		Period: T,
 	}
 }
@@ -53,31 +56,31 @@ func C2DPID(kp, ki, kd, T float64) DiscretePID {
 type PIDRuntime struct {
 	law      DiscretePID
 	limits   PILimits
-	setpoint float64
+	setpoint units.Celsius
 
-	u              float64
-	applied        float64
+	u              units.ScaleFactor
+	applied        units.ScaleFactor
 	prevErr, prev2 float64
 	started        bool
 }
 
 // NewPIDRuntime builds a clipped PID runtime starting at full output.
-func NewPIDRuntime(law DiscretePID, limits PILimits, setpoint float64) *PIDRuntime {
+func NewPIDRuntime(law DiscretePID, limits PILimits, setpoint units.Celsius) *PIDRuntime {
 	return &PIDRuntime{law: law, limits: limits, setpoint: setpoint,
 		u: limits.Max, applied: limits.Max}
 }
 
 // Output returns the applied actuator value.
-func (p *PIDRuntime) Output() float64 { return p.applied }
+func (p *PIDRuntime) Output() units.ScaleFactor { return p.applied }
 
 // Step advances the controller one sample.
-func (p *PIDRuntime) Step(measuredTemp float64) float64 {
-	e := measuredTemp - p.setpoint
+func (p *PIDRuntime) Step(measuredTemp units.Celsius) units.ScaleFactor {
+	e := float64(measuredTemp - p.setpoint)
 	if !p.started {
 		p.prevErr, p.prev2 = e, e
 		p.started = true
 	}
-	next := p.u + p.law.B0*e + p.law.B1*p.prevErr + p.law.B2*p.prev2
+	next := p.u + units.ScaleFactor(p.law.B0*e+p.law.B1*p.prevErr+p.law.B2*p.prev2)
 	if next > p.limits.Max {
 		next = p.limits.Max
 	}
@@ -85,8 +88,8 @@ func (p *PIDRuntime) Step(measuredTemp float64) float64 {
 		next = p.limits.Min
 	}
 	p.u = next
-	if math.Abs(next-p.applied) >= p.limits.MinTransition ||
-		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits
+	if math.Abs(float64(next-p.applied)) >= float64(p.limits.MinTransition) ||
+		next == p.limits.Max || next == p.limits.Min { //mtlint:allow floatcmp rail values are assigned verbatim from the limits; both sides units.ScaleFactor, same dimension
 		p.applied = next
 	}
 	p.prev2 = p.prevErr
@@ -97,45 +100,47 @@ func (p *PIDRuntime) Step(measuredTemp float64) float64 {
 // ThermalControlQuality summarizes a controller's behaviour on the
 // canonical cubic-power hotspot testbench.
 type ThermalControlQuality struct {
-	PeakTempC    float64 // worst overshoot
-	SettleMS     float64 // time to stay within ±0.5 °C of setpoint
-	MeanAbsErrC  float64 // average |T − setpoint| after settling
-	FinalScale   float64
+	PeakTempC units.Celsius // worst overshoot
+	//mtlint:allow unit settle time reported in milliseconds for readability, not units.Seconds
+	SettleMS     float64       // time to stay within ±0.5 °C of setpoint
+	MeanAbsErrC  units.Celsius // average |T − setpoint| after settling
+	FinalScale   units.ScaleFactor
 	EverEmergent bool // exceeded setpoint + margin
 }
 
 // stepFn is one controller step: temperature in, actuator out.
-type stepFn func(temp float64) float64
+type stepFn func(temp units.Celsius) units.ScaleFactor
 
 // evaluateThermalController drives a controller against a first-order
 // hotspot whose equilibrium follows the cubic power law, from a cold
 // start, and scores the closed-loop behaviour.
-func evaluateThermalController(step stepFn, setpoint, emergency float64) ThermalControlQuality {
+func evaluateThermalController(step stepFn, setpoint, emergency units.Celsius) ThermalControlQuality {
 	const (
 		tau      = 25e-3
 		ambient  = 45.0
 		riseFull = 52.0
 		simTime  = 2.0
 	)
-	dt := PaperSamplePeriod
+	dt := float64(PaperSamplePeriod)
 	steps := int(simTime / dt)
 	temp := ambient
+	tgt := float64(setpoint)
 	q := ThermalControlQuality{PeakTempC: ambient}
 	settled := -1.0
 	var errSum float64
 	var errN int
 	for i := 0; i < steps; i++ {
-		u := step(temp)
+		u := float64(step(units.Celsius(temp)))
 		eq := ambient + riseFull*u*u*u
 		temp += (eq - temp) * dt / tau
 		t := float64(i) * dt
-		if temp > q.PeakTempC {
-			q.PeakTempC = temp
+		if temp > float64(q.PeakTempC) {
+			q.PeakTempC = units.Celsius(temp)
 		}
-		if temp > emergency {
+		if temp > float64(emergency) {
 			q.EverEmergent = true
 		}
-		if math.Abs(temp-setpoint) <= 0.5 {
+		if math.Abs(temp-tgt) <= 0.5 {
 			if settled < 0 {
 				settled = t
 			}
@@ -143,10 +148,10 @@ func evaluateThermalController(step stepFn, setpoint, emergency float64) Thermal
 			settled = -1
 		}
 		if t > simTime/2 {
-			errSum += math.Abs(temp - setpoint)
+			errSum += math.Abs(temp - tgt)
 			errN++
 		}
-		q.FinalScale = u
+		q.FinalScale = units.ScaleFactor(u)
 	}
 	if settled >= 0 {
 		q.SettleMS = settled * 1e3
@@ -154,7 +159,7 @@ func evaluateThermalController(step stepFn, setpoint, emergency float64) Thermal
 		q.SettleMS = math.Inf(1)
 	}
 	if errN > 0 {
-		q.MeanAbsErrC = errSum / float64(errN)
+		q.MeanAbsErrC = units.Celsius(errSum / float64(errN))
 	}
 	return q
 }
@@ -163,7 +168,7 @@ func evaluateThermalController(step stepFn, setpoint, emergency float64) Thermal
 // derivative gain on the same hotspot testbench, returning both
 // qualities — the quantitative form of the paper's "derivative term has
 // little benefit" observation.
-func ComparePIvsPID(kd float64, setpoint, emergency float64) (pi, pid ThermalControlQuality) {
+func ComparePIvsPID(kd float64, setpoint, emergency units.Celsius) (pi, pid ThermalControlQuality) {
 	piRT := NewPaperPIRuntime(setpoint)
 	pi = evaluateThermalController(piRT.Step, setpoint, emergency)
 	law := C2DPID(PaperKp, PaperKi, kd, PaperSamplePeriod)

@@ -70,11 +70,11 @@ func TestDerivativeTermHasLittleBenefit(t *testing.T) {
 	if pi.EverEmergent || pid.EverEmergent {
 		t.Fatalf("controllers breached emergency threshold: pi=%+v pid=%+v", pi, pid)
 	}
-	if math.Abs(pi.MeanAbsErrC-pid.MeanAbsErrC) > 0.3 {
+	if math.Abs(float64(pi.MeanAbsErrC-pid.MeanAbsErrC)) > 0.3 {
 		t.Errorf("derivative changed tracking error materially: PI %.3f °C vs PID %.3f °C",
 			pi.MeanAbsErrC, pid.MeanAbsErrC)
 	}
-	if math.Abs(pi.PeakTempC-pid.PeakTempC) > 1.0 {
+	if math.Abs(float64(pi.PeakTempC-pid.PeakTempC)) > 1.0 {
 		t.Errorf("derivative changed peak temperature materially: %.2f vs %.2f",
 			pi.PeakTempC, pid.PeakTempC)
 	}

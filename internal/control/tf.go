@@ -7,6 +7,7 @@
 // deadband.
 //
 //mtlint:deterministic
+//mtlint:units
 package control
 
 import (
@@ -15,6 +16,7 @@ import (
 	"math/cmplx"
 
 	"multitherm/internal/poly"
+	"multitherm/internal/units"
 )
 
 // TF is a continuous-time transfer function Num(s)/Den(s).
@@ -43,8 +45,8 @@ func PI(kp, ki float64) TF {
 // which models a hotspot's temperature response to a power step with DC
 // gain K (°C per unit actuator) and thermal time constant τ (seconds).
 // The paper's stability argument treats each hotspot this way.
-func FirstOrderPlant(gain, tau float64) TF {
-	return TF{Num: poly.New(gain), Den: poly.New(1, tau)}
+func FirstOrderPlant(gain float64, tau units.Seconds) TF {
+	return TF{Num: poly.New(gain), Den: poly.New(1, float64(tau))}
 }
 
 // Series returns the cascade g·h.
@@ -102,22 +104,22 @@ func sign(x float64) int {
 // DominantTimeConstant returns −1/Re(p) for the stable pole closest to
 // the imaginary axis — the time scale that dominates settling. Returns
 // +Inf if any pole lies on or right of the axis.
-func (g TF) DominantTimeConstant() float64 {
+func (g TF) DominantTimeConstant() units.Seconds {
 	var slowest float64
 	for _, p := range g.Poles() {
 		if real(p) >= 0 {
-			return math.Inf(1)
+			return units.Seconds(math.Inf(1))
 		}
 		if tc := -1 / real(p); tc > slowest {
 			slowest = tc
 		}
 	}
-	return slowest
+	return units.Seconds(slowest)
 }
 
 // SettlingTime estimates the 2% settling time as 4× the dominant time
 // constant, the standard first-order approximation.
-func (g TF) SettlingTime() float64 {
+func (g TF) SettlingTime() units.Seconds {
 	return 4 * g.DominantTimeConstant()
 }
 
@@ -142,6 +144,8 @@ func (g TF) RootLocus(gains []float64) []RootLocusPoint {
 
 // StabilityMargin returns the distance of the rightmost pole from the
 // imaginary axis (positive = stable by that margin).
+//
+//mtlint:allow unit pole distance in the s-plane (1/s), not a units dimension
 func (g TF) StabilityMargin() float64 {
 	margin := math.Inf(1)
 	for _, p := range g.Poles() {

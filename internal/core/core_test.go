@@ -7,6 +7,7 @@ import (
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/sensor"
+	"multitherm/internal/units"
 )
 
 func testBank(t testing.TB) (*floorplan.Floorplan, *sensor.Bank) {
@@ -25,8 +26,8 @@ func testBank(t testing.TB) (*floorplan.Floorplan, *sensor.Bank) {
 
 // temps returns a uniform block-temperature vector with selected
 // overrides keyed by block name.
-func temps(fp *floorplan.Floorplan, base float64, override map[string]float64) []float64 {
-	out := make([]float64, len(fp.Blocks))
+func temps(fp *floorplan.Floorplan, base float64, override map[string]float64) units.TempVec {
+	out := make(units.TempVec, len(fp.Blocks))
 	for i := range out {
 		out[i] = base
 	}
@@ -158,7 +159,7 @@ func TestStopGoTrendReflectsDuty(t *testing.T) {
 	hot := temps(fp, 70, map[string]float64{"c2_iregfile": 84.2})
 	dt := DefaultParams().SamplePeriod
 	// 10 running ticks, then a trip; stalled ticks afterwards.
-	now := 0.0
+	now := units.Seconds(0)
 	for i := 0; i < 10; i++ {
 		sg.Decide(now, int64(i), cool)
 		now += dt
@@ -191,7 +192,7 @@ func TestDVFSDistributedIndependentCores(t *testing.T) {
 	hot := temps(fp, 60, map[string]float64{"c0_iregfile": 95})
 	var cmds []CoreCommand
 	for i := 0; i < 400; i++ {
-		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), hot)
+		cmds = d.Decide(units.Seconds(i)*DefaultParams().SamplePeriod, int64(i), hot)
 	}
 	if cmds[0].Scale >= 0.9 {
 		t.Errorf("hot core scale = %v, want depressed", cmds[0].Scale)
@@ -215,7 +216,7 @@ func TestDVFSGlobalFollowsHottest(t *testing.T) {
 	hot := temps(fp, 60, map[string]float64{"c3_fpregfile": 95})
 	var cmds []CoreCommand
 	for i := 0; i < 400; i++ {
-		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), hot)
+		cmds = d.Decide(units.Seconds(i)*DefaultParams().SamplePeriod, int64(i), hot)
 	}
 	// All cores share the single controller's output.
 	for c := 1; c < 4; c++ {
@@ -237,7 +238,7 @@ func TestDVFSRespectsFloor(t *testing.T) {
 	inferno := temps(fp, 150, nil)
 	var cmds []CoreCommand
 	for i := 0; i < 5000; i++ {
-		cmds = d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), inferno)
+		cmds = d.Decide(units.Seconds(i)*DefaultParams().SamplePeriod, int64(i), inferno)
 	}
 	for c := range cmds {
 		if cmds[c].Scale < DefaultParams().Limits.Min-1e-12 {
@@ -254,10 +255,10 @@ func TestDVFSTrendScaleTracksOutput(t *testing.T) {
 	}
 	cool := temps(fp, 50, nil)
 	for i := 0; i < 50; i++ {
-		d.Decide(float64(i)*DefaultParams().SamplePeriod, int64(i), cool)
+		d.Decide(units.Seconds(i)*DefaultParams().SamplePeriod, int64(i), cool)
 	}
 	tr := d.Trend(1)
-	if math.Abs(tr.AvgScale-1.0) > 1e-9 {
+	if math.Abs(float64(tr.AvgScale)-1.0) > 1e-9 {
 		t.Errorf("cool core trend scale = %v, want 1.0", tr.AvgScale)
 	}
 	d.NotifyMigration(1)

@@ -5,6 +5,7 @@ import (
 
 	"multitherm/internal/control"
 	"multitherm/internal/sensor"
+	"multitherm/internal/units"
 )
 
 // DVFSThrottler implements the control-theoretic DVFS mechanism of §4:
@@ -59,12 +60,12 @@ func (d *DVFSThrottler) Name() string {
 }
 
 // Setpoint returns the controllers' target temperature.
-func (d *DVFSThrottler) Setpoint() float64 {
+func (d *DVFSThrottler) Setpoint() units.Celsius {
 	return d.controllers[0].Setpoint()
 }
 
 // Decide implements Throttler.
-func (d *DVFSThrottler) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+func (d *DVFSThrottler) Decide(now units.Seconds, tick int64, blockTemps units.TempVec) []CoreCommand {
 	if d.scope == Global {
 		hot, _ := d.bank.Hottest(blockTemps, tick)
 		u := d.controllers[0].Step(hot)

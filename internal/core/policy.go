@@ -8,12 +8,14 @@
 // composition of Figure 1 is assembled by the simulator.
 //
 //mtlint:deterministic
+//mtlint:units
 package core
 
 import (
 	"fmt"
 
 	"multitherm/internal/control"
+	"multitherm/internal/units"
 )
 
 // Mechanism is the low-level throttling mechanism axis of Table 2.
@@ -110,24 +112,25 @@ func Taxonomy() []PolicySpec {
 type Params struct {
 	// ThresholdC is the emergency temperature no part of the chip may
 	// exceed (paper §3.5: 84.2 °C).
-	ThresholdC float64
+	ThresholdC units.Celsius
 	// TripMarginC: stop-go interrupts fire when a sensor reads within
 	// this margin below the threshold ("just below the thermal
 	// threshold", §5.1).
-	TripMarginC float64
+	TripMarginC units.Celsius
 	// SetpointMarginC: the DVFS PI setpoint sits this far below the
 	// threshold ("a setpoint slightly below the thermal threshold",
 	// §2.3).
-	SetpointMarginC float64
+	SetpointMarginC units.Celsius
 	// StallSeconds is the stop-go freeze interval (30 ms, §2.3).
-	StallSeconds float64
+	StallSeconds units.Seconds
 	// SamplePeriod is the control interval (100K cycles ≈ 27.8 µs).
-	SamplePeriod float64
-	// PI gains (§4.1) and actuator limits (§4.2).
+	SamplePeriod units.Seconds
+	// PI gains in scale per °C (§4.1) and actuator limits (§4.2).
+	//mtlint:allow unit controller gains are scale per °C, not a units dimension
 	Kp, Ki float64
 	Limits control.PILimits
 	// TransitionPenalty is the PLL/voltage retarget cost (10 µs).
-	TransitionPenalty float64
+	TransitionPenalty units.Seconds
 }
 
 // DefaultParams returns the paper's constants.
@@ -168,8 +171,8 @@ func (p Params) Validate() error {
 // CoreCommand is one core's operating point for the next control
 // interval.
 type CoreCommand struct {
-	Scale float64 // frequency scale factor in (0, 1]
-	Stall bool    // stop-go gate engaged: no progress, clocks off
+	Scale units.ScaleFactor // frequency scale factor in (0, 1]
+	Stall bool              // stop-go gate engaged: no progress, clocks off
 }
 
 // Throttler is the inner control loop of Figure 1: it converts sensor
@@ -181,7 +184,7 @@ type Throttler interface {
 	// sensors) at absolute time now (tick = sample index) and returns
 	// the command for each core. The returned slice is valid until the
 	// next call.
-	Decide(now float64, tick int64, blockTemps []float64) []CoreCommand
+	Decide(now units.Seconds, tick int64, blockTemps units.TempVec) []CoreCommand
 	// Trend reports the per-core feedback data the outer migration loop
 	// consumes (Figure 1: average scale factor and temperature slope).
 	Trend(coreID int) control.TrendReport

@@ -5,6 +5,7 @@ import (
 
 	"multitherm/internal/control"
 	"multitherm/internal/sensor"
+	"multitherm/internal/units"
 )
 
 // StopGoThrottler implements the paper's stop-go mechanism (§2.3, §5.1):
@@ -18,7 +19,7 @@ type StopGoThrottler struct {
 	bank   *sensor.Bank
 	nCores int
 
-	stallUntil []float64 // per core
+	stallUntil []units.Seconds // per core
 	cmds       []CoreCommand
 	trends     []trendAccum
 	trips      int
@@ -51,7 +52,7 @@ func (t *trendAccum) report() control.TrendReport {
 		return control.TrendReport{AvgScale: 1}
 	}
 	return control.TrendReport{
-		AvgScale: t.sumScale / float64(t.n),
+		AvgScale: units.ScaleFactor(t.sumScale / float64(t.n)),
 		AvgSlope: t.sumSlope / float64(t.n),
 		Samples:  t.n,
 	}
@@ -75,7 +76,7 @@ func NewStopGo(params Params, scope Scope, bank *sensor.Bank, nCores int) (*Stop
 		scope:      scope,
 		bank:       bank,
 		nCores:     nCores,
-		stallUntil: make([]float64, nCores),
+		stallUntil: make([]units.Seconds, nCores),
 		cmds:       make([]CoreCommand, nCores),
 		trends:     make([]trendAccum, nCores),
 	}, nil
@@ -90,12 +91,12 @@ func (s *StopGoThrottler) Name() string {
 func (s *StopGoThrottler) Trips() int { return s.trips }
 
 // Decide implements Throttler.
-func (s *StopGoThrottler) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+func (s *StopGoThrottler) Decide(now units.Seconds, tick int64, blockTemps units.TempVec) []CoreCommand {
 	trip := s.params.ThresholdC - s.params.TripMarginC
 	hotTemps := make([]float64, s.nCores)
 	for c := 0; c < s.nCores; c++ {
 		hot, _ := s.bank.ForCore(c).Hottest(blockTemps, tick)
-		hotTemps[c] = hot
+		hotTemps[c] = float64(hot)
 		if now >= s.stallUntil[c] && hot >= trip {
 			// Thermal interrupt: freeze this core (or, below, the chip)
 			// for the stall interval.
@@ -126,7 +127,7 @@ func (s *StopGoThrottler) Decide(now float64, tick int64, blockTemps []float64) 
 		if s.cmds[c].Stall {
 			scale = 0
 		}
-		s.trends[c].add(scale, hotTemps[c], s.params.SamplePeriod)
+		s.trends[c].add(scale, hotTemps[c], float64(s.params.SamplePeriod))
 	}
 	return s.cmds
 }

@@ -1,6 +1,9 @@
 package core
 
-import "multitherm/internal/control"
+import (
+	"multitherm/internal/control"
+	"multitherm/internal/units"
+)
 
 // Unthrottled is the no-DTM reference: every core always runs at full
 // speed. The paper uses unrestricted-temperature runs to validate that
@@ -23,7 +26,7 @@ func NewUnthrottled(nCores int) *Unthrottled {
 func (u *Unthrottled) Name() string { return "unthrottled" }
 
 // Decide implements Throttler.
-func (u *Unthrottled) Decide(now float64, tick int64, blockTemps []float64) []CoreCommand {
+func (u *Unthrottled) Decide(now units.Seconds, tick int64, blockTemps units.TempVec) []CoreCommand {
 	return u.cmds
 }
 

@@ -10,6 +10,7 @@ import (
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
 	"multitherm/internal/uarch"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -85,13 +86,13 @@ func (b *baniasRig) meanActivity(name string) ([]float64, error) {
 // steadyDiode computes the steady-state diode reading for a power
 // vector derived from the given activity, iterating the
 // temperature-dependent leakage to a fixed point.
-func (b *baniasRig) steadyDiode(m *thermal.Model, calc *power.Calculator, act []float64) (float64, []float64, error) {
-	temps := make([]float64, len(b.fp.Blocks))
+func (b *baniasRig) steadyDiode(m *thermal.Model, calc *power.Calculator, act []float64) (float64, units.TempVec, error) {
+	temps := make(units.TempVec, len(b.fp.Blocks))
 	for i := range temps {
 		temps[i] = 60
 	}
 	cores := []power.CoreState{{Scale: 1}}
-	var ss []float64
+	var ss units.TempVec
 	for iter := 0; iter < 4; iter++ {
 		p := calc.BlockPower(nil, act, cores, temps)
 		var err error
@@ -101,7 +102,7 @@ func (b *baniasRig) steadyDiode(m *thermal.Model, calc *power.Calculator, act []
 		}
 		copy(temps, ss[:len(temps)])
 	}
-	return b.diode.Sensors[0].Read(temps, 0), temps, nil
+	return float64(b.diode.Sensors[0].Read(temps, 0)), temps, nil
 }
 
 // calibrate tunes the rig's dynamic scale and ambient so that the model
@@ -148,7 +149,7 @@ func (b *baniasRig) calibrate() (*thermal.Model, *power.Calculator, error) {
 		if spread > 0.1 {
 			b.pc.GlobalDynamicScale *= wantSpread / spread
 		}
-		b.tp.Ambient += wantMcf - tm
+		b.tp.Ambient += units.Celsius(wantMcf - tm)
 	}
 	m, err := thermal.New(b.fp, b.tp)
 	if err != nil {
@@ -251,7 +252,7 @@ func (b *baniasRig) rangeOf(m *thermal.Model, calc *power.Calculator, name strin
 	if err != nil {
 		return 0, 0, err
 	}
-	temps := make([]float64, len(b.fp.Blocks))
+	temps := make(units.TempVec, len(b.fp.Blocks))
 	cores := []power.CoreState{{Scale: 1}}
 	p := calc.BlockPower(nil, meanAct, cores, warm)
 	if err := m.InitSteadyState(p); err != nil {
@@ -260,7 +261,7 @@ func (b *baniasRig) rangeOf(m *thermal.Model, calc *power.Calculator, name strin
 
 	// Walk the phase structure quasi-statically: 10 ms steps over two
 	// full phase periods, polling the diode four times a second.
-	dt := 10e-3
+	const dt = 10e-3
 	total := 2 * prof.PhasePeriod
 	steps := int(total / dt)
 	act := make([]float64, len(b.fp.Blocks))
@@ -276,7 +277,7 @@ func (b *baniasRig) rangeOf(m *thermal.Model, calc *power.Calculator, name strin
 		m.SetPower(p)
 		m.Step(dt)
 		if i%pollEvery == 0 && i > steps/8 {
-			v := b.diode.Sensors[0].Read(m.BlockTemps(temps), int64(i))
+			v := float64(b.diode.Sensors[0].Read(m.BlockTemps(temps), int64(i)))
 			min = math.Min(min, v)
 			max = math.Max(max, v)
 		}

@@ -9,6 +9,7 @@ import (
 	"multitherm/internal/metrics"
 	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
+	"multitherm/internal/units"
 )
 
 // Paper reference values (Tables 5–8), used in reports and asserted
@@ -104,6 +105,8 @@ func runStudy(o Options, id string, specs []core.PolicySpec, cfg sim.Config) (*P
 func (s *PolicyStudy) ID() string { return s.id }
 
 // Relative returns the policy's mean throughput over the baseline's.
+//
+//mtlint:allow unit relative throughput is a dimensionless ratio, not BIPS
 func (s *PolicyStudy) Relative(spec core.PolicySpec) float64 {
 	return s.Summary[spec].Relative(s.Baseline)
 }
@@ -111,8 +114,8 @@ func (s *PolicyStudy) Relative(spec core.PolicySpec) float64 {
 // Emergencies returns total time any block spent above the threshold,
 // across all runs of all policies (the paper's designs avoid all
 // thermal emergencies).
-func (s *PolicyStudy) Emergencies() float64 {
-	var total float64
+func (s *PolicyStudy) Emergencies() units.Seconds {
+	var total units.Seconds
 	for _, spec := range s.Specs {
 		for _, r := range s.Runs[spec] {
 			total += r.EmergencySeconds
@@ -259,7 +262,7 @@ func runMigrationTable(o Options, id string, kind core.MigrationKind) (*Migratio
 		plain := spec
 		plain.Migration = core.NoMigration
 		if b := study.Summary[plain].MeanBIPS; b > 0 {
-			out.SpeedupOverBase[spec] = study.Summary[spec].MeanBIPS / b
+			out.SpeedupOverBase[spec] = float64(study.Summary[spec].MeanBIPS / b)
 		}
 	}
 	// Report only migration rows.
@@ -418,8 +421,8 @@ func (t *Table8Result) Render() string {
 type SensitivityResult struct {
 	id        string
 	Specs     []core.PolicySpec
-	DutyAt84  map[core.PolicySpec]float64
-	DutyAt100 map[core.PolicySpec]float64
+	DutyAt84  map[core.PolicySpec]units.ScaleFactor
+	DutyAt100 map[core.PolicySpec]units.ScaleFactor
 }
 
 // ID implements Result.
@@ -430,8 +433,8 @@ func RunSensitivity(o Options) (*SensitivityResult, error) {
 	specs := nonMigrationSpecs()
 	out := &SensitivityResult{
 		id: "sensitivity", Specs: specs,
-		DutyAt84:  map[core.PolicySpec]float64{},
-		DutyAt100: map[core.PolicySpec]float64{},
+		DutyAt84:  map[core.PolicySpec]units.ScaleFactor{},
+		DutyAt100: map[core.PolicySpec]units.ScaleFactor{},
 	}
 	base, err := runStudy(o, "sens84", specs, o.simConfig())
 	if err != nil {
@@ -486,8 +489,8 @@ func (s *SensitivityResult) OrderingPreserved() bool {
 type DutyValidityResult struct {
 	id        string
 	Workloads []string
-	Predicted []float64 // duty cycle of the constrained run
-	Achieved  []float64 // BIPS ratio constrained / unconstrained
+	Predicted []units.ScaleFactor // duty cycle of the constrained run
+	Achieved  []units.ScaleFactor // throughput ratio constrained / unconstrained
 }
 
 // ID implements Result.
@@ -500,8 +503,8 @@ func RunDutyValidity(o Options) (*DutyValidityResult, error) {
 	out := &DutyValidityResult{
 		id:        "dutyvalid",
 		Workloads: make([]string, len(mixes)),
-		Predicted: make([]float64, len(mixes)),
-		Achieved:  make([]float64, len(mixes)),
+		Predicted: make([]units.ScaleFactor, len(mixes)),
+		Achieved:  make([]units.ScaleFactor, len(mixes)),
 	}
 	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
 	err := parallel.ForEach(context.Background(), o.Parallelism, len(mixes),
@@ -525,7 +528,7 @@ func RunDutyValidity(o Options) (*DutyValidityResult, error) {
 			}
 			out.Workloads[i] = mix.Name
 			out.Predicted[i] = constrained.DutyCycle()
-			out.Achieved[i] = constrained.BIPS() / free.BIPS()
+			out.Achieved[i] = units.ScaleFactor(float64(constrained.BIPS()) / float64(free.BIPS()))
 			return nil
 		})
 	if err != nil {
@@ -551,7 +554,7 @@ func (d *DutyValidityResult) Render() string {
 func (d *DutyValidityResult) WorstError() float64 {
 	var worst float64
 	for i := range d.Predicted {
-		if e := math.Abs(d.Achieved[i] - d.Predicted[i]); e > worst {
+		if e := math.Abs(float64(d.Achieved[i] - d.Predicted[i])); e > worst {
 			worst = e
 		}
 	}

@@ -7,6 +7,7 @@
 // the paper's format next to the published values.
 //
 //mtlint:deterministic
+//mtlint:units
 package experiments
 
 import (
@@ -20,6 +21,7 @@ import (
 	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
 	"multitherm/internal/thermal"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -27,7 +29,7 @@ import (
 type Options struct {
 	// SimTime is the simulated silicon time per run. The paper uses
 	// 0.5 s; shorter times trade precision for speed.
-	SimTime float64
+	SimTime units.Seconds
 	// Workloads restricts the workload set (nil = all 12).
 	Workloads []workload.Mix
 	// Parallelism bounds the worker pool that fans independent
@@ -101,7 +103,7 @@ type cell struct {
 // control period decides whether two cells can run in lockstep.
 type batchKey struct {
 	tmpl *thermal.Template
-	dt   float64
+	dt   units.Seconds
 }
 
 // runCells executes the given cells and slots each result at its input

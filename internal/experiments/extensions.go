@@ -8,6 +8,7 @@ import (
 	"multitherm/internal/core"
 	"multitherm/internal/metrics"
 	"multitherm/internal/sim"
+	"multitherm/internal/units"
 )
 
 // The artifacts in this file go beyond the paper's evaluation, covering
@@ -77,7 +78,7 @@ func RunHetero(o Options) (*HeteroResult, error) {
 		out.Homo[spec] = metrics.Summarize(spec.String(), runs)
 
 		cfg := o.simConfig()
-		cfg.CoreMaxScale = []float64{1, 1, 0.7, 0.7}
+		cfg.CoreMaxScale = []units.ScaleFactor{1, 1, 0.7, 0.7}
 		runs, err = runPolicy(o, cfg, spec)
 		if err != nil {
 			return nil, err
@@ -95,7 +96,7 @@ func (h *HeteroResult) Render() string {
 		ho, he := h.Homo[spec], h.Het[spec]
 		ratio := 0.0
 		if ho.MeanBIPS > 0 {
-			ratio = he.MeanBIPS / ho.MeanBIPS
+			ratio = float64(he.MeanBIPS / ho.MeanBIPS)
 		}
 		t.add(spec.String(),
 			fmt.Sprintf("%.2f", ho.MeanBIPS),
@@ -117,9 +118,9 @@ type SweepResult struct {
 	Knob   string
 	Policy core.PolicySpec
 	Labels []string
-	BIPS   []float64
-	Duty   []float64
-	Worst  []float64
+	BIPS   []units.BIPS
+	Duty   []units.ScaleFactor
+	Worst  []units.Celsius
 }
 
 // ID implements Result.
@@ -161,7 +162,7 @@ func runSweep(o Options, id, knob string, spec core.PolicySpec,
 // the cost of both shorter (thrashing trips) and longer (wasted idle)
 // intervals.
 func RunStallAblation(o Options) (*SweepResult, error) {
-	stalls := []float64{10e-3, 30e-3, 60e-3}
+	stalls := []units.Seconds{10e-3, 30e-3, 60e-3}
 	return runSweep(o, "ablation-stall", "stall interval", core.Baseline,
 		[]string{"10 ms", "30 ms (paper)", "60 ms"},
 		func(i int, cfg *sim.Config) { cfg.Policy.StallSeconds = stalls[i] })
@@ -170,7 +171,7 @@ func RunStallAblation(o Options) (*SweepResult, error) {
 // RunSetpointAblation sweeps the PI setpoint margin below the 84.2 °C
 // threshold: small margins risk emergencies, large ones waste headroom.
 func RunSetpointAblation(o Options) (*SweepResult, error) {
-	margins := []float64{1.0, 2.4, 5.0}
+	margins := []units.Celsius{1.0, 2.4, 5.0}
 	spec := core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}
 	return runSweep(o, "ablation-setpoint", "setpoint margin", spec,
 		[]string{"1.0 °C", "2.4 °C (paper)", "5.0 °C"},
@@ -180,7 +181,7 @@ func RunSetpointAblation(o Options) (*SweepResult, error) {
 // RunEpochAblation sweeps the OS migration epoch around the paper's
 // 10 ms timer-interrupt spacing.
 func RunEpochAblation(o Options) (*SweepResult, error) {
-	epochs := []float64{2e-3, 10e-3, 50e-3}
+	epochs := []units.Seconds{2e-3, 10e-3, 50e-3}
 	spec := core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed, Migration: core.CounterMigration}
 	return runSweep(o, "ablation-epoch", "migration epoch", spec,
 		[]string{"2 ms", "10 ms (paper)", "50 ms"},
@@ -237,12 +238,12 @@ func fmtSettle(ms float64) string {
 // under round-robin fairness while the DTM policies operate normally.
 type MultiprocResult struct {
 	Specs       []core.PolicySpec
-	BIPS        []float64
-	Duty        []float64
+	BIPS        []units.BIPS
+	Duty        []units.ScaleFactor
 	Preemptions []int
 	Migrations  []int
 	FairnessMin []float64 // smallest process share of the largest
-	Worst       []float64
+	Worst       []units.Celsius
 }
 
 // ID implements Result.

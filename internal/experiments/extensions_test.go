@@ -38,7 +38,7 @@ func TestPIDAblation(t *testing.T) {
 	for i := range r.Kds {
 		// Core of the §4.1 claim: the derivative term must not change
 		// the peak temperature (emergency avoidance) materially.
-		if d := math.Abs(r.PIDs[i].PeakTempC - r.PI[i].PeakTempC); d > 1.0 {
+		if d := math.Abs(float64(r.PIDs[i].PeakTempC - r.PI[i].PeakTempC)); d > 1.0 {
 			t.Errorf("kd=%g changed peak by %.2f °C", r.Kds[i], d)
 		}
 		if r.PIDs[i].EverEmergent {

@@ -7,6 +7,7 @@ import (
 	"multitherm/internal/core"
 	"multitherm/internal/floorplan"
 	"multitherm/internal/sim"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -14,10 +15,11 @@ import (
 // core: both register-file hotspot temperatures, the DVFS scale factor,
 // and the resident benchmark.
 type Fig5Point struct {
+	//mtlint:allow unit milliseconds on the figure's axis, not the Seconds gauge
 	TimeMS    float64
-	IntRF     float64
-	FPRF      float64
-	Scale     float64
+	IntRF     units.Celsius
+	FPRF      units.Celsius
+	Scale     units.ScaleFactor
 	Benchmark string
 	Migrated  bool // a migration landed on this core at this sample
 }
@@ -61,15 +63,15 @@ func RunFig5(o Options) (*Fig5Result, error) {
 	const sampleEvery = 20 // ticks of 27.8 µs
 	warmTicks := int64(0.02 / core.DefaultParams().SamplePeriod)
 	lastProc := -1
-	r.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+	r.SetProbe(func(now units.Seconds, tick int64, temps units.TempVec, cmds []core.CoreCommand, assign []int) {
 		if tick < warmTicks || tick%sampleEvery != 0 {
 			return
 		}
 		proc := assign[observed]
 		p := Fig5Point{
-			TimeMS:    (now - float64(warmTicks)*core.DefaultParams().SamplePeriod) * 1e3,
-			IntRF:     temps[irf],
-			FPRF:      temps[fprf],
+			TimeMS:    float64(now-units.Seconds(warmTicks)*core.DefaultParams().SamplePeriod) * 1e3,
+			IntRF:     temps.At(irf),
+			FPRF:      temps.At(fprf),
 			Scale:     cmds[observed].Scale,
 			Benchmark: mix.Benchmarks[proc],
 			Migrated:  lastProc >= 0 && proc != lastProc,

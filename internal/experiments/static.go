@@ -60,7 +60,7 @@ func Table3() *StaticResult {
 	t.add("L2 latency", fmt.Sprintf("%d cycles", c.L2Latency))
 	t.add("Main memory latency", fmt.Sprintf("%d cycles", c.MemLatency))
 	t.add("DVFS transition penalty", fmt.Sprintf("%.0f µs", p.TransitionPenalty*1e6))
-	t.add("Minimum freq scale", fmt.Sprintf("%.0f%% (%.0f MHz)", p.Limits.Min*100, p.Limits.Min*c.ClockHz/1e6))
+	t.add("Minimum freq scale", fmt.Sprintf("%.0f%% (%.0f MHz)", p.Limits.Min*100, float64(p.Limits.Min)*c.ClockHz/1e6))
 	t.add("Minimum transition", fmt.Sprintf("%.0f%% of range", p.Limits.MinTransition/(p.Limits.Max-p.Limits.Min)*100))
 	t.add("Migration penalty", "100 µs")
 	return &StaticResult{id: "table3", text: t.String()}
@@ -81,12 +81,13 @@ func Table4() *StaticResult {
 // discrete control law, and the stability analysis the paper performs
 // with MATLAB (root locus / pole placement).
 type PIAnalysis struct {
-	B0, B1         float64 // reproduced discrete coefficients
-	PaperB0        float64
-	PaperB1        float64
-	ContinuousOK   bool // closed-loop poles in left half plane
-	DiscreteOK     bool // closed-loop poles inside unit circle
-	RobustnessOK   bool // stability preserved at 0.1x and 10x gains
+	B0, B1       float64 // reproduced discrete coefficients
+	PaperB0      float64
+	PaperB1      float64
+	ContinuousOK bool // closed-loop poles in left half plane
+	DiscreteOK   bool // closed-loop poles inside unit circle
+	RobustnessOK bool // stability preserved at 0.1x and 10x gains
+	//mtlint:allow unit settling time reported in milliseconds for readability, not units.Seconds
 	SettlingTimeMS float64
 }
 
@@ -107,7 +108,7 @@ func RunPIAnalysis() (*PIAnalysis, error) {
 	plant := control.FirstOrderPlant(gain, tau)
 	loop := control.PI(control.PaperKp, control.PaperKi).Series(plant).Feedback()
 	out.ContinuousOK = loop.IsStable()
-	out.SettlingTimeMS = loop.SettlingTime() * 1e3
+	out.SettlingTimeMS = float64(loop.SettlingTime()) * 1e3
 
 	pn, pd := control.DiscretizePlantZOH(gain, tau, control.PaperSamplePeriod)
 	out.DiscreteOK = law.ClosedLoopStableZ(pn, pd)

@@ -3,11 +3,15 @@
 // ratio of work done to the work possible at full speed, with DVFS
 // contributions weighted by the dynamic frequency and overheads (PLL
 // retargeting, migration context switches) counted as non-work.
+//
+//mtlint:units
 package metrics
 
 import (
 	"fmt"
 	"math"
+
+	"multitherm/internal/units"
 )
 
 // Run accumulates measurements over one simulation.
@@ -15,7 +19,7 @@ type Run struct {
 	Policy   string
 	Workload string
 
-	SimTime float64 // simulated seconds
+	SimTime units.Seconds // simulated time
 	NCores  int
 
 	Instructions float64 // total retired across cores
@@ -23,17 +27,17 @@ type Run struct {
 
 	// WorkSeconds is Σ over cores and ticks of effectiveScale·dt: the
 	// frequency-weighted productive time.
-	WorkSeconds float64
+	WorkSeconds units.Seconds
 	// PenaltySeconds is time lost to DVFS transitions and migration
 	// context switches.
-	PenaltySeconds float64
+	PenaltySeconds units.Seconds
 	// StallSeconds is time cores spent frozen by stop-go.
-	StallSeconds float64
+	StallSeconds units.Seconds
 
-	MaxTempC float64
+	MaxTempC units.Celsius
 	// EmergencySeconds is time during which any die block exceeded the
 	// thermal threshold.
-	EmergencySeconds float64
+	EmergencySeconds units.Seconds
 
 	Migrations  int
 	Preemptions int // fairness timeslice rotations (time-shared mode)
@@ -45,26 +49,26 @@ func NewRun(policy, wl string, nCores int) *Run {
 	return &Run{
 		Policy: policy, Workload: wl, NCores: nCores,
 		PerCoreInstr: make([]float64, nCores),
-		MaxTempC:     math.Inf(-1),
+		MaxTempC:     units.Celsius(math.Inf(-1)),
 	}
 }
 
 // BIPS returns billions of instructions per second across the chip.
-func (r *Run) BIPS() float64 {
+func (r *Run) BIPS() units.BIPS {
 	if r.SimTime <= 0 {
 		return 0
 	}
-	return r.Instructions / r.SimTime / 1e9
+	return units.BIPS(r.Instructions / float64(r.SimTime) / 1e9)
 }
 
 // DutyCycle returns the adjusted duty cycle in [0,1]: achieved
 // frequency-weighted work over the total possible core-seconds.
-func (r *Run) DutyCycle() float64 {
-	total := r.SimTime * float64(r.NCores)
+func (r *Run) DutyCycle() units.ScaleFactor {
+	total := float64(r.SimTime) * float64(r.NCores)
 	if total <= 0 {
 		return 0
 	}
-	return r.WorkSeconds / total
+	return units.ScaleFactor(float64(r.WorkSeconds) / total)
 }
 
 // Validate sanity-checks the accumulated record.
@@ -86,15 +90,15 @@ func (r *Run) Validate() error {
 type Summary struct {
 	Policy    string
 	Runs      []*Run
-	MeanBIPS  float64
-	MeanDuty  float64
-	WorstTemp float64
-	TotalEmer float64
+	MeanBIPS  units.BIPS
+	MeanDuty  units.ScaleFactor
+	WorstTemp units.Celsius
+	TotalEmer units.Seconds
 }
 
 // Summarize computes cross-workload averages.
 func Summarize(policy string, runs []*Run) Summary {
-	s := Summary{Policy: policy, Runs: runs, WorstTemp: math.Inf(-1)}
+	s := Summary{Policy: policy, Runs: runs, WorstTemp: units.Celsius(math.Inf(-1))}
 	if len(runs) == 0 {
 		return s
 	}
@@ -106,23 +110,29 @@ func Summarize(policy string, runs []*Run) Summary {
 		}
 		s.TotalEmer += r.EmergencySeconds
 	}
-	s.MeanBIPS /= float64(len(runs))
-	s.MeanDuty /= float64(len(runs))
+	s.MeanBIPS /= units.BIPS(len(runs))
+	s.MeanDuty /= units.ScaleFactor(len(runs))
 	return s
 }
 
 // Relative returns this summary's mean throughput normalized to a
-// baseline summary (the paper's "relative throughput" column).
+// baseline summary (the paper's "relative throughput" column). The
+// result is a dimensionless BIPS/BIPS ratio, deliberately not a units
+// type.
+//
+//mtlint:allow unit relative throughput is a dimensionless ratio, not BIPS
 func (s Summary) Relative(baseline Summary) float64 {
-	if baseline.MeanBIPS == 0 { //mtlint:allow floatcmp division guard; an exactly zero baseline is degenerate
+	if baseline.MeanBIPS == 0 { //mtlint:allow floatcmp division guard; both sides units.BIPS, an exactly zero baseline is degenerate
 		return 0
 	}
-	return s.MeanBIPS / baseline.MeanBIPS
+	return float64(s.MeanBIPS / baseline.MeanBIPS)
 }
 
 // PerWorkloadRelative returns, per workload, this policy's BIPS over
 // the baseline's for the same workload (Figure 3's bars). Both run
 // slices must be ordered identically.
+//
+//mtlint:allow unit per-workload relative throughput is a dimensionless ratio
 func PerWorkloadRelative(policy, baseline []*Run) ([]float64, error) {
 	if len(policy) != len(baseline) {
 		return nil, fmt.Errorf("metrics: run count mismatch %d vs %d", len(policy), len(baseline))
@@ -134,7 +144,7 @@ func PerWorkloadRelative(policy, baseline []*Run) ([]float64, error) {
 				i, policy[i].Workload, baseline[i].Workload)
 		}
 		if b := baseline[i].BIPS(); b > 0 {
-			out[i] = policy[i].BIPS() / b
+			out[i] = float64(policy[i].BIPS() / b)
 		}
 	}
 	return out, nil

@@ -3,19 +3,21 @@ package metrics
 import (
 	"math"
 	"testing"
+
+	"multitherm/internal/units"
 )
 
 func runWith(policy, wl string, simTime, instr, work float64) *Run {
 	r := NewRun(policy, wl, 4)
-	r.SimTime = simTime
+	r.SimTime = units.Seconds(simTime)
 	r.Instructions = instr
-	r.WorkSeconds = work
+	r.WorkSeconds = units.Seconds(work)
 	return r
 }
 
 func TestBIPS(t *testing.T) {
 	r := runWith("p", "w", 0.5, 5e9, 1)
-	if got := r.BIPS(); math.Abs(got-10) > 1e-12 {
+	if got := r.BIPS(); math.Abs(float64(got)-10) > 1e-12 {
 		t.Errorf("BIPS = %v, want 10", got)
 	}
 	empty := NewRun("p", "w", 4)
@@ -27,7 +29,7 @@ func TestBIPS(t *testing.T) {
 func TestDutyCycle(t *testing.T) {
 	// 4 cores × 0.5 s = 2 core-seconds possible; 1 work-second = 50%.
 	r := runWith("p", "w", 0.5, 0, 1.0)
-	if got := r.DutyCycle(); math.Abs(got-0.5) > 1e-12 {
+	if got := r.DutyCycle(); math.Abs(float64(got)-0.5) > 1e-12 {
 		t.Errorf("duty = %v, want 0.5", got)
 	}
 }
@@ -57,10 +59,10 @@ func TestSummarize(t *testing.T) {
 	b.MaxTempC = 84
 	b.EmergencySeconds = 0.01
 	s := Summarize("p", []*Run{a, b})
-	if math.Abs(s.MeanBIPS-10) > 1e-12 { // (8+12)/2
+	if math.Abs(float64(s.MeanBIPS)-10) > 1e-12 { // (8+12)/2
 		t.Errorf("mean BIPS = %v, want 10", s.MeanBIPS)
 	}
-	if math.Abs(s.MeanDuty-0.5) > 1e-12 { // (0.4+0.6)/2
+	if math.Abs(float64(s.MeanDuty)-0.5) > 1e-12 { // (0.4+0.6)/2
 		t.Errorf("mean duty = %v, want 0.5", s.MeanDuty)
 	}
 	if s.WorstTemp != 84 {

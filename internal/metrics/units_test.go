@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"multitherm/internal/units"
+)
+
+// TestThroughputAndDutyKeepSeparateGauges pins the dimensional split
+// the refactor introduced: absolute throughput is units.BIPS, the duty
+// cycle is units.ScaleFactor, and the only place the two meet — the
+// relative-throughput comparison — is an explicitly dimensionless
+// float64 ratio, never a BIPS or a ScaleFactor.
+func TestThroughputAndDutyKeepSeparateGauges(t *testing.T) {
+	mk := func(instr float64) *Run {
+		r := NewRun("pi-dvfs", "workload1", 4)
+		r.Instructions = instr
+		r.SimTime = 2
+		r.WorkSeconds = 6 // of 4 cores × 2 s = 8 core-seconds
+		return r
+	}
+	run := mk(12e9)
+
+	// Each quantity carries its own gauge; the assignments are the
+	// compile-time half of the test.
+	var bips units.BIPS = run.BIPS()
+	var duty units.ScaleFactor = run.DutyCycle()
+	if bips != 6 {
+		t.Fatalf("BIPS = %v, want 6 (12e9 instructions / 2 s / 1e9)", bips)
+	}
+	if duty != 0.75 {
+		t.Fatalf("duty = %v, want 0.75 (6 of 8 core-seconds)", duty)
+	}
+
+	// Summaries keep the gauges apart too, and the cross-summary ratio
+	// comes back as a raw float64 — dimensionless by construction.
+	policy := Summarize("pi-dvfs", []*Run{mk(12e9), mk(9e9)})
+	base := Summarize("none", []*Run{mk(16e9), mk(12e9)})
+	var rel float64 = policy.Relative(base)
+	if want := float64(policy.MeanBIPS) / float64(base.MeanBIPS); math.Abs(rel-want) > 1e-15 {
+		t.Fatalf("Relative = %v, want %v", rel, want)
+	}
+	if rel <= 0.7 || rel >= 0.8 {
+		t.Fatalf("Relative = %v, want 0.75 for the constructed runs", rel)
+	}
+
+	// A duty cycle numerically equal to the ratio still lives in a
+	// different gauge: converting it toward BIPS must go through a
+	// deliberate float64 step, and the values agree only by arithmetic.
+	if float64(policy.MeanDuty) != 0.75 {
+		t.Fatalf("MeanDuty = %v, want 0.75", policy.MeanDuty)
+	}
+}

@@ -29,7 +29,7 @@ func (cb *CounterBased) Decisions() int { return cb.decisions }
 
 // Step implements Controller.
 func (cb *CounterBased) Step(ctx *Context) ([]int, bool) {
-	if !ctx.Sched.MayDecide(ctx.Now) {
+	if !ctx.Sched.MayDecide(float64(ctx.Now)) {
 		return nil, false
 	}
 	hs := readHotspots(ctx)

@@ -19,24 +19,26 @@ import (
 	"multitherm/internal/floorplan"
 	"multitherm/internal/osched"
 	"multitherm/internal/sensor"
+	"multitherm/internal/units"
 )
 
 // Context is the OS-visible system state a migration controller acts
 // on. The simulator assembles one per control tick.
 type Context struct {
-	Now  float64 // absolute time, seconds
-	Tick int64   // control interval index
+	Now  units.Seconds // absolute time on the simulation clock
+	Tick int64         // control interval index
 
 	Sched      *osched.Scheduler
-	BlockTemps []float64 // die-block temperatures
+	BlockTemps units.TempVec // die-block temperatures
 	Throttler  core.Throttler
 	FP         *floorplan.Floorplan
 	Bank       *sensor.Bank // chip hotspot sensor bank
 
 	// DynScale is the dynamic-power scaling relation (cubic in the
 	// paper) used to rescale observations taken at reduced frequency
-	// back to full-speed intensity (§6.1, §6.3).
-	DynScale func(s float64) float64
+	// back to full-speed intensity (§6.1, §6.3). The result is a
+	// dimensionless power multiplier, not another frequency scale.
+	DynScale func(s units.ScaleFactor) float64
 }
 
 // Controller decides thread placements. Step is called every control
@@ -64,7 +66,7 @@ func readHotspots(ctx *Context) []coreHotspot {
 	for c := 0; c < n; c++ {
 		var tInt, tFP float64
 		for _, s := range ctx.Bank.ForCore(c).Sensors {
-			v := s.Read(ctx.BlockTemps, ctx.Tick)
+			v := float64(s.Read(ctx.BlockTemps, ctx.Tick))
 			switch ctx.FP.Blocks[s.Block].Kind {
 			case floorplan.KindIntRegFile:
 				tInt = v

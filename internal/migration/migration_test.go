@@ -8,18 +8,19 @@ import (
 	"multitherm/internal/floorplan"
 	"multitherm/internal/osched"
 	"multitherm/internal/sensor"
+	"multitherm/internal/units"
 )
 
 // stubThrottler provides settable trend data.
 type stubThrottler struct {
-	scales []float64
+	scales []units.ScaleFactor
 	resets int
 }
 
 var _ core.Throttler = (*stubThrottler)(nil)
 
 func (s *stubThrottler) Name() string { return "stub" }
-func (s *stubThrottler) Decide(float64, int64, []float64) []core.CoreCommand {
+func (s *stubThrottler) Decide(units.Seconds, int64, units.TempVec) []core.CoreCommand {
 	return nil
 }
 func (s *stubThrottler) Trend(coreID int) control.TrendReport {
@@ -33,7 +34,7 @@ type fixture struct {
 	bank  *sensor.Bank
 	sched *osched.Scheduler
 	th    *stubThrottler
-	temps []float64
+	temps units.TempVec
 }
 
 func newFixture(t testing.TB) *fixture {
@@ -50,8 +51,8 @@ func newFixture(t testing.TB) *fixture {
 		fp:    fp,
 		bank:  bank,
 		sched: osched.NewScheduler([]string{"gzip", "twolf", "ammp", "lucas"}),
-		th:    &stubThrottler{scales: []float64{1, 1, 1, 1}},
-		temps: make([]float64, len(fp.Blocks)),
+		th:    &stubThrottler{scales: []units.ScaleFactor{1, 1, 1, 1}},
+		temps: make(units.TempVec, len(fp.Blocks)),
 	}
 	for i := range f.temps {
 		f.temps[i] = 70
@@ -69,10 +70,10 @@ func (f *fixture) setBlock(name string, temp float64) {
 
 func (f *fixture) ctx(now float64, tick int64) *Context {
 	return &Context{
-		Now: now, Tick: tick,
+		Now: units.Seconds(now), Tick: tick,
 		Sched: f.sched, BlockTemps: f.temps,
 		Throttler: f.th, FP: f.fp, Bank: f.bank,
-		DynScale: func(s float64) float64 { return s * s * s },
+		DynScale: func(s units.ScaleFactor) float64 { return float64(s * s * s) },
 	}
 }
 
@@ -280,7 +281,7 @@ func TestSensorBasedScalesByRecordedFrequency(t *testing.T) {
 	// apparent pressure (cubic rescale to full-speed equivalent).
 	f := newFixture(t)
 	sb := NewSensorBased(4, 4)
-	f.th.scales = []float64{0.5, 1, 1, 1}
+	f.th.scales = []units.ScaleFactor{0.5, 1, 1, 1}
 	f.setBlock("c0_iregfile", 74) // +4 over the 70 mean-ish
 	sb.record(f.ctx(0, 0))
 	e00 := sb.table[0][0]

@@ -82,7 +82,7 @@ func (sb *SensorBased) record(ctx *Context) {
 		}
 		var tInt, tFP float64
 		for _, s := range ctx.Bank.ForCore(c).Sensors {
-			v := s.Read(ctx.BlockTemps, ctx.Tick)
+			v := float64(s.Read(ctx.BlockTemps, ctx.Tick))
 			switch ctx.FP.Blocks[s.Block].Kind {
 			case floorplan.KindIntRegFile:
 				tInt = v
@@ -214,7 +214,7 @@ func (sb *SensorBased) estimate() (intensInt, intensFP []float64) {
 // sufficient, set migration targets to profile more; otherwise compute
 // estimated intensities and run the decision algorithm.
 func (sb *SensorBased) Step(ctx *Context) ([]int, bool) {
-	if !ctx.Sched.MayDecide(ctx.Now) {
+	if !ctx.Sched.MayDecide(float64(ctx.Now)) {
 		return nil, false
 	}
 	// Evaluate the trigger before recording: record() consumes (and

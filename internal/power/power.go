@@ -6,6 +6,8 @@
 // relation P_dyn ∝ f·V² with V tracking f; that is this package's
 // default voltage curve, with an optional realistic voltage floor for
 // ablation studies.
+//
+//mtlint:units
 package power
 
 import (
@@ -13,6 +15,7 @@ import (
 	"math"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 // Config holds the electrical parameters of the power model.
@@ -23,26 +26,30 @@ type Config struct {
 	// reach; the voltage curve becomes linear from VFloor at SMin up to
 	// VMax at scale 1. If zero, voltage tracks frequency proportionally
 	// (V = VMax·s), which yields the paper's pure-cubic dynamic scaling.
+	//mtlint:allow unit volts; supply voltage is outside the modeled unit gauges
 	VFloor float64
 	// SMin is the minimum frequency scale factor (paper: 0.2).
-	SMin float64
+	SMin units.ScaleFactor
 
-	// UnitDynamic maps unit kind to the block's maximum dynamic power in
-	// watts at full activity and nominal V/f.
-	UnitDynamic map[floorplan.UnitKind]float64
+	// UnitDynamic maps unit kind to the block's maximum dynamic power
+	// at full activity and nominal V/f.
+	UnitDynamic map[floorplan.UnitKind]units.Watts
 
 	// Leakage: P_leak = LeakagePerArea·area·(V/VMax)·e^{Beta·(T−T0)}.
-	LeakagePerArea float64 // W/m² at T0 and VMax
+	//mtlint:allow unit leakage density is W/m², not plain Watts
+	LeakagePerArea float64 // at T0 and VMax
 	LeakageBeta    float64 // 1/°C
-	LeakageT0      float64 // °C
+	LeakageT0      units.Celsius
 
 	// StallDynFraction is the fraction of dynamic power still burned
 	// while a core is clock-gated by stop-go (§2.3: state is maintained,
 	// "much less dynamic power is wasted" — but not zero).
+	//mtlint:allow unit dimensionless fraction of the dynamic power, not Watts
 	StallDynFraction float64
 
 	// GlobalDynamicScale multiplies every unit's dynamic power — the
 	// overall thermal-duress calibration knob. Zero means 1.0.
+	//mtlint:allow unit dimensionless calibration multiplier, not a frequency ScaleFactor
 	GlobalDynamicScale float64
 }
 
@@ -60,7 +67,7 @@ func DefaultConfig() Config {
 	return Config{
 		VMax: 1.0,
 		SMin: 0.2,
-		UnitDynamic: map[floorplan.UnitKind]float64{
+		UnitDynamic: map[floorplan.UnitKind]units.Watts{
 			floorplan.KindFXU:        5.5,
 			floorplan.KindIntRegFile: 6.5,
 			floorplan.KindFPU:        5.5,
@@ -110,7 +117,9 @@ func (c Config) Validate() error {
 }
 
 // VoltageAt returns the supply voltage at frequency scale s ∈ [SMin, 1].
-func (c Config) VoltageAt(s float64) float64 {
+//
+//mtlint:allow unit volts; supply voltage is outside the modeled unit gauges
+func (c Config) VoltageAt(s units.ScaleFactor) float64 {
 	if s < c.SMin {
 		s = c.SMin
 	}
@@ -118,10 +127,10 @@ func (c Config) VoltageAt(s float64) float64 {
 		s = 1
 	}
 	if c.VFloor <= 0 {
-		return c.VMax * s
+		return c.VMax * float64(s)
 	}
 	// Linear from VFloor at SMin to VMax at 1.
-	frac := (s - c.SMin) / (1 - c.SMin)
+	frac := float64((s - c.SMin) / (1 - c.SMin))
 	return c.VFloor + (c.VMax-c.VFloor)*frac
 }
 
@@ -129,16 +138,22 @@ func (c Config) VoltageAt(s float64) float64 {
 // s relative to full speed: f·V² normalized. With the default
 // proportional voltage curve this is exactly s³ — the cubic relation the
 // paper's migration controllers use to rescale counter and sensor data.
-func (c Config) DynamicScale(s float64) float64 {
+// The result is a dimensionless power multiplier, not a ScaleFactor.
+//
+//mtlint:allow unit dimensionless f·V² power multiplier
+func (c Config) DynamicScale(s units.ScaleFactor) float64 {
 	v := c.VoltageAt(s) / c.VMax
-	return s * v * v
+	return float64(s) * v * v
 }
 
 // LeakageScale returns the leakage multiplier at temperature tempC and
-// frequency scale s, relative to (T0, VMax).
-func (c Config) LeakageScale(tempC, s float64) float64 {
+// frequency scale s, relative to (T0, VMax). The result is a
+// dimensionless power multiplier.
+//
+//mtlint:allow unit dimensionless leakage multiplier
+func (c Config) LeakageScale(tempC units.Celsius, s units.ScaleFactor) float64 {
 	v := c.VoltageAt(s) / c.VMax
-	return v * math.Exp(c.LeakageBeta*(tempC-c.LeakageT0))
+	return v * math.Exp(c.LeakageBeta*float64(tempC-c.LeakageT0))
 }
 
 // Calculator converts per-block activity factors into watts for a
@@ -165,7 +180,7 @@ func NewCalculator(fp *floorplan.Floorplan, cfg Config) (*Calculator, error) {
 		if !ok {
 			return nil, fmt.Errorf("power: no dynamic power configured for unit kind %v (block %s)", b.Kind, b.Name)
 		}
-		c.maxDyn[i] = w * cfg.globalScale()
+		c.maxDyn[i] = float64(w) * cfg.globalScale()
 		c.leak0[i] = cfg.LeakagePerArea * b.Area()
 		c.leakSum += c.leak0[i]
 	}
@@ -177,15 +192,15 @@ func (c *Calculator) Config() Config { return c.cfg }
 
 // MaxDynamic returns block i's dynamic power at full activity and
 // nominal V/f.
-func (c *Calculator) MaxDynamic(i int) float64 { return c.maxDyn[i] }
+func (c *Calculator) MaxDynamic(i int) units.Watts { return units.Watts(c.maxDyn[i]) }
 
 // BaseLeakage returns block i's leakage at T0 and VMax.
-func (c *Calculator) BaseLeakage(i int) float64 { return c.leak0[i] }
+func (c *Calculator) BaseLeakage(i int) units.Watts { return units.Watts(c.leak0[i]) }
 
 // CoreState describes one core's operating point for power assembly.
 type CoreState struct {
-	Scale   float64 // frequency scale factor in [SMin, 1]
-	Stalled bool    // stop-go clock gate engaged
+	Scale   units.ScaleFactor // frequency scale factor in [SMin, 1]
+	Stalled bool              // stop-go clock gate engaged
 }
 
 // BlockPower fills dst with per-block watts given:
@@ -196,13 +211,13 @@ type CoreState struct {
 //   - temps: per-block temperatures for leakage feedback.
 //
 // dst may be nil. The returned slice has one entry per block.
-func (c *Calculator) BlockPower(dst, activity []float64, cores []CoreState, temps []float64) []float64 {
+func (c *Calculator) BlockPower(dst units.PowerVec, activity []float64, cores []CoreState, temps units.TempVec) units.PowerVec {
 	nb := len(c.fp.Blocks)
 	if len(activity) != nb || len(temps) != nb {
 		panic(fmt.Sprintf("power: activity/temps length %d/%d, want %d", len(activity), len(temps), nb))
 	}
 	if dst == nil {
-		dst = make([]float64, nb)
+		dst = units.MakePowerVec(nb)
 	}
 	allStalled := true
 	for _, cs := range cores {
@@ -212,7 +227,7 @@ func (c *Calculator) BlockPower(dst, activity []float64, cores []CoreState, temp
 		}
 	}
 	for i, b := range c.fp.Blocks {
-		scale, stalled := 1.0, allStalled
+		scale, stalled := units.ScaleFactor(1), allStalled
 		if b.Core != floorplan.SharedCore && b.Core < len(cores) {
 			scale = cores[b.Core].Scale
 			stalled = cores[b.Core].Stalled
@@ -223,7 +238,7 @@ func (c *Calculator) BlockPower(dst, activity []float64, cores []CoreState, temp
 			dyn = c.maxDyn[i] * activity[i] * c.cfg.StallDynFraction
 			scale = 1 // leakage at full voltage while gated
 		}
-		leak := c.leak0[i] * c.cfg.LeakageScale(temps[i], scale)
+		leak := c.leak0[i] * c.cfg.LeakageScale(units.Celsius(temps[i]), scale)
 		dst[i] = dyn + leak
 	}
 	return dst
@@ -231,16 +246,16 @@ func (c *Calculator) BlockPower(dst, activity []float64, cores []CoreState, temp
 
 // ChipLeakageAt returns total chip leakage if every block sat at the
 // given temperature and scale — a calibration aid.
-func (c *Calculator) ChipLeakageAt(tempC, s float64) float64 {
-	return c.leakSum * c.cfg.LeakageScale(tempC, s)
+func (c *Calculator) ChipLeakageAt(tempC units.Celsius, s units.ScaleFactor) units.Watts {
+	return units.Watts(c.leakSum * c.cfg.LeakageScale(tempC, s))
 }
 
 // MaxChipDynamic returns total chip dynamic power at activity 1
 // everywhere and full V/f — an upper bound used in calibration.
-func (c *Calculator) MaxChipDynamic() float64 {
+func (c *Calculator) MaxChipDynamic() units.Watts {
 	var sum float64
 	for _, w := range c.maxDyn {
 		sum += w
 	}
-	return sum
+	return units.Watts(sum)
 }

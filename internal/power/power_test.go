@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 func newCalc(t testing.TB) *Calculator {
@@ -46,8 +47,8 @@ func TestCubicDynamicScaling(t *testing.T) {
 	// With the default proportional voltage curve, dynamic power must
 	// follow the paper's cubic relation exactly.
 	c := DefaultConfig()
-	for _, s := range []float64{0.2, 0.5, 0.72, 1.0} {
-		want := s * s * s
+	for _, s := range []units.ScaleFactor{0.2, 0.5, 0.72, 1.0} {
+		want := float64(s * s * s)
 		if got := c.DynamicScale(s); math.Abs(got-want) > 1e-12 {
 			t.Errorf("DynamicScale(%v) = %v, want %v (cubic)", s, got, want)
 		}
@@ -87,7 +88,7 @@ func TestLeakageDoublesOverBetaBand(t *testing.T) {
 	c := DefaultConfig()
 	t0 := c.LeakageT0
 	dT := math.Ln2 / c.LeakageBeta
-	r := c.LeakageScale(t0+dT, 1) / c.LeakageScale(t0, 1)
+	r := c.LeakageScale(t0+units.Celsius(dT), 1) / c.LeakageScale(t0, 1)
 	if math.Abs(r-2) > 1e-9 {
 		t.Errorf("leakage ratio over doubling band = %v, want 2", r)
 	}
@@ -113,19 +114,19 @@ func TestBlockPowerFullSpeed(t *testing.T) {
 	temps := make([]float64, nb)
 	for i := range activity {
 		activity[i] = 1
-		temps[i] = calc.Config().LeakageT0
+		temps[i] = float64(calc.Config().LeakageT0)
 	}
 	cores := []CoreState{{Scale: 1}, {Scale: 1}, {Scale: 1}, {Scale: 1}}
 	p := calc.BlockPower(nil, activity, cores, temps)
 	var total float64
 	for i, w := range p {
-		want := calc.MaxDynamic(i) + calc.BaseLeakage(i)
+		want := float64(calc.MaxDynamic(i) + calc.BaseLeakage(i))
 		if math.Abs(w-want) > 1e-9 {
 			t.Errorf("block %d power %v, want %v", i, w, want)
 		}
 		total += w
 	}
-	wantTotal := calc.MaxChipDynamic() + calc.ChipLeakageAt(calc.Config().LeakageT0, 1)
+	wantTotal := float64(calc.MaxChipDynamic() + calc.ChipLeakageAt(calc.Config().LeakageT0, 1))
 	if math.Abs(total-wantTotal) > 1e-6 {
 		t.Errorf("total %v, want %v", total, wantTotal)
 	}
@@ -145,7 +146,7 @@ func TestBlockPowerStalledCore(t *testing.T) {
 	p := calc.BlockPower(nil, activity, cores, temps)
 	for i, b := range fp.Blocks {
 		if b.Core == 0 {
-			want := calc.MaxDynamic(i)*calc.Config().StallDynFraction + calc.BaseLeakage(i)
+			want := float64(calc.MaxDynamic(i))*calc.Config().StallDynFraction + float64(calc.BaseLeakage(i))
 			if math.Abs(p[i]-want) > 1e-9 {
 				t.Errorf("stalled block %s power %v, want %v", b.Name, p[i], want)
 			}
@@ -153,7 +154,7 @@ func TestBlockPowerStalledCore(t *testing.T) {
 	}
 	// Shared L2 keeps running while any core is live.
 	l2 := fp.BlockIndex("l2")
-	if p[l2] <= calc.BaseLeakage(l2) {
+	if p[l2] <= float64(calc.BaseLeakage(l2)) {
 		t.Error("L2 dynamic power gated although cores are live")
 	}
 }
@@ -174,7 +175,7 @@ func TestBlockPowerAllStalledGatesShared(t *testing.T) {
 	}
 	p := calc.BlockPower(nil, activity, cores, temps)
 	l2 := fp.BlockIndex("l2")
-	want := calc.MaxDynamic(l2)*calc.Config().StallDynFraction + calc.BaseLeakage(l2)
+	want := float64(calc.MaxDynamic(l2))*calc.Config().StallDynFraction + float64(calc.BaseLeakage(l2))
 	if math.Abs(p[l2]-want) > 1e-9 {
 		t.Errorf("all-stalled L2 power %v, want gated %v", p[l2], want)
 	}
@@ -194,8 +195,8 @@ func TestBlockPowerScalesWithDVFS(t *testing.T) {
 	half := calc.BlockPower(nil, activity, []CoreState{{Scale: 0.5}, {Scale: 1}, {Scale: 1}, {Scale: 1}}, temps)
 	for i, b := range fp.Blocks {
 		if b.Core == 0 {
-			wantDyn := (full[i] - calc.BaseLeakage(i)) * 0.125
-			wantLeak := calc.BaseLeakage(i) * 0.5 // voltage factor
+			wantDyn := (full[i] - float64(calc.BaseLeakage(i))) * 0.125
+			wantLeak := float64(calc.BaseLeakage(i)) * 0.5 // voltage factor
 			if math.Abs(half[i]-(wantDyn+wantLeak)) > 1e-9 {
 				t.Errorf("block %s at half speed: %v, want %v", b.Name, half[i], wantDyn+wantLeak)
 			}
@@ -216,8 +217,8 @@ func TestBlockPowerMonotoneInScaleProperty(t *testing.T) {
 		temps[i] = 80
 	}
 	f := func(s1, s2 float64) bool {
-		a := 0.2 + math.Mod(math.Abs(s1), 0.8)
-		b := 0.2 + math.Mod(math.Abs(s2), 0.8)
+		a := units.ScaleFactor(0.2 + math.Mod(math.Abs(s1), 0.8))
+		b := units.ScaleFactor(0.2 + math.Mod(math.Abs(s2), 0.8))
 		if a > b {
 			a, b = b, a
 		}
@@ -274,7 +275,7 @@ func TestGlobalDynamicScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if math.Abs(cs.MaxDynamic(i)-2*cb.MaxDynamic(i)) > 1e-12 {
+		if math.Abs(float64(cs.MaxDynamic(i)-2*cb.MaxDynamic(i))) > 1e-12 {
 			t.Errorf("block %d: scale not applied: %v vs %v", i, cs.MaxDynamic(i), cb.MaxDynamic(i))
 		}
 	}

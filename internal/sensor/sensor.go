@@ -6,6 +6,8 @@
 // with optional quantization, offset, and deterministic noise — the
 // Banias ACPI diode of Table 1, for instance, quantizes to whole
 // degrees Celsius.
+//
+//mtlint:units
 package sensor
 
 import (
@@ -13,6 +15,7 @@ import (
 	"math"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 // Sensor watches a single floorplan block.
@@ -23,27 +26,27 @@ type Sensor struct {
 
 	// Quantization rounds readings to the nearest multiple (°C).
 	// Zero means a continuous reading.
-	Quantization float64
+	Quantization units.Celsius
 	// NoiseAmplitude adds deterministic pseudo-random error in
 	// [−NoiseAmplitude, +NoiseAmplitude] °C, varying per reading index.
-	NoiseAmplitude float64
+	NoiseAmplitude units.Celsius
 	// Offset is a fixed calibration error in °C.
-	Offset float64
+	Offset units.Celsius
 	// Seed decorrelates noise across sensors.
 	Seed uint64
 }
 
 // Read returns the sensor value for the given block temperatures at
 // reading index n (deterministic in n for reproducibility).
-func (s *Sensor) Read(temps []float64, n int64) float64 {
-	v := temps[s.Block] + s.Offset
+func (s *Sensor) Read(temps units.TempVec, n int64) units.Celsius {
+	v := temps[s.Block] + float64(s.Offset)
 	if s.NoiseAmplitude > 0 {
-		v += s.NoiseAmplitude * noise(s.Seed, uint64(n))
+		v += float64(s.NoiseAmplitude) * noise(s.Seed, uint64(n))
 	}
-	if s.Quantization > 0 {
-		v = math.Round(v/s.Quantization) * s.Quantization
+	if q := float64(s.Quantization); q > 0 {
+		v = math.Round(v/q) * q
 	}
-	return v
+	return units.Celsius(v)
 }
 
 // noise maps (seed, n) deterministically to [−1, 1].
@@ -66,11 +69,11 @@ type Bank struct {
 // Hottest returns the maximum reading across the bank and the index
 // (within the bank) of the sensor that produced it. The PI controller
 // "typically selects the hottest of the input temperatures" (§4.1).
-func (b *Bank) Hottest(temps []float64, n int64) (float64, int) {
+func (b *Bank) Hottest(temps units.TempVec, n int64) (units.Celsius, int) {
 	if len(b.Sensors) == 0 {
 		panic("sensor: Hottest on empty bank")
 	}
-	max, idx := math.Inf(-1), -1
+	max, idx := units.Celsius(math.Inf(-1)), -1
 	for i := range b.Sensors {
 		if v := b.Sensors[i].Read(temps, n); v > max {
 			max, idx = v, i
@@ -80,12 +83,12 @@ func (b *Bank) Hottest(temps []float64, n int64) (float64, int) {
 }
 
 // ReadAll fills dst with every sensor's reading.
-func (b *Bank) ReadAll(dst []float64, temps []float64, n int64) []float64 {
+func (b *Bank) ReadAll(dst units.TempVec, temps units.TempVec, n int64) units.TempVec {
 	if dst == nil {
-		dst = make([]float64, len(b.Sensors))
+		dst = units.MakeTempVec(len(b.Sensors))
 	}
 	for i := range b.Sensors {
-		dst[i] = b.Sensors[i].Read(temps, n)
+		dst.Set(i, b.Sensors[i].Read(temps, n))
 	}
 	return dst
 }

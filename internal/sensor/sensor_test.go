@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 func TestReadIdeal(t *testing.T) {
 	s := Sensor{Block: 2}
-	temps := []float64{10, 20, 33.37}
+	temps := units.TempVec{10, 20, 33.37}
 	if got := s.Read(temps, 0); got != 33.37 {
 		t.Errorf("Read = %v, want exact temperature", got)
 	}
@@ -17,27 +18,27 @@ func TestReadIdeal(t *testing.T) {
 
 func TestReadQuantization(t *testing.T) {
 	s := Sensor{Block: 0, Quantization: 1.0}
-	if got := s.Read([]float64{68.4}, 0); got != 68 {
+	if got := s.Read(units.TempVec{68.4}, 0); got != 68 {
 		t.Errorf("quantized read = %v, want 68", got)
 	}
-	if got := s.Read([]float64{68.6}, 0); got != 69 {
+	if got := s.Read(units.TempVec{68.6}, 0); got != 69 {
 		t.Errorf("quantized read = %v, want 69", got)
 	}
 }
 
 func TestReadOffset(t *testing.T) {
 	s := Sensor{Block: 0, Offset: -1.5}
-	if got := s.Read([]float64{70}, 0); got != 68.5 {
+	if got := s.Read(units.TempVec{70}, 0); got != 68.5 {
 		t.Errorf("offset read = %v, want 68.5", got)
 	}
 }
 
 func TestReadNoiseBoundedAndDeterministic(t *testing.T) {
 	s := Sensor{Block: 0, NoiseAmplitude: 0.5, Seed: 7}
-	temps := []float64{80}
+	temps := units.TempVec{80}
 	for n := int64(0); n < 500; n++ {
 		v := s.Read(temps, n)
-		if math.Abs(v-80) > 0.5 {
+		if math.Abs(float64(v)-80) > 0.5 {
 			t.Fatalf("noise exceeded amplitude: %v", v)
 		}
 		if v != s.Read(temps, n) {
@@ -52,7 +53,7 @@ func TestReadNoiseBoundedAndDeterministic(t *testing.T) {
 
 func TestBankHottest(t *testing.T) {
 	b := Bank{Sensors: []Sensor{{Block: 0}, {Block: 1}, {Block: 2}}}
-	temps := []float64{50, 90, 70}
+	temps := units.TempVec{50, 90, 70}
 	v, idx := b.Hottest(temps, 0)
 	if v != 90 || idx != 1 {
 		t.Errorf("Hottest = (%v,%d), want (90,1)", v, idx)
@@ -65,12 +66,12 @@ func TestBankHottestEmptyPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	(&Bank{}).Hottest([]float64{1}, 0)
+	(&Bank{}).Hottest(units.TempVec{1}, 0)
 }
 
 func TestBankReadAll(t *testing.T) {
 	b := Bank{Sensors: []Sensor{{Block: 0}, {Block: 2}}}
-	got := b.ReadAll(nil, []float64{1, 2, 3}, 0)
+	got := b.ReadAll(nil, units.TempVec{1, 2, 3}, 0)
 	if got[0] != 1 || got[1] != 3 {
 		t.Errorf("ReadAll = %v", got)
 	}

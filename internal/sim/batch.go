@@ -33,7 +33,7 @@ func NewBatchRunner(runners []*Runner) (*BatchRunner, error) {
 		if r.model.Template != tmpl {
 			return nil, fmt.Errorf("sim: batch lane %d (%s) uses a different thermal template", i, r.label)
 		}
-		if r.cfg.Policy.SamplePeriod != dt { //mtlint:allow floatcmp lanes must share the exact discretization grid
+		if r.cfg.Policy.SamplePeriod != dt { //mtlint:allow floatcmp lanes must share the exact discretization grid; both sides units.Seconds, same dimension
 			return nil, fmt.Errorf("sim: batch lane %d (%s) uses sample period %g, batch uses %g",
 				i, r.label, r.cfg.Policy.SamplePeriod, dt)
 		}

@@ -5,14 +5,15 @@ import (
 
 	"multitherm/internal/core"
 	"multitherm/internal/metrics"
+	"multitherm/internal/units"
 )
 
 // batchLaneSpec describes one lane of a test batch.
 type batchLaneSpec struct {
 	mix     string
 	spec    core.PolicySpec
-	simTime float64
-	caps    []float64 // CoreMaxScale, nil = homogeneous
+	simTime units.Seconds
+	caps    []units.ScaleFactor // CoreMaxScale, nil = homogeneous
 }
 
 func newLaneRunner(t *testing.T, ls batchLaneSpec) *Runner {
@@ -87,7 +88,7 @@ func TestBatchRunnerMatchesSequential(t *testing.T) {
 		{mix: "workload7", spec: core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed}},
 		{mix: "workload8", spec: core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed, Migration: core.CounterMigration}},
 		{mix: "workload8", spec: core.PolicySpec{Mechanism: core.StopGo, Scope: core.Global, Migration: core.SensorMigration}},
-		{mix: "workload2", spec: core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}, caps: []float64{1, 1, 0.7, 0.7}},
+		{mix: "workload2", spec: core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed}, caps: []units.ScaleFactor{1, 1, 0.7, 0.7}},
 		{mix: "workload3", spec: core.PolicySpec{Mechanism: core.StopGo, Scope: core.Distributed}},
 	}
 

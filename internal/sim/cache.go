@@ -11,6 +11,7 @@ import (
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
 	"multitherm/internal/uarch"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -72,14 +73,14 @@ type powerKey struct {
 
 func powerFingerprint(c power.Config) powerKey {
 	k := powerKey{
-		vMax: c.VMax, vFloor: c.VFloor, sMin: c.SMin,
-		leakPerArea: c.LeakagePerArea, leakBeta: c.LeakageBeta, leakT0: c.LeakageT0,
+		vMax: c.VMax, vFloor: c.VFloor, sMin: float64(c.SMin),
+		leakPerArea: c.LeakagePerArea, leakBeta: c.LeakageBeta, leakT0: float64(c.LeakageT0),
 		stallDynFraction: c.StallDynFraction, globalDynamicScl: c.GlobalDynamicScale,
 	}
 	//mtlint:allow maprange scatter into a fixed array indexed by key; order-insensitive
 	for kind, w := range c.UnitDynamic {
 		if kind >= 0 && kind < floorplan.NumUnitKinds {
-			k.unitDynamic[kind] = w
+			k.unitDynamic[kind] = float64(w)
 		}
 	}
 	return k
@@ -101,15 +102,15 @@ type warmupKey struct {
 	target  float64 // warmup target temperature, °C
 }
 
-var warmupCache sync.Map // warmupKey -> []float64 (read-only node temps)
+var warmupCache sync.Map // warmupKey -> units.TempVec (read-only node temps)
 
-func coreCapsFingerprint(caps []float64) string {
+func coreCapsFingerprint(caps []units.ScaleFactor) string {
 	if len(caps) == 0 {
 		return ""
 	}
 	var sb strings.Builder
 	for _, v := range caps {
-		sb.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+		sb.WriteString(strconv.FormatUint(math.Float64bits(float64(v)), 16))
 		sb.WriteByte('\x1f')
 	}
 	return sb.String()
@@ -123,7 +124,7 @@ func coreCapsFingerprint(caps []float64) string {
 // params, power config, core config, initial benchmarks, trace length,
 // target) — a sweep over N policies recomputes them once, not N times.
 // The returned slice is shared and must not be mutated.
-func (r *Runner) initialTemps() ([]float64, error) {
+func (r *Runner) initialTemps() (units.TempVec, error) {
 	cfg := r.cfg
 	nb := len(cfg.Floorplan.Blocks)
 	target := cfg.Policy.ThresholdC - cfg.Policy.SetpointMarginC - cfg.WarmupMarginC
@@ -135,10 +136,10 @@ func (r *Runner) initialTemps() ([]float64, error) {
 		benches: strings.Join(r.benchNames[:r.nCores], "\x1f"),
 		caps:    coreCapsFingerprint(cfg.CoreMaxScale),
 		nTrace:  cfg.TraceIntervals,
-		target:  target,
+		target:  float64(target),
 	}
 	if v, ok := warmupCache.Load(key); ok {
-		return v.([]float64), nil
+		return v.(units.TempVec), nil
 	}
 
 	// Linear-scale the average power so the hottest block starts at the
@@ -154,10 +155,10 @@ func (r *Runner) initialTemps() ([]float64, error) {
 			maxWarm = v
 		}
 	}
-	amb := cfg.Thermal.Ambient
+	amb := float64(cfg.Thermal.Ambient)
 	alpha := 1.0
 	if maxWarm > amb {
-		alpha = (target - amb) / (maxWarm - amb)
+		alpha = (float64(target) - amb) / (maxWarm - amb)
 	}
 	if alpha < 0 {
 		alpha = 0
@@ -165,7 +166,7 @@ func (r *Runner) initialTemps() ([]float64, error) {
 	if alpha > 1 {
 		alpha = 1
 	}
-	scaled := make([]float64, nb)
+	scaled := make(units.PowerVec, nb)
 	for i, p := range avgPower {
 		scaled[i] = p * alpha
 	}
@@ -174,5 +175,5 @@ func (r *Runner) initialTemps() ([]float64, error) {
 		return nil, err
 	}
 	v, _ := warmupCache.LoadOrStore(key, temps)
-	return v.([]float64), nil
+	return v.(units.TempVec), nil
 }

@@ -44,7 +44,7 @@ func TestCalibrationProbe(t *testing.T) {
 	base := summaries[1]
 	for _, s := range summaries {
 		t.Logf("%-16s BIPS=%6.2f duty=%5.1f%% rel=%5.2f worstT=%6.2f emer=%6.2fms",
-			s.Policy, s.MeanBIPS, s.MeanDuty*100, s.Relative(base), s.WorstTemp, s.TotalEmer*1e3)
+			s.Policy, float64(s.MeanBIPS), float64(s.MeanDuty)*100, s.Relative(base), float64(s.WorstTemp), float64(s.TotalEmer)*1e3)
 	}
 	for i, r := range summaries[1].Runs {
 		t.Logf("  dist stop-go %-12s duty=%5.1f%%  distDVFS duty=%5.1f%%",

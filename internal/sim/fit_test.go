@@ -40,7 +40,7 @@ func corePower(t *testing.T, cfg Config, calc *power.Calculator, prof uarch.Prof
 	var p float64
 	for i, blk := range cfg.Floorplan.Blocks {
 		if blk.Core == 0 {
-			p += calc.MaxDynamic(i) * mean.Activity[int(blk.Kind)]
+			p += float64(calc.MaxDynamic(i)) * mean.Activity[int(blk.Kind)]
 		}
 	}
 	return p

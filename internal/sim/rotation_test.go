@@ -15,7 +15,7 @@ type rrController struct{}
 
 func (rrController) Name() string { return "round-robin" }
 func (rrController) Step(ctx *migration.Context) ([]int, bool) {
-	if !ctx.Sched.MayDecide(ctx.Now) {
+	if !ctx.Sched.MayDecide(float64(ctx.Now)) {
 		return nil, false
 	}
 	n := ctx.Sched.NumCores()
@@ -56,7 +56,7 @@ func TestRotationMechanismHelps(t *testing.T) {
 	}
 	if mr.BIPS() < mb.BIPS()*1.05 {
 		t.Errorf("blind rotation BIPS %.2f not above baseline %.2f",
-			mr.BIPS(), mb.BIPS())
+			float64(mr.BIPS()), float64(mb.BIPS()))
 	}
 	// And informed (counter-based) migration must beat blind rotation.
 	cb, err := New(cfg, mix, core.PolicySpec{
@@ -70,6 +70,6 @@ func TestRotationMechanismHelps(t *testing.T) {
 	}
 	if mc.BIPS() < mr.BIPS()*0.95 {
 		t.Errorf("counter-based migration %.2f well below blind rotation %.2f",
-			mc.BIPS(), mr.BIPS())
+			float64(mc.BIPS()), float64(mr.BIPS()))
 	}
 }

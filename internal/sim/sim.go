@@ -6,6 +6,7 @@
 // thermal model, and accumulates the paper's metrics.
 //
 //mtlint:deterministic
+//mtlint:units
 package sim
 
 import (
@@ -21,6 +22,7 @@ import (
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
 	"multitherm/internal/uarch"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -33,26 +35,26 @@ type Config struct {
 	Policy    core.Params
 
 	// SimTime is the simulated silicon time (paper: 0.5 s).
-	SimTime float64
+	SimTime units.Seconds
 	// TraceIntervals is the recorded trace length in 100K-cycle samples
 	// before looping (≈3600 for the paper's 500M-instruction traces).
 	TraceIntervals int
 	// WarmupMarginC positions the initial thermal state: the package is
 	// pre-warmed to the steady state whose hottest block sits this far
 	// below the PI setpoint.
-	WarmupMarginC float64
+	WarmupMarginC units.Celsius
 
 	// MigrationEpoch/MigrationPenalty override the OS defaults when
 	// positive (for ablations).
-	MigrationEpoch   float64
-	MigrationPenalty float64
+	MigrationEpoch   units.Seconds
+	MigrationPenalty units.Seconds
 
 	// CoreMaxScale optionally caps each core's frequency scale,
 	// modeling performance-heterogeneous cores (the paper's §9
 	// future-work axis): a core capped at 0.7 is a "little" core that
 	// tops out at 70% of nominal frequency and correspondingly lower
 	// power. Empty means all cores reach full speed.
-	CoreMaxScale []float64
+	CoreMaxScale []units.ScaleFactor
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -71,7 +73,7 @@ func DefaultConfig() Config {
 
 // Probe observes simulator state once per control tick; used to extract
 // time series such as Figure 5.
-type Probe func(now float64, tick int64, blockTemps []float64, cmds []core.CoreCommand, assignment []int)
+type Probe func(now units.Seconds, tick int64, blockTemps units.TempVec, cmds []core.CoreCommand, assignment []int)
 
 // Runner executes one policy × workload simulation.
 type Runner struct {
@@ -95,7 +97,7 @@ type Runner struct {
 	cursors []*trace.Cursor
 
 	nCores    int
-	prevScale []float64
+	prevScale []units.ScaleFactor
 	probe     Probe
 }
 
@@ -137,7 +139,7 @@ func New(cfg Config, mix workload.Mix, spec core.PolicySpec) (*Runner, error) {
 		label: mix.Name, benchNames: append([]string(nil), mix.Benchmarks[:]...),
 		model: model, calc: calc, bank: bank,
 		nCores:    nCores,
-		prevScale: make([]float64, nCores),
+		prevScale: make([]units.ScaleFactor, nCores),
 	}
 	for i := range r.prevScale {
 		r.prevScale[i] = 1.0
@@ -156,10 +158,10 @@ func New(cfg Config, mix workload.Mix, spec core.PolicySpec) (*Runner, error) {
 
 	r.sched = osched.NewScheduler(r.benchNames)
 	if cfg.MigrationEpoch > 0 {
-		r.sched.SetEpoch(cfg.MigrationEpoch)
+		r.sched.SetEpoch(float64(cfg.MigrationEpoch))
 	}
 	if cfg.MigrationPenalty > 0 {
-		r.sched.SetPenalty(cfg.MigrationPenalty)
+		r.sched.SetPenalty(float64(cfg.MigrationPenalty))
 	}
 
 	switch spec.Mechanism {
@@ -203,7 +205,7 @@ func (r *Runner) Throttler() core.Throttler { return r.throt }
 
 // averageTracePower estimates the mean per-block power of the mix on
 // the initial assignment, used only for pre-warming the package.
-func (r *Runner) averageTracePower() []float64 {
+func (r *Runner) averageTracePower() units.PowerVec {
 	nb := len(r.cfg.Floorplan.Blocks)
 	activity := make([]float64, nb)
 	shared := make([]float64, nb)
@@ -224,12 +226,12 @@ func (r *Runner) averageTracePower() []float64 {
 		// correspondingly less shared-structure traffic.
 		eff := 1.0
 		if len(r.cfg.CoreMaxScale) == r.nCores {
-			eff = r.cfg.CoreMaxScale[c]
+			eff = float64(r.cfg.CoreMaxScale[c])
 		}
 		r.fillCoreActivity(activity, shared, c, &mean, eff)
 	}
 	r.finalizeShared(activity, shared)
-	temps := make([]float64, nb)
+	temps := make(units.TempVec, nb)
 	for i := range temps {
 		temps[i] = 75
 	}
@@ -304,12 +306,14 @@ func (r *Runner) Run() (*metrics.Run, error) {
 type tickState struct {
 	r     *Runner
 	m     *metrics.Run
-	dt    float64
+	dt    units.Seconds
 	ticks int64
 	tick  int64
-	now   float64
+	now   units.Seconds
 
-	temps, activity, shared, powerVec []float64
+	temps            units.TempVec
+	powerVec         units.PowerVec
+	activity, shared []float64
 
 	coreStates []power.CoreState
 	assignment []int
@@ -348,10 +352,10 @@ func (r *Runner) begin(armExact bool) (*tickState, error) {
 		m:          metrics.NewRun(r.spec.String(), r.label, r.nCores),
 		dt:         dt,
 		ticks:      int64(cfg.SimTime/dt + 0.5),
-		temps:      make([]float64, nb),
+		temps:      make(units.TempVec, nb),
 		activity:   make([]float64, nb),
 		shared:     make([]float64, nb),
-		powerVec:   make([]float64, nb),
+		powerVec:   make(units.PowerVec, nb),
 		coreStates: make([]power.CoreState, r.nCores),
 		assignment: r.sched.Assignment(),
 	}, nil
@@ -378,13 +382,13 @@ func (s *tickState) pre() error {
 	// Fairness preemption (time-shared multiprogramming): when more
 	// processes than cores are runnable, the longest-waiting process
 	// replaces the longest-running one each timeslice.
-	if r.timeshared && r.sched.NeedsRotation(now) {
+	if r.timeshared && r.sched.NeedsRotation(float64(now)) {
 		before := r.sched.Assignment()
-		next := r.sched.RotationAssignment(now)
-		if _, err := r.sched.Apply(now, next); err != nil {
+		next := r.sched.RotationAssignment(float64(now))
+		if _, err := r.sched.Apply(float64(now), next); err != nil {
 			return err
 		}
-		r.sched.MarkRotation(now)
+		r.sched.MarkRotation(float64(now))
 		m.Preemptions++
 		for c := range next {
 			if before[c] != next[c] {
@@ -402,7 +406,7 @@ func (s *tickState) pre() error {
 		// run/stall duty rather than a frequency.
 		dynScale := cfg.Power.DynamicScale
 		if r.spec.Mechanism == core.StopGo {
-			dynScale = func(s float64) float64 { return s }
+			dynScale = func(s units.ScaleFactor) float64 { return float64(s) }
 		}
 		ctx := &migration.Context{
 			Now: now, Tick: tick,
@@ -412,7 +416,7 @@ func (s *tickState) pre() error {
 		}
 		if assign, decided := r.migCtl.Step(ctx); decided {
 			before := r.sched.Assignment()
-			moved, err := r.sched.Apply(now, assign)
+			moved, err := r.sched.Apply(float64(now), assign)
 			if err != nil {
 				return err
 			}
@@ -437,7 +441,7 @@ func (s *tickState) pre() error {
 			cmd.Scale = cfg.CoreMaxScale[c]
 		}
 		avail := dt
-		if r.sched.InPenalty(c, now) {
+		if r.sched.InPenalty(c, float64(now)) {
 			// Migration penalty consumes the whole tick (100 µs ≈ 3.6
 			// ticks); count it as overhead.
 			avail = 0
@@ -448,7 +452,7 @@ func (s *tickState) pre() error {
 			m.StallSeconds += dt
 			s.coreStates[c] = power.CoreState{Scale: 1, Stalled: true}
 		} else {
-			if cmd.Scale != r.prevScale[c] { //mtlint:allow floatcmp PLL retarget fires only on an exact setpoint change
+			if cmd.Scale != r.prevScale[c] { //mtlint:allow floatcmp PLL retarget fires only on an exact setpoint change; both sides units.ScaleFactor, same dimension
 				// PLL/voltage retarget cost (10 µs, Table 3).
 				avail -= cfg.Policy.TransitionPenalty
 				if avail < 0 {
@@ -466,19 +470,19 @@ func (s *tickState) pre() error {
 		sample := cur.Current()
 		effScale := 0.0
 		if avail > 0 && !cmd.Stall {
-			effScale = cmd.Scale * (avail / dt)
+			effScale = float64(cmd.Scale) * float64(avail/dt)
 			retired := cur.Advance(effScale)
 			m.Instructions += retired
 			m.PerCoreInstr[c] += retired
 			adjCycles := effScale * float64(cfg.Uarch.SampleCycles)
-			proc.Account(dt, osched.Counters{
+			proc.Account(float64(dt), osched.Counters{
 				AdjCycles:    adjCycles,
 				Instructions: retired,
 				IntRFAccess:  sample.ActivityFor(floorplan.KindIntRegFile) * adjCycles,
 				FPRFAccess:   sample.ActivityFor(floorplan.KindFPRegFile) * adjCycles,
 			})
 		}
-		m.WorkSeconds += effScale * dt
+		m.WorkSeconds += units.Seconds(effScale) * dt
 
 		// Power inputs reflect the thread state even when stalled
 		// (frozen state still leaks and burns residual clock power).

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"multitherm/internal/core"
+	"multitherm/internal/units"
 	"multitherm/internal/workload"
 )
 
@@ -78,10 +79,10 @@ func TestAllPoliciesRespectThreshold(t *testing.T) {
 			t.Fatal(err)
 		}
 		if m.EmergencySeconds > 0.001 {
-			t.Errorf("%s: %.2f ms above threshold", spec, m.EmergencySeconds*1e3)
+			t.Errorf("%s: %.2f ms above threshold", spec, float64(m.EmergencySeconds)*1e3)
 		}
 		if m.MaxTempC > cfg.Policy.ThresholdC+1.0 {
-			t.Errorf("%s: max temp %.2f °C far above threshold", spec, m.MaxTempC)
+			t.Errorf("%s: max temp %.2f °C far above threshold", spec, float64(m.MaxTempC))
 		}
 	}
 }
@@ -100,9 +101,9 @@ func TestUnthrottledExceedsThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	if m.MaxTempC <= cfg.Policy.ThresholdC {
-		t.Errorf("unthrottled max temp %.2f °C does not exceed the threshold", m.MaxTempC)
+		t.Errorf("unthrottled max temp %.2f °C does not exceed the threshold", float64(m.MaxTempC))
 	}
-	if d := m.DutyCycle(); math.Abs(d-1) > 1e-9 {
+	if d := m.DutyCycle(); math.Abs(float64(d)-1) > 1e-9 {
 		t.Errorf("unthrottled duty = %v, want 1.0", d)
 	}
 }
@@ -129,7 +130,7 @@ func TestDVFSBeatsStopGo(t *testing.T) {
 		t.Fatal(err)
 	}
 	if mdv.BIPS() < 1.5*msg.BIPS() {
-		t.Errorf("dist DVFS %.2f BIPS not well above dist stop-go %.2f", mdv.BIPS(), msg.BIPS())
+		t.Errorf("dist DVFS %.2f BIPS not well above dist stop-go %.2f", float64(mdv.BIPS()), float64(msg.BIPS()))
 	}
 	if mdv.Transitions == 0 {
 		t.Error("DVFS run recorded no PLL transitions")
@@ -161,7 +162,7 @@ func TestGlobalWorseThanDistributed(t *testing.T) {
 			t.Fatal(err)
 		}
 		if md.BIPS() <= mg.BIPS() {
-			t.Errorf("%v: distributed %.2f BIPS not above global %.2f", mech, md.BIPS(), mg.BIPS())
+			t.Errorf("%v: distributed %.2f BIPS not above global %.2f", mech, float64(md.BIPS()), float64(mg.BIPS()))
 		}
 	}
 }
@@ -195,7 +196,7 @@ func TestMigrationImprovesStopGo(t *testing.T) {
 			t.Errorf("%v: no migrations occurred", kind)
 		}
 		if m.BIPS() < mb.BIPS() {
-			t.Errorf("%v: migration made stop-go worse: %.2f vs %.2f", kind, m.BIPS(), mb.BIPS())
+			t.Errorf("%v: migration made stop-go worse: %.2f vs %.2f", kind, float64(m.BIPS()), float64(mb.BIPS()))
 		}
 	}
 }
@@ -225,7 +226,7 @@ func TestProbeObservesEveryTick(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ticks int64
-	r.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+	r.SetProbe(func(now units.Seconds, tick int64, temps units.TempVec, cmds []core.CoreCommand, assign []int) {
 		ticks++
 		if len(cmds) != 4 || len(assign) != 4 {
 			t.Fatalf("probe saw %d cmds / %d assignment entries", len(cmds), len(assign))
@@ -266,23 +267,23 @@ func TestDutyCyclePredictsThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ratio := m.BIPS() / mu.BIPS()
-	if math.Abs(ratio-m.DutyCycle()) > 0.08 {
-		t.Errorf("BIPS ratio %.3f vs duty %.3f: duty metric not predictive", ratio, m.DutyCycle())
+	ratio := float64(m.BIPS() / mu.BIPS())
+	if math.Abs(ratio-float64(m.DutyCycle())) > 0.08 {
+		t.Errorf("BIPS ratio %.3f vs duty %.3f: duty metric not predictive", ratio, float64(m.DutyCycle()))
 	}
 }
 
 func TestHeterogeneousCoreCaps(t *testing.T) {
 	cfg := quickCfg()
 	cfg.SimTime = 0.05
-	cfg.CoreMaxScale = []float64{1, 1, 0.5, 0.5}
+	cfg.CoreMaxScale = []units.ScaleFactor{1, 1, 0.5, 0.5}
 	mix := mustMix(t, "workload1")
 	r, err := New(cfg, mix, core.PolicySpec{Mechanism: core.DVFS, Scope: core.Distributed})
 	if err != nil {
 		t.Fatal(err)
 	}
-	maxSeen := make([]float64, 4)
-	r.SetProbe(func(now float64, tick int64, temps []float64, cmds []core.CoreCommand, assign []int) {
+	maxSeen := make([]units.ScaleFactor, 4)
+	r.SetProbe(func(now units.Seconds, tick int64, temps units.TempVec, cmds []core.CoreCommand, assign []int) {
 		for c := range cmds {
 			s := cmds[c].Scale
 			if len(cfg.CoreMaxScale) == 4 && s > cfg.CoreMaxScale[c] {
@@ -302,11 +303,11 @@ func TestHeterogeneousCoreCaps(t *testing.T) {
 		t.Errorf("capped cores exceeded cap: %v", maxSeen)
 	}
 	// Bad cap vectors are rejected.
-	cfg.CoreMaxScale = []float64{1, 1}
+	cfg.CoreMaxScale = []units.ScaleFactor{1, 1}
 	if _, err := New(cfg, mix, core.Baseline); err == nil {
 		t.Error("wrong-length cap vector accepted")
 	}
-	cfg.CoreMaxScale = []float64{1, 1, 1, 0.05}
+	cfg.CoreMaxScale = []units.ScaleFactor{1, 1, 1, 0.05}
 	if _, err := New(cfg, mix, core.Baseline); err == nil {
 		t.Error("cap below the DVFS floor accepted")
 	}
@@ -338,6 +339,6 @@ func TestVoltageFloorRaisesDVFSPower(t *testing.T) {
 	}
 	if mf.DutyCycle() >= mc.DutyCycle() {
 		t.Errorf("voltage floor should reduce sustainable duty: %.3f vs %.3f",
-			mf.DutyCycle(), mc.DutyCycle())
+			float64(mf.DutyCycle()), float64(mc.DutyCycle()))
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"multitherm/internal/sensor"
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
+	"multitherm/internal/units"
 )
 
 // NewTimeshared builds a runner for more processes than cores: the OS
@@ -43,7 +44,7 @@ func NewTimeshared(cfg Config, label string, benchmarks []string, spec core.Poli
 		timeshared: true,
 		model:      model, calc: calc, bank: bank,
 		nCores:    nCores,
-		prevScale: make([]float64, nCores),
+		prevScale: make([]units.ScaleFactor, nCores),
 	}
 	for i := range r.prevScale {
 		r.prevScale[i] = 1.0
@@ -60,10 +61,10 @@ func NewTimeshared(cfg Config, label string, benchmarks []string, spec core.Poli
 		return nil, err
 	}
 	if cfg.MigrationEpoch > 0 {
-		r.sched.SetEpoch(cfg.MigrationEpoch)
+		r.sched.SetEpoch(float64(cfg.MigrationEpoch))
 	}
 	if cfg.MigrationPenalty > 0 {
-		r.sched.SetPenalty(cfg.MigrationPenalty)
+		r.sched.SetPenalty(float64(cfg.MigrationPenalty))
 	}
 	switch spec.Mechanism {
 	case core.StopGo:

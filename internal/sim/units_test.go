@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"multitherm/internal/core"
+	"multitherm/internal/units"
+)
+
+// TestProbeReceivesTypedState pins the probe callback's dimensional
+// contract: the clock arrives as units.Seconds on the sample-period
+// grid, and the block temperatures arrive as a units.TempVec sized to
+// the thermal model — typed at the signature, plausible in value.
+func TestProbeReceivesTypedState(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SimTime = 0.01
+	r, err := New(cfg, mustMix(t, "workload1"), core.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := r.model.NumBlocks()
+	var prev units.Seconds = -1
+	checked := false
+	r.SetProbe(func(now units.Seconds, tick int64, temps units.TempVec, cmds []core.CoreCommand, assign []int) {
+		// Compile-time half: the arguments land in typed variables with
+		// no conversion, so the probe seam cannot silently regress to
+		// raw float64 state.
+		var clock units.Seconds = now
+		var tv units.TempVec = temps
+
+		if clock <= prev {
+			t.Fatalf("tick %d: clock %v did not advance past %v", tick, clock, prev)
+		}
+		want := units.Seconds(tick) * cfg.Policy.SamplePeriod
+		if diff := float64(clock - want); diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("tick %d: clock %v off the sample grid (want %v)", tick, clock, want)
+		}
+		prev = clock
+
+		if tv.Len() != blocks {
+			t.Fatalf("tick %d: probe saw %d block temps, model has %d", tick, tv.Len(), blocks)
+		}
+		for i := 0; i < tv.Len(); i++ {
+			c := tv.At(i)
+			if c < cfg.Thermal.Ambient-1 || c > 150 {
+				t.Fatalf("tick %d: block %d temperature %v implausible", tick, i, c)
+			}
+		}
+		checked = true
+	})
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("probe never ran")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multitherm/internal/linalg"
+	"multitherm/internal/units"
 )
 
 // BatchModel advances K models stamped from one Template through the
@@ -56,7 +57,7 @@ type BatchModel struct {
 // own Step(dt) reverts to RK4 (their exact path is disarmed): while
 // adopted, only BatchModel.Step may advance thermal state on the
 // exact grid, since it owns the panel double-buffering.
-func NewBatch(models []*Model, dt float64) (*BatchModel, error) {
+func NewBatch(models []*Model, dt units.Seconds) (*BatchModel, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("thermal: empty batch")
 	}
@@ -101,7 +102,7 @@ func NewBatch(models []*Model, dt float64) (*BatchModel, error) {
 func (b *BatchModel) Lanes() int { return len(b.lanes) }
 
 // Dt returns the step size the batch advances per tick.
-func (b *BatchModel) Dt() float64 { return b.d.dt }
+func (b *BatchModel) Dt() units.Seconds { return units.Seconds(b.d.dt) }
 
 // SIMDAccelerated reports whether the batched tick runs the vectorized
 // panel kernel on this machine.

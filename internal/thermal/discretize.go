@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multitherm/internal/linalg"
+	"multitherm/internal/units"
 )
 
 // Discretization is the exact zero-order-hold discretization of the RC
@@ -98,20 +99,21 @@ func (t *Template) buildDiscretization(dt float64) (*Discretization, error) {
 // configuration, not once per run. Concurrent first callers may race to
 // build; the construction is deterministic, so whichever instance wins
 // the store is identical to the losers.
-func (t *Template) Discretization(dt float64) (*Discretization, error) {
-	if v, ok := t.discCache.Load(dt); ok {
+func (t *Template) Discretization(dt units.Seconds) (*Discretization, error) {
+	key := float64(dt)
+	if v, ok := t.discCache.Load(key); ok {
 		return v.(*Discretization), nil
 	}
-	d, err := t.buildDiscretization(dt)
+	d, err := t.buildDiscretization(key)
 	if err != nil {
 		return nil, err
 	}
-	v, _ := t.discCache.LoadOrStore(dt, d)
+	v, _ := t.discCache.LoadOrStore(key, d)
 	return v.(*Discretization), nil
 }
 
 // Dt returns the step size the discretization was built for.
-func (d *Discretization) Dt() float64 { return d.dt }
+func (d *Discretization) Dt() units.Seconds { return units.Seconds(d.dt) }
 
 // SIMDAccelerated reports whether the per-tick update runs the
 // vectorized packed kernel on this machine.
@@ -119,6 +121,8 @@ func (d *Discretization) SIMDAccelerated() bool { return d.phiPacked.SIMDAcceler
 
 // Phi returns Φ[i][j], the exact dt-step response of node i to a unit
 // initial temperature on node j. Exposed for validation tests.
+//
+//mtlint:allow unit propagator entries are dimensionless °C-per-°C responses
 func (d *Discretization) Phi(i, j int) float64 { return d.phi.At(i, j) }
 
 // PreferExact reports whether the exact discretized step is expected to
@@ -127,8 +131,8 @@ func (d *Discretization) Phi(i, j int) float64 { return d.phi.At(i, j) }
 // even one sparse RK4 substep), or dt is far enough past the stability
 // bound that RK4 must substep repeatedly while the exact update stays a
 // single application regardless of dt.
-func (t *Template) PreferExact(dt float64) bool {
-	if dt > 2*t.hMax {
+func (t *Template) PreferExact(dt units.Seconds) bool {
+	if float64(dt) > 2*t.hMax {
 		return true
 	}
 	return linalg.SIMDCapableRows(t.n)
@@ -139,7 +143,7 @@ func (t *Template) PreferExact(dt float64) bool {
 // the same state, so off-grid steps (warmup, odd remainders) fall back
 // transparently. The discretization comes from the template's memoized
 // cache. Calling UseExact again re-targets the fast path to the new dt.
-func (m *Model) UseExact(dt float64) error {
+func (m *Model) UseExact(dt units.Seconds) error {
 	d, err := m.Template.Discretization(dt)
 	if err != nil {
 		return err

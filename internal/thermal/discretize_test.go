@@ -6,14 +6,15 @@ import (
 	"testing"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 // paperTick is the 28 µs control period the simulator steps at
 // (100k cycles at 3.6 GHz), duplicated here to keep the package free of
 // an import cycle with control.
-const paperTick = 100000.0 / 3.6e9
+const paperTick units.Seconds = 100000.0 / 3.6e9
 
-func newExactModel(t *testing.T, dt float64) *Model {
+func newExactModel(t *testing.T, dt units.Seconds) *Model {
 	t.Helper()
 	m, err := New(floorplan.CMP4(), DefaultParams())
 	if err != nil {
@@ -41,8 +42,8 @@ func TestExactMatchesRK4RandomSchedule(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(42))
 	nb := exact.NumBlocks()
-	watts := make([]float64, nb)
-	warm := make([]float64, nb)
+	watts := make(units.PowerVec, nb)
+	warm := make(units.PowerVec, nb)
 	for i := range warm {
 		warm[i] = 2
 	}
@@ -90,7 +91,7 @@ func TestExactSteadyStateEnergyConservation(t *testing.T) {
 	if dt < 2*m.MaxStableStep() {
 		t.Fatalf("test premise broken: dt %g not past stability bound %g", dt, m.MaxStableStep())
 	}
-	watts := make([]float64, m.NumBlocks())
+	watts := make(units.PowerVec, m.NumBlocks())
 	var total float64
 	for i := range watts {
 		watts[i] = 1.5 + 0.1*float64(i%7)
@@ -101,7 +102,7 @@ func TestExactSteadyStateEnergyConservation(t *testing.T) {
 		m.Step(dt)
 	}
 	out := m.HeatFlowToAmbient()
-	if rel := math.Abs(out-total) / total; rel > 1e-6 {
+	if rel := math.Abs(float64(out)-total) / total; rel > 1e-6 {
 		t.Fatalf("ambient outflow %g W vs input %g W (rel %g)", out, total, rel)
 	}
 	// Cross-check the state against the direct linear solve.
@@ -125,13 +126,13 @@ func TestExactOffGridFallsBackToRK4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	watts := make([]float64, exact.NumBlocks())
+	watts := make(units.PowerVec, exact.NumBlocks())
 	for i := range watts {
 		watts[i] = 4
 	}
 	exact.SetPower(watts)
 	plain.SetPower(watts)
-	off := 3.1e-5 // not the armed dt
+	off := units.Seconds(3.1e-5) // not the armed dt
 	for s := 0; s < 50; s++ {
 		exact.Step(off)
 		plain.Step(off)
@@ -153,7 +154,7 @@ func TestExactMixedGridSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	watts := make([]float64, exact.NumBlocks())
+	watts := make(units.PowerVec, exact.NumBlocks())
 	for i := range watts {
 		watts[i] = 5
 	}
@@ -207,7 +208,7 @@ func TestDiscretizationRejectsBadStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dt := range []float64{0, -1e-6} {
+	for _, dt := range []units.Seconds{0, -1e-6} {
 		if _, err := tpl.Discretization(dt); err == nil {
 			t.Fatalf("dt=%g accepted", dt)
 		}
@@ -218,7 +219,7 @@ func TestDiscretizationRejectsBadStep(t *testing.T) {
 // tick, including ticks that invalidate the memoized input term.
 func TestExactStepZeroAllocs(t *testing.T) {
 	m := newExactModel(t, paperTick)
-	watts := make([]float64, m.NumBlocks())
+	watts := make(units.PowerVec, m.NumBlocks())
 	for i := range watts {
 		watts[i] = 3
 	}
@@ -268,7 +269,7 @@ func TestExactDeterministicAcrossModels(t *testing.T) {
 	a := newExactModel(t, paperTick)
 	b := newExactModel(t, paperTick)
 	rng := rand.New(rand.NewSource(7))
-	watts := make([]float64, a.NumBlocks())
+	watts := make(units.PowerVec, a.NumBlocks())
 	for s := 0; s < 500; s++ {
 		for i := range watts {
 			watts[i] = 8 * rng.Float64()

@@ -15,6 +15,7 @@
 // once per configuration instead of once per run.
 //
 //mtlint:deterministic
+//mtlint:units
 package thermal
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/linalg"
+	"multitherm/internal/units"
 )
 
 // Params holds the physical package parameters of the thermal model.
@@ -57,8 +59,9 @@ type Params struct {
 	SinkMassFactor float64
 
 	// Convection from sink to ambient (fan + fins), total for the sink.
+	//mtlint:allow unit thermal resistance is K/W, not one of the scalar gauges
 	ConvectionResistance float64 // K/W
-	Ambient              float64 // °C
+	Ambient              units.Celsius
 }
 
 // DefaultParams returns the package configuration used for the paper's
@@ -258,7 +261,7 @@ func NewTemplate(fp *floorplan.Floorplan, p Params) (*Template, error) {
 	t.ambFlow = make([]float64, t.n)
 	for i, c := range t.cap {
 		t.invCap[i] = 1 / c
-		t.ambFlow[i] = t.gAmbient[i] * p.Ambient
+		t.ambFlow[i] = t.gAmbient[i] * float64(p.Ambient)
 	}
 	t.hMax = t.computeMaxStableStep()
 	return t, nil
@@ -309,7 +312,7 @@ func (t *Template) NewModel() *Model {
 		tmpB:  make([]float64, t.n),
 	}
 	for i := range m.temps {
-		m.temps[i] = t.params.Ambient
+		m.temps[i] = float64(t.params.Ambient)
 	}
 	return m
 }
@@ -487,9 +490,9 @@ func (t *Template) Floorplan() *floorplan.Floorplan { return t.fp }
 // Params returns the package parameters.
 func (t *Template) Params() Params { return t.params }
 
-// SetPower assigns the per-die-block power vector in watts. The slice
-// must have length NumBlocks. Values persist until changed.
-func (m *Model) SetPower(watts []float64) {
+// SetPower assigns the per-die-block power vector. The slice must have
+// length NumBlocks. Values persist until changed.
+func (m *Model) SetPower(watts units.PowerVec) {
 	if len(watts) != m.nBlocks {
 		panic(fmt.Sprintf("thermal: power vector length %d, want %d", len(watts), m.nBlocks))
 	}
@@ -498,31 +501,31 @@ func (m *Model) SetPower(watts []float64) {
 }
 
 // Power returns the current power vector (shared storage; do not mutate).
-func (m *Model) Power() []float64 { return m.power[:m.nBlocks] }
+func (m *Model) Power() units.PowerVec { return units.PowerVec(m.power[:m.nBlocks]) }
 
-// Temp returns the temperature of die block i in °C.
-func (m *Model) Temp(i int) float64 { return m.temps[i] }
+// Temp returns the temperature of die block i.
+func (m *Model) Temp(i int) units.Celsius { return units.Celsius(m.temps[i]) }
 
 // BlockTemps copies the die-block temperatures into dst (allocating if
 // nil) and returns it.
-func (m *Model) BlockTemps(dst []float64) []float64 {
+func (m *Model) BlockTemps(dst units.TempVec) units.TempVec {
 	if dst == nil {
-		dst = make([]float64, m.nBlocks)
+		dst = units.MakeTempVec(m.nBlocks)
 	}
 	copy(dst, m.temps[:m.nBlocks])
 	return dst
 }
 
 // NodeTemps returns a copy of all node temperatures (die + package).
-func (m *Model) NodeTemps() []float64 {
-	out := make([]float64, m.n)
+func (m *Model) NodeTemps() units.TempVec {
+	out := units.MakeTempVec(m.n)
 	copy(out, m.temps)
 	return out
 }
 
 // SetNodeTemps overwrites the full transient state (die + package) —
 // the fast path for installing a cached warmup state.
-func (m *Model) SetNodeTemps(t []float64) {
+func (m *Model) SetNodeTemps(t units.TempVec) {
 	if len(t) != m.n {
 		panic(fmt.Sprintf("thermal: node temps length %d, want %d", len(t), m.n))
 	}
@@ -530,24 +533,26 @@ func (m *Model) SetNodeTemps(t []float64) {
 }
 
 // MaxBlockTemp returns the hottest die-block temperature and its index.
-func (m *Model) MaxBlockTemp() (float64, int) {
+func (m *Model) MaxBlockTemp() (units.Celsius, int) {
 	max, idx := math.Inf(-1), -1
 	for i := 0; i < m.nBlocks; i++ {
 		if m.temps[i] > max {
 			max, idx = m.temps[i], i
 		}
 	}
-	return max, idx
+	return units.Celsius(max), idx
 }
 
 // SetUniform resets every node to temperature t.
-func (m *Model) SetUniform(t float64) {
+func (m *Model) SetUniform(t units.Celsius) {
 	for i := range m.temps {
-		m.temps[i] = t
+		m.temps[i] = float64(t)
 	}
 }
 
 // TotalCapacitance returns Σ C_i, used by energy-conservation tests.
+//
+//mtlint:allow unit thermal capacitance is J/K, not plain Joules
 func (t *Template) TotalCapacitance() float64 {
 	var s float64
 	for _, c := range t.cap {
@@ -576,7 +581,7 @@ func (t *Template) ConductanceMatrix() *linalg.Matrix {
 // SteadyState solves for the equilibrium temperatures under the given
 // die-block power vector without disturbing any transient state. The
 // returned slice covers all nodes; die blocks come first.
-func (t *Template) SteadyState(watts []float64) ([]float64, error) {
+func (t *Template) SteadyState(watts units.PowerVec) (units.TempVec, error) {
 	if len(watts) != t.nBlocks {
 		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(watts), t.nBlocks)
 	}
@@ -586,15 +591,16 @@ func (t *Template) SteadyState(watts []float64) ([]float64, error) {
 		rhs[i] = w
 	}
 	for i, ga := range t.gAmbient {
-		rhs[i] += ga * t.params.Ambient
+		rhs[i] += ga * float64(t.params.Ambient)
 	}
-	return linalg.Solve(g, rhs)
+	sol, err := linalg.Solve(g, rhs)
+	return units.TempVec(sol), err
 }
 
 // InitSteadyState sets the transient state to the equilibrium for the
 // given power vector — the standard way to start a simulation from a
 // thermally warmed package rather than a cold chip.
-func (m *Model) InitSteadyState(watts []float64) error {
+func (m *Model) InitSteadyState(watts units.PowerVec) error {
 	t, err := m.SteadyState(watts)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 // TestTransientLinearityProperty: the RC network is linear and
@@ -17,8 +18,8 @@ func TestTransientLinearityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		a := 0.5 + rng.Float64()*2
-		p1 := make([]float64, len(fp.Blocks))
-		p2 := make([]float64, len(fp.Blocks))
+		p1 := make(units.PowerVec, len(fp.Blocks))
+		p2 := make(units.PowerVec, len(fp.Blocks))
 		for i := range p1 {
 			p1[i] = rng.Float64() * 3
 			p2[i] = a * p1[i]
@@ -33,14 +34,14 @@ func TestTransientLinearityProperty(t *testing.T) {
 		}
 		m1.SetPower(p1)
 		m2.SetPower(p2)
-		amb := DefaultParams().Ambient
+		amb := float64(DefaultParams().Ambient)
 		for step := 0; step < 40; step++ {
 			m1.Step(2e-3)
 			m2.Step(2e-3)
 		}
 		for i := 0; i < m1.NumBlocks(); i++ {
-			want := a * (m1.Temp(i) - amb)
-			got := m2.Temp(i) - amb
+			want := a * (float64(m1.Temp(i)) - amb)
+			got := float64(m2.Temp(i)) - amb
 			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
 				return false
 			}
@@ -57,7 +58,7 @@ func TestTransientLinearityProperty(t *testing.T) {
 // eigenvalues real and negative).
 func TestCoolingIsMonotoneProperty(t *testing.T) {
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	rng := rand.New(rand.NewSource(5))
 	for i := range power {
 		power[i] = rng.Float64() * 4
@@ -65,7 +66,7 @@ func TestCoolingIsMonotoneProperty(t *testing.T) {
 	if err := m.InitSteadyState(power); err != nil {
 		t.Fatal(err)
 	}
-	m.SetPower(make([]float64, m.NumBlocks()))
+	m.SetPower(make(units.PowerVec, m.NumBlocks()))
 	prev := m.NodeTemps()
 	for step := 0; step < 50; step++ {
 		m.Step(5e-3)
@@ -101,7 +102,7 @@ func TestCoolingIsMonotoneProperty(t *testing.T) {
 // fields, the transient converges to the same steady state.
 func TestEquilibriumIsAttractorProperty(t *testing.T) {
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	for i := range power {
 		power[i] = 1.2
 	}
@@ -111,13 +112,13 @@ func TestEquilibriumIsAttractorProperty(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 3; trial++ {
-		m.SetUniform(30 + rng.Float64()*70)
+		m.SetUniform(units.Celsius(30 + rng.Float64()*70))
 		m.SetPower(power)
 		for step := 0; step < 60000; step++ {
 			m.Step(20e-3)
 		}
 		for i := 0; i < m.NumBlocks(); i++ {
-			if math.Abs(m.Temp(i)-want[i]) > 0.2 {
+			if math.Abs(float64(m.Temp(i))-want[i]) > 0.2 {
 				t.Fatalf("trial %d: block %s at %.2f, steady state %.2f",
 					trial, m.NodeName(i), m.Temp(i), want[i])
 			}
@@ -132,13 +133,13 @@ func TestHotspotLocality(t *testing.T) {
 	m := newCMP4Model(t)
 	fp := m.Floorplan()
 	src := fp.BlockIndex("c1_iregfile")
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	power[src] = 5
 	ss, err := m.SteadyState(power)
 	if err != nil {
 		t.Fatal(err)
 	}
-	amb := m.Params().Ambient
+	amb := float64(m.Params().Ambient)
 	for i, b := range fp.Blocks {
 		if b.Core != 1 && b.Core != floorplan.SharedCore {
 			if ss[i]-amb > (ss[src]-amb)*0.5 {
@@ -152,7 +153,7 @@ func TestHotspotLocality(t *testing.T) {
 // TestStepSizeInvariance: integrating 10 ms as one call or as forty
 // 0.25 ms calls must agree (the integrator substeps internally).
 func TestStepSizeInvariance(t *testing.T) {
-	p := make([]float64, 45)
+	p := make(units.PowerVec, 45)
 	for i := range p {
 		p[i] = 2
 	}

@@ -3,6 +3,8 @@ package thermal
 import (
 	"fmt"
 	"math"
+
+	"multitherm/internal/units"
 )
 
 // derivs computes dT/dt into out given node temperatures t:
@@ -42,7 +44,7 @@ func (t *Template) computeMaxStableStep() float64 {
 }
 
 // MaxStableStep returns the precomputed RK4 stability bound.
-func (t *Template) MaxStableStep() float64 { return t.hMax }
+func (t *Template) MaxStableStep() units.Seconds { return units.Seconds(t.hMax) }
 
 // Step advances the transient solution by dt seconds. If UseExact has
 // armed the exact ZOH discretization for this dt, the step is a single
@@ -52,19 +54,20 @@ func (t *Template) MaxStableStep() float64 { return t.hMax }
 // simulator changes them only at trace-sample boundaries, every 28 µs).
 //
 //mtlint:zeroalloc
-func (m *Model) Step(dt float64) {
-	if dt <= 0 {
-		badStepSize(dt)
+func (m *Model) Step(dt units.Seconds) {
+	h := float64(dt)
+	if h <= 0 {
+		badStepSize(h)
 	}
-	if d := m.disc; d != nil && d.dt == dt { //mtlint:allow floatcmp the exact path is armed for bit-exactly this dt
+	if d := m.disc; d != nil && d.dt == h { //mtlint:allow floatcmp the exact path is armed for bit-exactly this dt (both sides the same raw seconds value)
 		m.stepExact(d)
 		return
 	}
 	steps := 1
-	if dt > m.hMax {
-		steps = int(math.Ceil(dt / m.hMax))
+	if h > m.hMax {
+		steps = int(math.Ceil(h / m.hMax))
 	}
-	h := dt / float64(steps)
+	h /= float64(steps)
 	for s := 0; s < steps; s++ {
 		m.rk4(h)
 	}
@@ -152,33 +155,35 @@ func (m *Model) finalStage(src, acc []float64, h float64) {
 }
 
 // HeatFlowToAmbient returns the instantaneous total heat flow from the
-// model into the ambient, in watts. At steady state this equals the
-// total input power (energy conservation).
-func (m *Model) HeatFlowToAmbient() float64 {
+// model into the ambient. At steady state this equals the total input
+// power (energy conservation).
+func (m *Model) HeatFlowToAmbient() units.Watts {
 	var w float64
+	amb := float64(m.params.Ambient)
 	for i, ga := range m.gAmbient {
-		w += ga * (m.temps[i] - m.params.Ambient)
+		w += ga * (m.temps[i] - amb)
 	}
-	return w
+	return units.Watts(w)
 }
 
 // StoredEnergy returns Σ C_i·(T_i − ambient): the thermal energy stored
-// in the network relative to the ambient reference, in joules.
-func (m *Model) StoredEnergy() float64 {
+// in the network relative to the ambient reference.
+func (m *Model) StoredEnergy() units.Joules {
 	var e float64
+	amb := float64(m.params.Ambient)
 	for i, c := range m.cap {
-		e += c * (m.temps[i] - m.params.Ambient)
+		e += c * (m.temps[i] - amb)
 	}
-	return e
+	return units.Joules(e)
 }
 
 // BlockTimeConstant estimates block i's local thermal time constant
-// C_i/ΣG_i in seconds — the scale on which its hotspot heats and cools.
-// The paper relies on these being milliseconds to justify its 30 ms
-// stop-go interval and 28 µs control sampling.
-func (t *Template) BlockTimeConstant(i int) float64 {
+// C_i/ΣG_i — the scale on which its hotspot heats and cools. The paper
+// relies on these being milliseconds to justify its 30 ms stop-go
+// interval and 28 µs control sampling.
+func (t *Template) BlockTimeConstant(i int) units.Seconds {
 	if i < 0 || i >= t.nBlocks {
 		panic(fmt.Sprintf("thermal: block index %d out of range", i))
 	}
-	return t.cap[i] / t.gTotal[i]
+	return units.Seconds(t.cap[i] / t.gTotal[i])
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/units"
 )
 
 // TestTemplateMemoized verifies that TemplateFor returns the same
@@ -78,7 +79,7 @@ func TestModelsShareTemplateNotState(t *testing.T) {
 		t.Fatal("models from one template must share it")
 	}
 	g0 := append([]float64(nil), tpl.colG...)
-	p := make([]float64, hot.NumBlocks())
+	p := make(units.PowerVec, hot.NumBlocks())
 	for i := range p {
 		p[i] = 8
 	}
@@ -89,7 +90,7 @@ func TestModelsShareTemplateNotState(t *testing.T) {
 	amb := tpl.params.Ambient
 	for i := 0; i < cold.NumNodes(); i++ {
 		if cold.Temp(i) != amb {
-			t.Fatalf("sibling model node %d drifted to %g", i, cold.Temp(i))
+			t.Fatalf("sibling model node %d drifted to %g", i, float64(cold.Temp(i)))
 		}
 	}
 	for k := range g0 {
@@ -98,7 +99,7 @@ func TestModelsShareTemplateNotState(t *testing.T) {
 		}
 	}
 	if hi, _ := hot.MaxBlockTemp(); hi <= amb+1 {
-		t.Fatalf("driven model should have heated, got max %g", hi)
+		t.Fatalf("driven model should have heated, got max %g", float64(hi))
 	}
 }
 
@@ -107,8 +108,8 @@ func TestModelsShareTemplateNotState(t *testing.T) {
 // from the edge list.
 func TestDerivsMatchesConductanceMatrix(t *testing.T) {
 	m := newCMP4Model(t)
-	p := make([]float64, m.NumBlocks())
-	temps := make([]float64, m.NumNodes())
+	p := make(units.PowerVec, m.NumBlocks())
+	temps := make(units.TempVec, m.NumNodes())
 	for i := range p {
 		p[i] = 0.5 + 0.25*float64(i%5)
 	}
@@ -119,7 +120,7 @@ func TestDerivsMatchesConductanceMatrix(t *testing.T) {
 	m.SetNodeTemps(temps)
 
 	g := m.ConductanceMatrix()
-	amb := m.Params().Ambient
+	amb := float64(m.Params().Ambient)
 	got := make([]float64, m.NumNodes())
 	m.derivs(m.temps, got)
 	for i := 0; i < m.NumNodes(); i++ {
@@ -143,7 +144,7 @@ func TestDerivsMatchesConductanceMatrix(t *testing.T) {
 func TestStepMatchesTextbookRK4(t *testing.T) {
 	fused := newCMP4Model(t)
 	ref := newCMP4Model(t)
-	p := make([]float64, fused.NumBlocks())
+	p := make(units.PowerVec, fused.NumBlocks())
 	for i := range p {
 		p[i] = 2 + float64(i%3)
 	}
@@ -191,19 +192,19 @@ func TestStepMatchesTextbookRK4(t *testing.T) {
 func TestStepSubstepsAcrossStabilityBound(t *testing.T) {
 	a := newCMP4Model(t)
 	b := newCMP4Model(t)
-	if got, want := a.MaxStableStep(), a.computeMaxStableStep(); got != want {
+	if got, want := float64(a.MaxStableStep()), a.computeMaxStableStep(); got != want {
 		t.Fatalf("hoisted bound %g != freshly computed %g", got, want)
 	}
-	p := make([]float64, a.NumBlocks())
+	p := make(units.PowerVec, a.NumBlocks())
 	for i := range p {
 		p[i] = 4
 	}
 	a.SetPower(p)
 	b.SetPower(p)
 
-	dt := 2.5 * a.MaxStableStep() // forces ceil(2.5) = 3 substeps
-	a.Step(dt)
-	steps := int(math.Ceil(dt / b.MaxStableStep()))
+	dt := 2.5 * float64(a.MaxStableStep()) // forces ceil(2.5) = 3 substeps
+	a.Step(units.Seconds(dt))
+	steps := int(math.Ceil(dt / float64(b.MaxStableStep())))
 	h := dt / float64(steps)
 	for s := 0; s < steps; s++ {
 		b.rk4(h)
@@ -216,8 +217,8 @@ func TestStepSubstepsAcrossStabilityBound(t *testing.T) {
 	// And the result must be finite/sane: a 4 W/block pulse for ~40 ms
 	// warms the die but cannot exceed a loose physical ceiling.
 	hi, _ := a.MaxBlockTemp()
-	if math.IsNaN(hi) || hi > 200 {
-		t.Fatalf("substepped solution diverged: max %g", hi)
+	if math.IsNaN(float64(hi)) || hi > 200 {
+		t.Fatalf("substepped solution diverged: max %g", float64(hi))
 	}
 }
 
@@ -225,7 +226,7 @@ func TestStepSubstepsAcrossStabilityBound(t *testing.T) {
 // transient kernel.
 func TestStepZeroAllocs(t *testing.T) {
 	m := newCMP4Model(t)
-	p := make([]float64, m.NumBlocks())
+	p := make(units.PowerVec, m.NumBlocks())
 	for i := range p {
 		p[i] = 3
 	}
@@ -240,14 +241,14 @@ func TestStepZeroAllocs(t *testing.T) {
 // verbatim and rejects wrong lengths.
 func TestSetNodeTemps(t *testing.T) {
 	m := newCMP4Model(t)
-	want := make([]float64, m.NumNodes())
+	want := make(units.TempVec, m.NumNodes())
 	for i := range want {
 		want[i] = 50 + float64(i)
 	}
 	m.SetNodeTemps(want)
 	for i := range want {
-		if m.Temp(i) != want[i] {
-			t.Fatalf("node %d: got %g want %g", i, m.Temp(i), want[i])
+		if float64(m.Temp(i)) != want[i] {
+			t.Fatalf("node %d: got %g want %g", i, float64(m.Temp(i)), want[i])
 		}
 	}
 	defer func() {
@@ -255,5 +256,5 @@ func TestSetNodeTemps(t *testing.T) {
 			t.Fatal("short vector should panic")
 		}
 	}()
-	m.SetNodeTemps(make([]float64, 3))
+	m.SetNodeTemps(make(units.TempVec, 3))
 }

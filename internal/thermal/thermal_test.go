@@ -8,6 +8,7 @@ import (
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/linalg"
+	"multitherm/internal/units"
 )
 
 func newCMP4Model(t testing.TB) *Model {
@@ -71,12 +72,12 @@ func TestConductanceMatrixSymmetricAndDominant(t *testing.T) {
 
 func TestZeroPowerSteadyStateIsAmbient(t *testing.T) {
 	m := newCMP4Model(t)
-	temps, err := m.SteadyState(make([]float64, m.NumBlocks()))
+	temps, err := m.SteadyState(make(units.PowerVec, m.NumBlocks()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range temps {
-		if math.Abs(v-m.Params().Ambient) > 1e-6 {
+		if math.Abs(v-float64(m.Params().Ambient)) > 1e-6 {
 			t.Errorf("node %s: steady temp %v, want ambient", m.NodeName(i), v)
 		}
 	}
@@ -86,7 +87,7 @@ func TestSteadyStateEnergyConservation(t *testing.T) {
 	// At steady state, all injected power must exit through convection:
 	// Σ gAmb_i·(T_i − T_amb) == Σ P_i.
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	var total float64
 	rng := rand.New(rand.NewSource(7))
 	for i := range power {
@@ -96,7 +97,7 @@ func TestSteadyStateEnergyConservation(t *testing.T) {
 	if err := m.InitSteadyState(power); err != nil {
 		t.Fatal(err)
 	}
-	if out := m.HeatFlowToAmbient(); math.Abs(out-total) > 1e-6*total {
+	if out := m.HeatFlowToAmbient(); math.Abs(float64(out)-total) > 1e-6*total {
 		t.Errorf("ambient heat flow %v, want %v", out, total)
 	}
 }
@@ -105,7 +106,7 @@ func TestSteadyStateMonotoneInPower(t *testing.T) {
 	// Superposition/monotonicity: adding power anywhere cannot cool any
 	// node (the conductance matrix is an M-matrix).
 	m := newCMP4Model(t)
-	base := make([]float64, m.NumBlocks())
+	base := make(units.PowerVec, m.NumBlocks())
 	for i := range base {
 		base[i] = 1
 	}
@@ -113,7 +114,7 @@ func TestSteadyStateMonotoneInPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bumped := append([]float64(nil), base...)
+	bumped := append(units.PowerVec(nil), base...)
 	bumped[3] += 5
 	t1, err := m.SteadyState(bumped)
 	if err != nil {
@@ -140,7 +141,7 @@ func TestSteadyStateMonotoneInPower(t *testing.T) {
 
 func TestTransientConvergesToSteadyState(t *testing.T) {
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	for i := range power {
 		power[i] = 1.5
 	}
@@ -167,7 +168,7 @@ func TestTransientConvergesToSteadyState(t *testing.T) {
 
 func TestTransientApproachesNewSteadyState(t *testing.T) {
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	power[m.fp.BlockIndex("c1_iregfile")] = 4
 	want, err := m.SteadyState(power)
 	if err != nil {
@@ -182,8 +183,8 @@ func TestTransientApproachesNewSteadyState(t *testing.T) {
 		m.Step(20e-3)
 	}
 	for i := 0; i < m.NumBlocks(); i++ {
-		if math.Abs(m.Temp(i)-want[i]) > 0.1 {
-			t.Errorf("block %s: %v, want %v", m.NodeName(i), m.Temp(i), want[i])
+		if math.Abs(float64(m.Temp(i))-want[i]) > 0.1 {
+			t.Errorf("block %s: %v, want %v", m.NodeName(i), float64(m.Temp(i)), want[i])
 		}
 	}
 }
@@ -191,7 +192,7 @@ func TestTransientApproachesNewSteadyState(t *testing.T) {
 func TestHotspotIsPoweredBlock(t *testing.T) {
 	m := newCMP4Model(t)
 	idx := m.fp.BlockIndex("c2_fpregfile")
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	for i := range power {
 		power[i] = 0.3
 	}
@@ -221,7 +222,7 @@ func TestDieTimeConstantsAreMilliseconds(t *testing.T) {
 
 func TestStepCoolsWithoutPower(t *testing.T) {
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	for i := range power {
 		power[i] = 2
 	}
@@ -229,7 +230,7 @@ func TestStepCoolsWithoutPower(t *testing.T) {
 		t.Fatal(err)
 	}
 	start, _ := m.MaxBlockTemp()
-	m.SetPower(make([]float64, m.NumBlocks()))
+	m.SetPower(make(units.PowerVec, m.NumBlocks()))
 	m.Step(30e-3) // one stop-go stall interval
 	after, _ := m.MaxBlockTemp()
 	if after >= start {
@@ -238,14 +239,14 @@ func TestStepCoolsWithoutPower(t *testing.T) {
 	// Cooling must be a few degrees in 30 ms (the stop-go premise:
 	// "after lowering the temperature a few degrees through stalling").
 	if start-after < 1 {
-		t.Errorf("cooled only %.3f °C in 30 ms; stop-go premise broken", start-after)
+		t.Errorf("cooled only %.3f °C in 30 ms; stop-go premise broken", float64(start-after))
 	}
 }
 
 func TestMaxStableStepPositive(t *testing.T) {
 	m := newCMP4Model(t)
 	h := m.MaxStableStep()
-	if h <= 0 || math.IsInf(h, 1) {
+	if h <= 0 || math.IsInf(float64(h), 1) {
 		t.Fatalf("MaxStableStep = %v", h)
 	}
 	// The 28 µs control period should not require absurd substepping.
@@ -258,7 +259,7 @@ func TestStepEnergyBalance(t *testing.T) {
 	// Over any interval: ΔstoredEnergy = ∫(P_in − P_out)dt. Check with a
 	// coarse trapezoid over small steps.
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	for i := range power {
 		power[i] = 1
 	}
@@ -267,13 +268,13 @@ func TestStepEnergyBalance(t *testing.T) {
 	var pin, pout float64
 	const dt = 1e-3
 	for i := 0; i < 500; i++ {
-		outBefore := m.HeatFlowToAmbient()
+		outBefore := float64(m.HeatFlowToAmbient())
 		m.Step(dt)
-		outAfter := m.HeatFlowToAmbient()
+		outAfter := float64(m.HeatFlowToAmbient())
 		pin += float64(m.NumBlocks()) * 1 * dt
 		pout += (outBefore + outAfter) / 2 * dt
 	}
-	stored := m.StoredEnergy()
+	stored := float64(m.StoredEnergy())
 	if rel := math.Abs(stored-(pin-pout)) / pin; rel > 0.01 {
 		t.Errorf("energy balance off by %.2f%%: stored %v, net in %v", rel*100, stored, pin-pout)
 	}
@@ -283,17 +284,17 @@ func TestSteadyStateLinearityProperty(t *testing.T) {
 	// The RC network is linear: steadyState(a·P1 + b·P2) ==
 	// a·steadyState(P1) + b·steadyState(P2) − (a+b−1)·ambient.
 	m := newCMP4Model(t)
-	amb := m.Params().Ambient
+	amb := float64(m.Params().Ambient)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		p1 := make([]float64, m.NumBlocks())
-		p2 := make([]float64, m.NumBlocks())
+		p1 := make(units.PowerVec, m.NumBlocks())
+		p2 := make(units.PowerVec, m.NumBlocks())
 		for i := range p1 {
 			p1[i] = rng.Float64() * 2
 			p2[i] = rng.Float64() * 2
 		}
 		a, b := rng.Float64()*2, rng.Float64()*2
-		comb := make([]float64, len(p1))
+		comb := make(units.PowerVec, len(p1))
 		for i := range comb {
 			comb[i] = a*p1[i] + b*p2[i]
 		}
@@ -333,12 +334,12 @@ func TestSetPowerLengthPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	m.SetPower([]float64{1})
+	m.SetPower(units.PowerVec{1})
 }
 
 func TestSteadyStateLengthError(t *testing.T) {
 	m := newCMP4Model(t)
-	if _, err := m.SteadyState([]float64{1}); err == nil {
+	if _, err := m.SteadyState(units.PowerVec{1}); err == nil {
 		t.Fatal("expected length error")
 	}
 }
@@ -350,7 +351,7 @@ func TestBlockTempsCopy(t *testing.T) {
 	if m.Temp(0) == -1000 {
 		t.Error("BlockTemps returned aliased storage")
 	}
-	buf := make([]float64, m.NumBlocks())
+	buf := make(units.TempVec, m.NumBlocks())
 	if got := m.BlockTemps(buf); &got[0] != &buf[0] {
 		t.Error("BlockTemps ignored provided buffer")
 	}
@@ -359,7 +360,7 @@ func TestBlockTempsCopy(t *testing.T) {
 func TestConductanceResidual(t *testing.T) {
 	// Steady-state solve must satisfy G·T = rhs tightly.
 	m := newCMP4Model(t)
-	power := make([]float64, m.NumBlocks())
+	power := make(units.PowerVec, m.NumBlocks())
 	power[0] = 10
 	temps, err := m.SteadyState(power)
 	if err != nil {
@@ -369,9 +370,9 @@ func TestConductanceResidual(t *testing.T) {
 	rhs := make([]float64, m.NumNodes())
 	rhs[0] = 10
 	for i := 0; i < m.NumNodes(); i++ {
-		rhs[i] += m.gAmbient[i] * m.Params().Ambient
+		rhs[i] += m.gAmbient[i] * float64(m.Params().Ambient)
 	}
-	if r := linalg.Residual(g, temps, rhs); r > 1e-8 {
+	if r := linalg.Residual(g, temps.Raw(), rhs); r > 1e-8 {
 		t.Errorf("residual %g", r)
 	}
 }

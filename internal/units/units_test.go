@@ -1,0 +1,61 @@
+package units
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The vector views must be zero-cost: identical representation to
+// []float64 so conversions are free and kernels see the same memory.
+func TestViewsShareRepresentation(t *testing.T) {
+	if unsafe.Sizeof(TempVec{}) != unsafe.Sizeof([]float64{}) {
+		t.Fatalf("TempVec header size %d != []float64 header size %d",
+			unsafe.Sizeof(TempVec{}), unsafe.Sizeof([]float64{}))
+	}
+	tv := MakeTempVec(4)
+	raw := tv.Raw()
+	raw[2] = 85.5
+	if got := tv.At(2); got != 85.5 {
+		t.Fatalf("Raw() does not alias backing storage: At(2) = %v", got)
+	}
+	tv.Set(2, 61.2)
+	if raw[2] != 61.2 {
+		t.Fatalf("Set not visible through Raw(): %v", raw[2])
+	}
+}
+
+func TestTempVecMax(t *testing.T) {
+	if _, i := (TempVec{}).Max(); i != -1 {
+		t.Fatalf("empty Max index = %d, want -1", i)
+	}
+	tv := TempVec{45, 84.2, 61, 84.2}
+	hot, i := tv.Max()
+	if hot != 84.2 || i != 1 {
+		t.Fatalf("Max = (%v, %d), want (84.2, 1): ties break to the first index", hot, i)
+	}
+}
+
+func TestPowerVecSum(t *testing.T) {
+	pv := PowerVec{1.5, 2.5, 0, 4}
+	if got := pv.Sum(); got != 8 {
+		t.Fatalf("Sum = %v, want 8", got)
+	}
+	if pv.Len() != 4 {
+		t.Fatalf("Len = %d", pv.Len())
+	}
+	pv.Set(2, 3)
+	if pv.At(2) != 3 {
+		t.Fatalf("At(2) = %v after Set", pv.At(2))
+	}
+}
+
+// Conversions between scalar unit types and float64 must round-trip
+// bit-exactly: the types are gauges, not transformations.
+func TestScalarRoundTrip(t *testing.T) {
+	const x = 84.19999999999999
+	if float64(Celsius(x)) != x || float64(Watts(x)) != x ||
+		float64(Seconds(x)) != x || float64(Joules(x)) != x ||
+		float64(ScaleFactor(x)) != x || float64(BIPS(x)) != x {
+		t.Fatal("scalar unit conversion is not the identity")
+	}
+}
