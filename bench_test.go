@@ -199,29 +199,35 @@ func BenchmarkThermalStepFlat(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepParallel runs a fixed specs×workloads study at several
-// worker counts; compare ns/op across sub-benches to see the scaling of
-// the parallel sweep engine on this machine.
-func BenchmarkSweepParallel(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run("workers"+itoa(int64(workers)), func(b *testing.B) {
-			opt := benchOptions()
-			opt.Parallelism = workers
-			r, err := experiments.Find("table8")
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := r.Run(opt)
-				if err != nil {
-					b.Fatal(err)
-				}
-				_ = res.Render()
-			}
-		})
+// benchSweepWorkers runs a fixed specs×workloads study through the
+// work-stealing scheduler at the given worker count; compare ns/op
+// across BenchmarkSweepWorkers{1,2,4,8} to see the scaling curve of
+// the sweep engine on this machine in one `go test -bench
+// SweepWorkers` invocation. Scaling past GOMAXPROCS is flat by
+// construction — the goroutines multiplex onto the same Ps — so on a
+// pinned or single-core machine only the workers1 vs workers2 pair
+// shows contention overhead, not speedup.
+func benchSweepWorkers(b *testing.B, workers int) {
+	opt := benchOptions()
+	opt.Parallelism = workers
+	r, err := experiments.Find("table8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Render()
 	}
 }
+
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, 1) }
+func BenchmarkSweepWorkers2(b *testing.B) { benchSweepWorkers(b, 2) }
+func BenchmarkSweepWorkers4(b *testing.B) { benchSweepWorkers(b, 4) }
+func BenchmarkSweepWorkers8(b *testing.B) { benchSweepWorkers(b, 8) }
 
 // BenchmarkSweepBatched runs the same fixed study at several lockstep
 // batch widths with one worker, so the sub-bench ratios isolate what

@@ -8,7 +8,7 @@
 //	sweep -quick          # reduced fidelity (0.1 s sims) for a fast look
 //	sweep -list           # list artifacts
 //	sweep -simtime 0.25   # custom simulated silicon time
-//	sweep -parallel 8     # fan (policy, workload) cells across 8 workers
+//	sweep -workers 8      # fan (policy, workload) cells across 8 workers
 //	sweep -batch 8        # step 8 same-propagator cells in lockstep
 //
 //mtlint:units
@@ -31,7 +31,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity simulations")
 	list := flag.Bool("list", false, "list reproducible artifacts and exit")
 	simtime := flag.Float64("simtime", 0, "simulated silicon time per run in seconds (default 0.5)")
-	par := flag.Int("parallel", 0, "worker count for independent simulation cells (0 = all CPUs, 1 = sequential; results identical at any level)")
+	workersFlag := flag.Int("workers", 0, "worker count for the work-stealing cell scheduler (0 = all CPUs, 1 = sequential; results identical at any count)")
+	par := flag.Int("parallel", 0, "deprecated alias for -workers")
 	batch := flag.Int("batch", 0, "lockstep batch width for cells sharing one thermal propagator (0 = auto-size from cache, 1 = no batching; results identical at any width)")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
 	mdPath := flag.String("md", "", "also write the report as markdown to this file")
@@ -84,7 +85,10 @@ func main() {
 	if *simtime > 0 {
 		opt.SimTime = units.Seconds(*simtime)
 	}
-	opt.Parallelism = *par
+	if *workersFlag == 0 {
+		*workersFlag = *par
+	}
+	opt.Parallelism = *workersFlag
 	opt.Batch = *batch
 
 	runners := experiments.Registry()
@@ -117,7 +121,7 @@ func main() {
 		fmt.Fprintf(md, "# multitherm reproduction report\n\nSimulated silicon time per run: %.2f s.\n\n", float64(opt.SimTime))
 	}
 
-	workers := *par
+	workers := *workersFlag
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -75,7 +75,7 @@ func (d *DVFSThrottler) Decide(now units.Seconds, tick int64, blockTemps units.T
 		return d.cmds
 	}
 	for c := 0; c < d.nCores; c++ {
-		hot, _ := d.bank.ForCore(c).Hottest(blockTemps, tick)
+		hot, _ := d.bank.HottestForCore(c, blockTemps, tick)
 		u := d.controllers[c].Step(hot)
 		d.cmds[c] = CoreCommand{Scale: u}
 	}

@@ -22,6 +22,7 @@ type StopGoThrottler struct {
 	stallUntil []units.Seconds // per core
 	cmds       []CoreCommand
 	trends     []trendAccum
+	hotTemps   []float64 // per-tick scratch, reused across Decide calls
 	trips      int
 }
 
@@ -79,6 +80,7 @@ func NewStopGo(params Params, scope Scope, bank *sensor.Bank, nCores int) (*Stop
 		stallUntil: make([]units.Seconds, nCores),
 		cmds:       make([]CoreCommand, nCores),
 		trends:     make([]trendAccum, nCores),
+		hotTemps:   make([]float64, nCores),
 	}, nil
 }
 
@@ -93,9 +95,9 @@ func (s *StopGoThrottler) Trips() int { return s.trips }
 // Decide implements Throttler.
 func (s *StopGoThrottler) Decide(now units.Seconds, tick int64, blockTemps units.TempVec) []CoreCommand {
 	trip := s.params.ThresholdC - s.params.TripMarginC
-	hotTemps := make([]float64, s.nCores)
+	hotTemps := s.hotTemps
 	for c := 0; c < s.nCores; c++ {
-		hot, _ := s.bank.ForCore(c).Hottest(blockTemps, tick)
+		hot, _ := s.bank.HottestForCore(c, blockTemps, tick)
 		hotTemps[c] = float64(hot)
 		if now >= s.stallUntil[c] && hot >= trip {
 			// Thermal interrupt: freeze this core (or, below, the chip)

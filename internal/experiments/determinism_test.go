@@ -61,6 +61,41 @@ func TestBatchingDoesNotChangeResults(t *testing.T) {
 	}
 }
 
+// TestRaggedBatchesUnderStealingDoNotChangeResults crosses the two
+// axes the work-stealing engine mixes at runtime: odd batch widths that
+// never divide the (Template, dt) group sizes evenly (so every group
+// ends in a ragged tail), and several worker counts (so concurrent
+// claimers split groups at scheduling-dependent boundaries). Whatever
+// partition the claim interleaving produces, the rendered study must be
+// byte-identical to the sequential unbatched run — the PR 3 bit-equality
+// guarantee, now load-bearing for dynamic batch formation.
+func TestRaggedBatchesUnderStealingDoNotChangeResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full studies repeatedly")
+	}
+	opt := Options{SimTime: 0.01, Workloads: workload.Mixes[:3]}
+	base := opt
+	base.Parallelism, base.Batch = 1, 1
+	want, err := RunTable8(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, width := range []int{3, 5, 7} {
+			o := opt
+			o.Parallelism, o.Batch = workers, width
+			got, err := RunTable8(o)
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, width, err)
+			}
+			if got.Render() != want.Render() {
+				t.Errorf("workers=%d batch=%d renders differently from sequential unbatched:\n--- want ---\n%s\n--- got ---\n%s",
+					workers, width, want.Render(), got.Render())
+			}
+		}
+	}
+}
+
 func TestParallelismDoesNotChangeResults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full studies twice")

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"multitherm/internal/core"
 	"multitherm/internal/metrics"
@@ -106,41 +107,85 @@ type batchKey struct {
 	dt   units.Seconds
 }
 
+// cellGroup is one shared-propagator family of cells. Workers claim
+// cells off the group one at a time through the atomic cursor, so a
+// batch is whatever a worker gathered when it was ready to run — lanes
+// join as cells arrive instead of waiting behind a precut chunk
+// boundary, and two workers can drain one big group concurrently, each
+// forming its own lockstep unit. Batch composition therefore depends
+// on scheduling, but the results never do: batched stepping is
+// bit-identical to sequential stepping (sim.BatchRunner's contract)
+// at any width and any partition.
+type cellGroup struct {
+	idx []int // cell indices sharing (Template, dt)
+	cur atomic.Int64
+}
+
+// claim removes up to max cell indices from the group's head.
+func (g *cellGroup) claim(max int, dst []int) []int {
+	for len(dst) < max {
+		i := g.cur.Add(1) - 1
+		if i >= int64(len(g.idx)) {
+			break
+		}
+		dst = append(dst, g.idx[i])
+	}
+	return dst
+}
+
 // runCells executes the given cells and slots each result at its input
-// index. Cells are grouped by shared propagator in first-seen order,
-// each group is cut into batch-sized lockstep units, and the worker
-// pool schedules batches — not cells — so one fused thermal advance
-// serves a whole batch. Because batched stepping is bit-identical to
-// sequential stepping (sim.BatchRunner's contract), the assembled
-// results are independent of both the batch width and the parallelism.
+// index. Cells are grouped by shared propagator in first-seen order and
+// the work-stealing pool schedules batch-forming tasks, weighted by the
+// simulated time they cover, so the biggest (Template, dt) families
+// start first and a straggler group cannot hold the sweep open alone.
+// Every task claims up to one batch width of cells from its group's
+// cursor and runs them as one lockstep unit; results are independent of
+// parallelism, batch width, and claim interleaving alike.
 func runCells(o Options, cells []cell) ([]*metrics.Run, error) {
-	groups := map[batchKey][]int{}
-	var order []batchKey
+	groups := map[batchKey]*cellGroup{}
+	var order []*cellGroup
 	for i, c := range cells {
 		tmpl, err := thermal.TemplateFor(c.cfg.Floorplan, c.cfg.Thermal)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", c.spec, c.mix.Name, err)
 		}
 		k := batchKey{tmpl: tmpl, dt: c.cfg.Policy.SamplePeriod}
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
+		g, seen := groups[k]
+		if !seen {
+			g = &cellGroup{}
+			groups[k] = g
+			order = append(order, g)
 		}
-		groups[k] = append(groups[k], i)
+		g.idx = append(g.idx, i)
 	}
 	size := o.batchSize()
-	var batches [][]int
-	for _, k := range order {
-		idx := groups[k]
-		for _, span := range parallel.Chunks(len(idx), size) {
-			batches = append(batches, idx[span[0]:span[1]])
+
+	// One task per prospective batch. Tasks of one group are
+	// interchangeable — each claims whatever cells remain — so their
+	// count only guarantees enough claimers to drain the group; a task
+	// arriving after its group is empty is a no-op. Cost estimates
+	// weight each claim by the simulated seconds it will advance.
+	var tasks []parallel.Task
+	taskGroup := make([]*cellGroup, 0, len(cells))
+	for _, g := range order {
+		simTime := float64(cells[g.idx[0]].cfg.SimTime)
+		for _, span := range parallel.Chunks(len(g.idx), size) {
+			tasks = append(tasks, parallel.Task{
+				Index: len(tasks),
+				Cost:  float64(span[1]-span[0]) * simTime,
+			})
+			taskGroup = append(taskGroup, g)
 		}
 	}
 
 	runs := make([]*metrics.Run, len(cells))
-	err := parallel.ForEach(context.Background(), o.Parallelism, len(batches),
-		func(_ context.Context, bi int) error {
-			idx := batches[bi]
-			if len(idx) == 1 {
+	err := parallel.RunTasks(context.Background(), o.Parallelism, tasks,
+		func(_ context.Context, ti int) error {
+			idx := taskGroup[ti].claim(size, make([]int, 0, size))
+			switch len(idx) {
+			case 0:
+				return nil // group drained by earlier claimers
+			case 1:
 				c := cells[idx[0]]
 				m, err := runCell(c.cfg, c.mix, c.spec)
 				if err != nil {

@@ -84,12 +84,17 @@ func FuzzMulAddInto(f *testing.F) {
 	})
 }
 
-// FuzzMulBatchInto is the differential target for fusedTickBatch64 and
-// fusedTickBatch56. Two oracles: per lane, the batched kernel must be
-// bit-identical to sequential MulAddInto calls (documented contract —
-// same operation kind and column order), and must match the generic
-// twin mulAddGeneric within FMA tolerance. Ragged widths are exercised
-// by varying xStride between tight (cols) and padded (stride).
+// FuzzMulBatchInto is the differential target for fusedTickBatch64,
+// fusedTickBatch56, and fusedTickBatch56x4 (lane counts reach 8, so
+// quad groups plus every remainder width are exercised). Three oracles:
+// per lane, the batched kernel must be bit-identical to sequential
+// MulAddInto calls (documented contract — same operation kind and
+// column order) and must match the generic twin mulAddGeneric within
+// FMA tolerance; and the blocked generic twin mulBatchGeneric must be
+// bit-identical to per-lane mulAddGeneric, since on noasm builds it IS
+// the batch path and the bit-identity contract has to survive there
+// too. Ragged widths are exercised by varying xStride between tight
+// (cols) and padded (stride).
 func FuzzMulBatchInto(f *testing.F) {
 	f.Add(int64(1), int64(8), int64(6), int64(3), false)
 	f.Add(int64(2), int64(64), int64(64), int64(4), true) // 64-row kernel
@@ -122,6 +127,9 @@ func FuzzMulBatchInto(f *testing.F) {
 		got := make([]float64, k*stride)
 		p.MulBatchInto(got, bias, k, x, xStride)
 
+		blocked := make([]float64, k*stride)
+		p.mulBatchGeneric(blocked, bias, k, x, xStride)
+
 		seq := make([]float64, stride)
 		gen := make([]float64, stride)
 		for l := 0; l < k; l++ {
@@ -137,6 +145,10 @@ func FuzzMulBatchInto(f *testing.F) {
 				if !relClose(got[l*stride+i], gen[i]) {
 					t.Fatalf("rows=%d cols=%d k=%d xStride=%d lane %d row %d: batch=%g mulAddGeneric=%g (diff %g)",
 						rows, cols, k, xStride, l, i, got[l*stride+i], gen[i], got[l*stride+i]-gen[i])
+				}
+				if blocked[l*stride+i] != gen[i] {
+					t.Fatalf("rows=%d cols=%d k=%d xStride=%d lane %d row %d: mulBatchGeneric=%g mulAddGeneric=%g — blocked generic must be bit-identical per lane",
+						rows, cols, k, xStride, l, i, blocked[l*stride+i], gen[i])
 				}
 			}
 		}

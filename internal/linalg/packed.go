@@ -153,13 +153,92 @@ func (p *Packed) MulBatchInto(y, bias []float64, k int, x []float64, xStride int
 	}
 	if p.SIMDAccelerated() && p.cols > 0 {
 		if p.rows <= 56 {
-			fusedTickBatch56(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], k)
+			// Quad-lane kernel for whole groups of four: each 512-byte
+			// propagator column read from memory feeds four lanes' FMA
+			// chains, halving the operand traffic of the pair kernel.
+			// The remainder (1–3 lanes) runs the pair kernel, offset past
+			// the quads' panels.
+			q := k &^ 3
+			if q > 0 {
+				fusedTickBatch56x4(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], q)
+			}
+			if rem := k - q; rem > 0 {
+				if q == 0 {
+					fusedTickBatch56(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], k)
+				} else {
+					fusedTickBatch56(&p.data[0], p.cols, &x[q*xStride], xStride,
+						&bias[q*p.stride], &y[q*p.stride], rem)
+				}
+			}
 		} else {
 			fusedTickBatch64(&p.data[0], p.cols, &x[0], xStride, &bias[0], &y[0], k)
 		}
 		return
 	}
-	for l := 0; l < k; l++ {
+	p.mulBatchGeneric(y, bias, k, x, xStride)
+}
+
+// mulBatchGeneric is the portable multi-lane twin of the batched SIMD
+// kernels and the MulBatchInto fallback on machines without them. Lanes
+// are walked in blocks of four so each packed column is read from
+// memory once per block instead of once per lane — the same register
+// blocking the quad asm kernel performs, expressed as four concurrent
+// axpy updates the compiler can keep in registers. Per lane the
+// operation kind and column order are exactly mulAddGeneric's (bias
+// copy, then ascending-column axpy with exact-zero skip), so every lane
+// is bit-identical to the sequential path regardless of how the lanes
+// are grouped.
+//
+//mtlint:zeroalloc
+func (p *Packed) mulBatchGeneric(y, bias []float64, k int, x []float64, xStride int) {
+	copy(y[:k*p.stride], bias[:k*p.stride])
+	l := 0
+	for ; l+4 <= k; l += 4 {
+		yA := y[(l+0)*p.stride : (l+0)*p.stride+p.rows]
+		yB := y[(l+1)*p.stride : (l+1)*p.stride+p.rows]
+		yC := y[(l+2)*p.stride : (l+2)*p.stride+p.rows]
+		yD := y[(l+3)*p.stride : (l+3)*p.stride+p.rows]
+		xA := x[(l+0)*xStride:]
+		xB := x[(l+1)*xStride:]
+		xC := x[(l+2)*xStride:]
+		xD := x[(l+3)*xStride:]
+		for j := 0; j < p.cols; j++ {
+			col := p.data[j*p.stride : j*p.stride+p.rows]
+			a, b, c, d := xA[j], xB[j], xC[j], xD[j]
+			if a != 0 && b != 0 && c != 0 && d != 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
+				for i, v := range col {
+					yA[i] += v * a
+					yB[i] += v * b
+					yC[i] += v * c
+					yD[i] += v * d
+				}
+				continue
+			}
+			// A lane with a zero input skips the column, exactly as
+			// mulAddGeneric would; the others still share this read of it.
+			if a != 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
+				for i, v := range col {
+					yA[i] += v * a
+				}
+			}
+			if b != 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
+				for i, v := range col {
+					yB[i] += v * b
+				}
+			}
+			if c != 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
+				for i, v := range col {
+					yC[i] += v * c
+				}
+			}
+			if d != 0 { //mtlint:allow floatcmp exact-zero skip adds no rounding (x+0 == x)
+				for i, v := range col {
+					yD[i] += v * d
+				}
+			}
+		}
+	}
+	for ; l < k; l++ {
 		p.mulAddGeneric(y[l*p.stride:(l+1)*p.stride],
 			bias[l*p.stride:(l+1)*p.stride],
 			x[l*xStride:l*xStride+p.cols])

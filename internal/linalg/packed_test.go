@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -233,6 +234,34 @@ func TestMulBatchIntoPanics(t *testing.T) {
 	}
 	// k == 0 is a no-op, not a panic.
 	p.MulBatchInto(nil, nil, 0, nil, 8)
+}
+
+// BenchmarkPackedMulBatch55 measures the raw batched kernel at the
+// CMP4 operand shape (55 rows — the ≤56 quad/pair path — by 55
+// columns) across lane counts, isolated from the simulator's per-tick
+// bookkeeping. ns/lane is the number to watch: it should fall as k
+// grows while the propagator stream amortizes over more lanes, and
+// flatten once the FMA ports saturate.
+func BenchmarkPackedMulBatch55(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(8))
+			p, _, _ := randomPacked(rng, 55, 50, 5)
+			stride := p.Stride()
+			x := make([]float64, k*stride)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			bias := make([]float64, k*stride)
+			y := make([]float64, k*stride)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MulBatchInto(y, bias, k, x, stride)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/lane")
+		})
+	}
 }
 
 func BenchmarkPackedMulAdd55(b *testing.B) {

@@ -34,6 +34,22 @@ func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float
 //go:noescape
 func fusedTickBatch56(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
 
+// fusedTickBatch56x4 is the quad-lane widening of fusedTickBatch56: k
+// must be a positive multiple of four, and each group of four lanes
+// shares every 512-byte propagator column read. The seven row chunks
+// are register-blocked into two passes over the columns — chunks 0–3
+// (16 accumulators) then chunks 4–6 (12 accumulators) — so 4×7 = 28
+// accumulators never have to coexist in the 32 ZMM registers; the
+// operand row-block touched by a pass stays resident across all four
+// lanes. Per lane and per row the FMA sequence is still ascending
+// column order, exactly fusedTick64's, so bit-identity with the
+// sequential kernel is preserved. Like fusedTickBatch56, rows 56–63 of
+// every y lane are unspecified on return. Implemented in simd_amd64.s.
+//
+//mtlint:generic mulBatchGeneric tested-by FuzzMulBatchInto
+//go:noescape
+func fusedTickBatch56x4(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
+
 // cpuid executes the CPUID instruction for the given leaf/subleaf.
 //
 //mtlint:nogeneric feature-detection primitive, no arithmetic to mirror

@@ -438,6 +438,183 @@ batchdone56:
 	VZEROUPPER
 	RET
 
+// func fusedTickBatch56x4(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int)
+//
+// Quad-lane form of fusedTickBatch56: k is a positive multiple of four
+// (the Go wrapper routes remainders to the pair kernel) and each group
+// of four lanes streams the propagator once. 4 lanes × 7 live chunks
+// would need 28 accumulators, so the rows are register-blocked into two
+// passes over the columns:
+//
+//	pass 1, chunks 0–3 (rows 0–31): Z0–Z15 accumulate (4 chunks × 4
+//	  lanes), Z16–Z19 hold the column's chunks, Z20–Z23 the broadcasts;
+//	pass 2, chunks 4–6 (rows 32–55): Z0–Z11 accumulate, the column
+//	  cursor starts 256 bytes in.
+//
+// Each pass re-walks x (64 columns × 4 broadcasts — trivially hot) but
+// touches a disjoint 2 KB row block of the propagator per column, which
+// stays L1-resident while all four lanes consume it. Per lane and per
+// row the FMA order over columns is unchanged, so lanes remain
+// bit-identical to fusedTick64. Lane C and D input cursors are derived
+// by indexed addressing off lanes A and B ((R11)(R9*2), (R12)(R9*2)),
+// keeping R13–R15 untouched.
+TEXT ·fusedTickBatch56x4(SB), NOSPLIT, $0-56
+	MOVQ m+0(FP), SI
+	MOVQ cols+8(FP), CX
+	MOVQ x+16(FP), DX
+	MOVQ xStride+24(FP), R9
+	MOVQ bias+32(FP), BX
+	MOVQ y+40(FP), DI
+	MOVQ k+48(FP), R8
+
+	SHLQ $3, R9              // x lane stride, bytes
+
+quadloop:
+	CMPQ R8, $4
+	JLT  quaddone
+
+	// -------- pass 1: chunks 0–3 (rows 0–31) --------
+	// Accumulators: lane A Z0–Z3, B Z4–Z7, C Z8–Z11, D Z12–Z15, seeded
+	// from each lane's bias column (lane L chunk c at L·512 + c·64).
+	VMOVUPD (BX), Z0
+	VMOVUPD 64(BX), Z1
+	VMOVUPD 128(BX), Z2
+	VMOVUPD 192(BX), Z3
+	VMOVUPD 512(BX), Z4
+	VMOVUPD 576(BX), Z5
+	VMOVUPD 640(BX), Z6
+	VMOVUPD 704(BX), Z7
+	VMOVUPD 1024(BX), Z8
+	VMOVUPD 1088(BX), Z9
+	VMOVUPD 1152(BX), Z10
+	VMOVUPD 1216(BX), Z11
+	VMOVUPD 1536(BX), Z12
+	VMOVUPD 1600(BX), Z13
+	VMOVUPD 1664(BX), Z14
+	VMOVUPD 1728(BX), Z15
+
+	MOVQ SI, R10             // column cursor, chunk 0 of column 0
+	MOVQ DX, R11             // lane A input cursor
+	LEAQ (DX)(R9*1), R12     // lane B input cursor
+	MOVQ CX, AX
+
+pass1col:
+	VMOVUPD      (R10), Z16
+	VMOVUPD      64(R10), Z17
+	VMOVUPD      128(R10), Z18
+	VMOVUPD      192(R10), Z19
+	VBROADCASTSD (R11), Z20
+	VBROADCASTSD (R12), Z21
+	VBROADCASTSD (R11)(R9*2), Z22
+	VBROADCASTSD (R12)(R9*2), Z23
+	VFMADD231PD  Z16, Z20, Z0
+	VFMADD231PD  Z17, Z20, Z1
+	VFMADD231PD  Z18, Z20, Z2
+	VFMADD231PD  Z19, Z20, Z3
+	VFMADD231PD  Z16, Z21, Z4
+	VFMADD231PD  Z17, Z21, Z5
+	VFMADD231PD  Z18, Z21, Z6
+	VFMADD231PD  Z19, Z21, Z7
+	VFMADD231PD  Z16, Z22, Z8
+	VFMADD231PD  Z17, Z22, Z9
+	VFMADD231PD  Z18, Z22, Z10
+	VFMADD231PD  Z19, Z22, Z11
+	VFMADD231PD  Z16, Z23, Z12
+	VFMADD231PD  Z17, Z23, Z13
+	VFMADD231PD  Z18, Z23, Z14
+	VFMADD231PD  Z19, Z23, Z15
+	ADDQ         $512, R10
+	ADDQ         $8, R11
+	ADDQ         $8, R12
+	DECQ         AX
+	JNZ          pass1col
+
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VMOVUPD Z4, 512(DI)
+	VMOVUPD Z5, 576(DI)
+	VMOVUPD Z6, 640(DI)
+	VMOVUPD Z7, 704(DI)
+	VMOVUPD Z8, 1024(DI)
+	VMOVUPD Z9, 1088(DI)
+	VMOVUPD Z10, 1152(DI)
+	VMOVUPD Z11, 1216(DI)
+	VMOVUPD Z12, 1536(DI)
+	VMOVUPD Z13, 1600(DI)
+	VMOVUPD Z14, 1664(DI)
+	VMOVUPD Z15, 1728(DI)
+
+	// -------- pass 2: chunks 4–6 (rows 32–55) --------
+	// Accumulators: lane A Z0–Z2, B Z3–Z5, C Z6–Z8, D Z9–Z11.
+	VMOVUPD 256(BX), Z0
+	VMOVUPD 320(BX), Z1
+	VMOVUPD 384(BX), Z2
+	VMOVUPD 768(BX), Z3
+	VMOVUPD 832(BX), Z4
+	VMOVUPD 896(BX), Z5
+	VMOVUPD 1280(BX), Z6
+	VMOVUPD 1344(BX), Z7
+	VMOVUPD 1408(BX), Z8
+	VMOVUPD 1792(BX), Z9
+	VMOVUPD 1856(BX), Z10
+	VMOVUPD 1920(BX), Z11
+
+	LEAQ 256(SI), R10        // column cursor, chunk 4 of column 0
+	MOVQ DX, R11
+	LEAQ (DX)(R9*1), R12
+	MOVQ CX, AX
+
+pass2col:
+	VMOVUPD      (R10), Z16
+	VMOVUPD      64(R10), Z17
+	VMOVUPD      128(R10), Z18
+	VBROADCASTSD (R11), Z20
+	VBROADCASTSD (R12), Z21
+	VBROADCASTSD (R11)(R9*2), Z22
+	VBROADCASTSD (R12)(R9*2), Z23
+	VFMADD231PD  Z16, Z20, Z0
+	VFMADD231PD  Z17, Z20, Z1
+	VFMADD231PD  Z18, Z20, Z2
+	VFMADD231PD  Z16, Z21, Z3
+	VFMADD231PD  Z17, Z21, Z4
+	VFMADD231PD  Z18, Z21, Z5
+	VFMADD231PD  Z16, Z22, Z6
+	VFMADD231PD  Z17, Z22, Z7
+	VFMADD231PD  Z18, Z22, Z8
+	VFMADD231PD  Z16, Z23, Z9
+	VFMADD231PD  Z17, Z23, Z10
+	VFMADD231PD  Z18, Z23, Z11
+	ADDQ         $512, R10
+	ADDQ         $8, R11
+	ADDQ         $8, R12
+	DECQ         AX
+	JNZ          pass2col
+
+	VMOVUPD Z0, 256(DI)
+	VMOVUPD Z1, 320(DI)
+	VMOVUPD Z2, 384(DI)
+	VMOVUPD Z3, 768(DI)
+	VMOVUPD Z4, 832(DI)
+	VMOVUPD Z5, 896(DI)
+	VMOVUPD Z6, 1280(DI)
+	VMOVUPD Z7, 1344(DI)
+	VMOVUPD Z8, 1408(DI)
+	VMOVUPD Z9, 1792(DI)
+	VMOVUPD Z10, 1856(DI)
+	VMOVUPD Z11, 1920(DI)
+
+	ADDQ $2048, BX
+	ADDQ $2048, DI
+	LEAQ (DX)(R9*4), DX
+	SUBQ $4, R8
+	JMP  quadloop
+
+quaddone:
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

@@ -21,3 +21,8 @@ func fusedTickBatch64(m *float64, cols int, x *float64, xStride int, bias *float
 func fusedTickBatch56(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int) {
 	panic("linalg: fusedTickBatch56 called without SIMD support")
 }
+
+// fusedTickBatch56x4 is never reached on non-amd64 or noasm builds either.
+func fusedTickBatch56x4(m *float64, cols int, x *float64, xStride int, bias *float64, y *float64, k int) {
+	panic("linalg: fusedTickBatch56x4 called without SIMD support")
+}

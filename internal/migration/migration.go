@@ -64,16 +64,7 @@ func readHotspots(ctx *Context) []coreHotspot {
 	n := ctx.Sched.NumCores()
 	out := make([]coreHotspot, n)
 	for c := 0; c < n; c++ {
-		var tInt, tFP float64
-		for _, s := range ctx.Bank.ForCore(c).Sensors {
-			v := float64(s.Read(ctx.BlockTemps, ctx.Tick))
-			switch ctx.FP.Blocks[s.Block].Kind {
-			case floorplan.KindIntRegFile:
-				tInt = v
-			case floorplan.KindFPRegFile:
-				tFP = v
-			}
-		}
+		tInt, tFP := readCoreRegFiles(ctx, c)
 		h := coreHotspot{core: c, tInt: tInt, tFP: tFP}
 		if tInt >= tFP {
 			h.critical, h.critTemp, h.imbalance = floorplan.KindIntRegFile, tInt, tInt-tFP
@@ -83,6 +74,26 @@ func readHotspots(ctx *Context) []coreHotspot {
 		out[c] = h
 	}
 	return out
+}
+
+// readCoreRegFiles reads the two register-file sensors of a core
+// straight off the shared bank — the per-tick path filters in place
+// rather than allocating a ForCore sub-bank.
+func readCoreRegFiles(ctx *Context, core int) (tInt, tFP float64) {
+	for i := range ctx.Bank.Sensors {
+		s := &ctx.Bank.Sensors[i]
+		if s.Core != core {
+			continue
+		}
+		v := float64(s.Read(ctx.BlockTemps, ctx.Tick))
+		switch ctx.FP.Blocks[s.Block].Kind {
+		case floorplan.KindIntRegFile:
+			tInt = v
+		case floorplan.KindFPRegFile:
+			tFP = v
+		}
+	}
+	return tInt, tFP
 }
 
 // decideAssignment implements the matching algorithm of Figure 4:

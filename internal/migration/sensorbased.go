@@ -80,16 +80,7 @@ func (sb *SensorBased) record(ctx *Context) {
 		if dyn < 1e-3 {
 			dyn = 1e-3
 		}
-		var tInt, tFP float64
-		for _, s := range ctx.Bank.ForCore(c).Sensors {
-			v := float64(s.Read(ctx.BlockTemps, ctx.Tick))
-			switch ctx.FP.Blocks[s.Block].Kind {
-			case floorplan.KindIntRegFile:
-				tInt = v
-			case floorplan.KindFPRegFile:
-				tFP = v
-			}
-		}
+		tInt, tFP := readCoreRegFiles(ctx, c)
 		// Pressure: hotspot elevation over the chip mean, rescaled by
 		// the cubic relation to full-speed equivalent (§6.3: "each
 		// recorded temperature trend must be scaled down by a cubic

@@ -11,12 +11,14 @@ package parallel
 import (
 	"context"
 	"runtime"
-	"sync"
 )
 
 // ForEach runs fn(ctx, i) for every i in [0, n) across at most
 // `workers` goroutines. workers <= 0 selects GOMAXPROCS. The call
-// returns after all started work has finished.
+// returns after all started work has finished. Scheduling rides on the
+// work-stealing pool (see RunTasks): every index costs the same, so
+// seeding deals indices round-robin and idle workers steal the
+// leftovers instead of queueing on one shared channel.
 //
 // On failure, the error of the lowest-index failing call is returned —
 // a deterministic choice regardless of scheduling — and the shared
@@ -35,7 +37,8 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 		workers = n
 	}
 	if workers == 1 {
-		// Sequential fast path: no goroutines, same semantics.
+		// Sequential fast path: no goroutines, no task list, same
+		// semantics.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -46,62 +49,11 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 		}
 		return nil
 	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		mu       sync.Mutex
-		firstErr error
-		errIdx   = -1
-	)
-	fail := func(i int, err error) {
-		mu.Lock()
-		if errIdx < 0 || i < errIdx {
-			errIdx, firstErr = i, err
-		}
-		mu.Unlock()
-		cancel() // one failing cell aborts the sweep
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i].Index = i
 	}
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				if ctx.Err() != nil {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					fail(i, err)
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(indices)
-	wg.Wait()
-
-	mu.Lock()
-	err := firstErr
-	mu.Unlock()
-	if err != nil {
-		return err
-	}
-	// The pool only cancels after recording an error, so a cancelled
-	// context with no recorded error means the parent was cancelled;
-	// child contexts mirror the parent's error.
-	return ctx.Err()
+	return RunTasks(ctx, workers, tasks, fn)
 }
 
 // Chunks splits n consecutive items into spans of at most size,

@@ -1,0 +1,212 @@
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file holds the work-stealing, size-aware scheduler behind
+// ForEach and the experiment sweep. The static round-robin pool it
+// replaces fed every worker from one channel, which serializes all
+// workers on a single queue and — worse — starts tasks in index order
+// regardless of size, so one expensive straggler scheduled last could
+// hold the whole sweep open on an otherwise idle machine.
+//
+// The stealing scheduler fixes both:
+//
+//   - Tasks carry a cost estimate. Seeding sorts them by descending
+//     cost and deals them LPT-style (longest processing time first,
+//     each task to the currently least-loaded worker), so the
+//     long-running work starts first everywhere and the classic
+//     straggler tail shrinks to at most one task's length.
+//   - Each worker owns a deque seeded in ascending-cost order: the
+//     owner pops from the top (LIFO — its costliest remaining task),
+//     while idle workers steal from the bottom (FIFO — the victim's
+//     cheapest task). Stealing the small items keeps the owner's big
+//     items local and makes steal conflicts short; either way every
+//     queue operation touches only that deque's lock, never a global
+//     one.
+//
+// Determinism is unchanged from the channel pool: tasks are identified
+// by index, results must be slotted by index, and the reported error is
+// the lowest-index failure regardless of steal interleaving. No
+// scheduling decision consults wall-clock time or random state, so the
+// set of tasks run (absent errors) is always exactly the input set.
+
+// Task is one schedulable unit of work: an index to hand to the work
+// function plus a nonnegative cost estimate in arbitrary consistent
+// units (simulated seconds, cell counts — only ratios matter). Unknown
+// costs may be zero; equal costs fall back to index order.
+type Task struct {
+	Index int
+	Cost  float64
+}
+
+// deque is one worker's task queue. The owner pops from the top
+// (newest end), thieves steal from the bottom (oldest end); a mutex
+// per deque suffices because tasks here are milliseconds long, so the
+// queue is touched orders of magnitude less often than it is worked.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task // ascending cost: bottom holds the cheapest
+}
+
+// popTop removes and returns the owner-end task.
+func (d *deque) popTop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return Task{}, false
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+// stealBottom removes and returns the thief-end task.
+func (d *deque) stealBottom() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return Task{}, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// RunTasks executes fn(ctx, t.Index) for every task across at most
+// `workers` goroutines using the work-stealing scheduler described
+// above. workers <= 0 selects GOMAXPROCS. The call returns after all
+// started work has finished.
+//
+// Error semantics match ForEach: the failure with the lowest task
+// index is returned — a deterministic choice regardless of steal
+// interleaving — and the shared context is cancelled so still-running
+// calls can abort early. Tasks not yet started when a failure is
+// recorded may never run; on error, callers must treat every slot as
+// undefined. If the parent context is cancelled, its error is
+// returned.
+func RunTasks(ctx context.Context, workers int, tasks []Task, fn func(ctx context.Context, i int) error) error {
+	n := len(tasks)
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Schedule order: descending cost, ties broken by ascending index
+	// so the order is total and deterministic.
+	order := make([]Task, n)
+	copy(order, tasks)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Cost != order[b].Cost { //mtlint:allow floatcmp ordering comparison only; equal costs fall through to the index tie-break
+			return order[a].Cost > order[b].Cost
+		}
+		return order[a].Index < order[b].Index
+	})
+
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same cost-major order.
+		for _, t := range order {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, t.Index); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel() // one failing task aborts the run
+	}
+
+	// LPT seeding: deal the cost-major order onto the least-loaded
+	// deque. Deques are then reversed into ascending-cost order so the
+	// owner's LIFO pop starts with its costliest task.
+	deques := make([]*deque, workers)
+	loads := make([]float64, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for _, t := range order {
+		w := 0
+		for v := 1; v < workers; v++ {
+			if loads[v] < loads[w] {
+				w = v
+			}
+		}
+		deques[w].tasks = append(deques[w].tasks, t)
+		// Zero-cost tasks still occupy a slot: bias the load by a hair
+		// so unknown-cost work deals round-robin instead of piling onto
+		// worker 0.
+		loads[w] += t.Cost + 1e-9
+	}
+	for _, d := range deques {
+		for i, j := 0, len(d.tasks)-1; i < j; i, j = i+1, j-1 {
+			d.tasks[i], d.tasks[j] = d.tasks[j], d.tasks[i]
+		}
+	}
+
+	// Tasks never spawn tasks, so a full scan finding every deque empty
+	// means no work remains and the worker can exit.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				t, ok := deques[self].popTop()
+				if !ok {
+					// Deterministic victim scan from the next worker up.
+					for off := 1; off < workers && !ok; off++ {
+						t, ok = deques[(self+off)%workers].stealBottom()
+					}
+					if !ok {
+						return
+					}
+				}
+				if err := fn(ctx, t.Index); err != nil {
+					fail(t.Index, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Workers only cancel after recording an error, so a cancelled
+	// context with no recorded error means the parent was cancelled.
+	return ctx.Err()
+}

@@ -94,6 +94,8 @@ func (b *Bank) ReadAll(dst units.TempVec, temps units.TempVec, n int64) units.Te
 }
 
 // ForCore returns the sub-bank of sensors owned by the given core.
+// It allocates a fresh bank; per-tick readers should use HottestForCore
+// or filter Sensors by Core in place instead.
 func (b *Bank) ForCore(core int) *Bank {
 	out := &Bank{}
 	for _, s := range b.Sensors {
@@ -102,6 +104,40 @@ func (b *Bank) ForCore(core int) *Bank {
 		}
 	}
 	return out
+}
+
+// HottestForCore returns the maximum reading across the sensors owned
+// by the given core and the index (within this bank) of the sensor that
+// produced it. Readings and scan order match ForCore(core).Hottest
+// exactly — sensors keep their declaration order either way, and the
+// first maximum wins — but nothing is allocated, so throttlers can call
+// it every control tick. Panics if the core owns no sensors, like
+// Hottest on an empty bank.
+//
+//mtlint:zeroalloc
+func (b *Bank) HottestForCore(core int, temps units.TempVec, n int64) (units.Celsius, int) {
+	max, idx := units.Celsius(math.Inf(-1)), -1
+	for i := range b.Sensors {
+		if b.Sensors[i].Core != core {
+			continue
+		}
+		if v := b.Sensors[i].Read(temps, n); v > max {
+			max, idx = v, i
+		}
+	}
+	if idx < 0 {
+		b.noSensorsForCore(core)
+	}
+	return max, idx
+}
+
+// noSensorsForCore lives outside HottestForCore so the formatting
+// allocation stays off the hot function's escape analysis.
+//
+//go:noinline
+func (b *Bank) noSensorsForCore(core int) {
+	panic(fmt.Sprintf("sensor: HottestForCore on core %d with no sensors (bank size %d)",
+		core, len(b.Sensors)))
 }
 
 // CoreHotspots builds the paper's per-core sensor complement: one

@@ -60,6 +60,51 @@ func TestBankHottest(t *testing.T) {
 	}
 }
 
+// TestHottestForCoreMatchesForCore pins the equivalence the throttlers
+// rely on after dropping the allocating ForCore sub-bank from their
+// per-tick path: for every core, HottestForCore must report the same
+// reading ForCore(...).Hottest does, and it must not allocate.
+func TestHottestForCoreMatchesForCore(t *testing.T) {
+	b := Bank{Sensors: []Sensor{
+		{Block: 0, Core: 0, NoiseAmplitude: 0.5, Seed: 1},
+		{Block: 1, Core: 1, NoiseAmplitude: 0.5, Seed: 2},
+		{Block: 2, Core: 0, NoiseAmplitude: 0.5, Seed: 3},
+		{Block: 3, Core: 1, NoiseAmplitude: 0.5, Seed: 4},
+		{Block: 4, Core: 0, NoiseAmplitude: 0.5, Seed: 5},
+	}}
+	temps := units.TempVec{70, 71, 70, 69, 70} // ties within 0.5 °C of noise
+	for core := 0; core <= 1; core++ {
+		for n := int64(0); n < 16; n++ {
+			want, _ := b.ForCore(core).Hottest(temps, n)
+			got, idx := b.HottestForCore(core, temps, n)
+			if got != want {
+				t.Fatalf("core %d n %d: HottestForCore = %v, ForCore().Hottest = %v",
+					core, n, got, want)
+			}
+			if b.Sensors[idx].Core != core {
+				t.Fatalf("core %d: winning sensor %d belongs to core %d",
+					core, idx, b.Sensors[idx].Core)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.HottestForCore(0, temps, 7)
+	})
+	if allocs != 0 {
+		t.Errorf("HottestForCore allocates %v times per call", allocs)
+	}
+}
+
+func TestHottestForCoreUnknownCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := Bank{Sensors: []Sensor{{Block: 0, Core: 0}}}
+	b.HottestForCore(3, units.TempVec{1}, 0)
+}
+
 func TestBankHottestEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -4,9 +4,9 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"sync"
 
 	"multitherm/internal/floorplan"
+	"multitherm/internal/memo"
 	"multitherm/internal/power"
 	"multitherm/internal/thermal"
 	"multitherm/internal/trace"
@@ -19,8 +19,9 @@ import (
 // build in a parallel sweep. Both caches hold values that are
 // strictly read-only after insertion — recorded traces (each runner
 // walks a shared Trace through its own Cursor) and warmup temperature
-// vectors (installed by copy) — so sync.Map gives safe lock-free
-// sharing across concurrently constructed runners.
+// vectors (installed by copy) — so the copy-on-write memo.Map gives
+// lock-free, contention-free sharing across concurrently constructed
+// runners: every hit is one atomic load on an immutable snapshot.
 
 // traceKey identifies one recorded benchmark trace. uarch.Config is a
 // flat comparable struct, so the key works directly as a map key.
@@ -30,31 +31,25 @@ type traceKey struct {
 	n     int
 }
 
-var traceCache sync.Map // traceKey -> *trace.Trace
+var traceCache memo.Map[traceKey, *trace.Trace]
 
 // recordedTrace returns the looping activity trace for a benchmark
 // under a core configuration, recording it on first use. Traces are
 // deterministic functions of (config, benchmark, length) and immutable
 // once recorded, so every runner in a sweep shares one copy.
 func recordedTrace(uc uarch.Config, bench string, n int) (*trace.Trace, error) {
-	key := traceKey{uc: uc, bench: bench, n: n}
-	if v, ok := traceCache.Load(key); ok {
-		return v.(*trace.Trace), nil
-	}
-	prof, err := workload.Profile(bench)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := uarch.NewGenerator(uc, prof)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := trace.Record(gen, n)
-	if err != nil {
-		return nil, err
-	}
-	v, _ := traceCache.LoadOrStore(key, tr)
-	return v.(*trace.Trace), nil
+	return traceCache.LoadOrStore(traceKey{uc: uc, bench: bench, n: n},
+		func() (*trace.Trace, error) {
+			prof, err := workload.Profile(bench)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := uarch.NewGenerator(uc, prof)
+			if err != nil {
+				return nil, err
+			}
+			return trace.Record(gen, n)
+		})
 }
 
 // powerKey is a comparable projection of power.Config: the scalar
@@ -102,7 +97,7 @@ type warmupKey struct {
 	target  float64 // warmup target temperature, °C
 }
 
-var warmupCache sync.Map // warmupKey -> units.TempVec (read-only node temps)
+var warmupCache memo.Map[warmupKey, units.TempVec] // read-only node temps
 
 func coreCapsFingerprint(caps []units.ScaleFactor) string {
 	if len(caps) == 0 {
@@ -138,42 +133,35 @@ func (r *Runner) initialTemps() (units.TempVec, error) {
 		nTrace:  cfg.TraceIntervals,
 		target:  float64(target),
 	}
-	if v, ok := warmupCache.Load(key); ok {
-		return v.(units.TempVec), nil
-	}
-
-	// Linear-scale the average power so the hottest block starts at the
-	// target (WarmupMarginC below the PI setpoint).
-	avgPower := r.averageTracePower()
-	warm, err := r.model.SteadyState(avgPower)
-	if err != nil {
-		return nil, err
-	}
-	maxWarm := warm[0]
-	for _, v := range warm[:nb] {
-		if v > maxWarm {
-			maxWarm = v
+	return warmupCache.LoadOrStore(key, func() (units.TempVec, error) {
+		// Linear-scale the average power so the hottest block starts at
+		// the target (WarmupMarginC below the PI setpoint).
+		avgPower := r.averageTracePower()
+		warm, err := r.model.SteadyState(avgPower)
+		if err != nil {
+			return nil, err
 		}
-	}
-	amb := float64(cfg.Thermal.Ambient)
-	alpha := 1.0
-	if maxWarm > amb {
-		alpha = (float64(target) - amb) / (maxWarm - amb)
-	}
-	if alpha < 0 {
-		alpha = 0
-	}
-	if alpha > 1 {
-		alpha = 1
-	}
-	scaled := make(units.PowerVec, nb)
-	for i, p := range avgPower {
-		scaled[i] = p * alpha
-	}
-	temps, err := r.model.SteadyState(scaled)
-	if err != nil {
-		return nil, err
-	}
-	v, _ := warmupCache.LoadOrStore(key, temps)
-	return v.(units.TempVec), nil
+		maxWarm := warm[0]
+		for _, v := range warm[:nb] {
+			if v > maxWarm {
+				maxWarm = v
+			}
+		}
+		amb := float64(cfg.Thermal.Ambient)
+		alpha := 1.0
+		if maxWarm > amb {
+			alpha = (float64(target) - amb) / (maxWarm - amb)
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		if alpha > 1 {
+			alpha = 1
+		}
+		scaled := make(units.PowerVec, nb)
+		for i, p := range avgPower {
+			scaled[i] = p * alpha
+		}
+		return r.model.SteadyState(scaled)
+	})
 }

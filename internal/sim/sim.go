@@ -318,6 +318,13 @@ type tickState struct {
 	coreStates []power.CoreState
 	assignment []int
 	cmds       []core.CoreCommand
+
+	// migCtx is the reusable outer-loop context: everything but Now and
+	// Tick is tick-invariant (BlockTemps aliases temps, refreshed in
+	// place), so building it per tick would put one Context plus the
+	// DynamicScale method-value closure on the heap every 27.5 µs of
+	// simulated time.
+	migCtx *migration.Context
 }
 
 // begin arms the thermal fast path (unless the caller owns it, as the
@@ -347,7 +354,7 @@ func (r *Runner) begin(armExact bool) (*tickState, error) {
 	}
 	r.model.SetNodeTemps(warm)
 
-	return &tickState{
+	st := &tickState{
 		r:          r,
 		m:          metrics.NewRun(r.spec.String(), r.label, r.nCores),
 		dt:         dt,
@@ -358,7 +365,23 @@ func (r *Runner) begin(armExact bool) (*tickState, error) {
 		powerVec:   make(units.PowerVec, nb),
 		coreStates: make([]power.CoreState, r.nCores),
 		assignment: r.sched.Assignment(),
-	}, nil
+	}
+	if r.migCtl != nil {
+		// The scaling relation used to normalize observations back to
+		// full speed depends on the inner mechanism: cubic for DVFS
+		// (§6.1/§6.3), linear for stop-go, whose trend scale is a
+		// run/stall duty rather than a frequency.
+		dynScale := cfg.Power.DynamicScale
+		if r.spec.Mechanism == core.StopGo {
+			dynScale = func(s units.ScaleFactor) float64 { return float64(s) }
+		}
+		st.migCtx = &migration.Context{
+			Sched: r.sched, BlockTemps: st.temps,
+			Throttler: r.throt, FP: cfg.Floorplan, Bank: r.bank,
+			DynScale: dynScale,
+		}
+	}
+	return st, nil
 }
 
 // done reports whether the run has completed all its ticks.
@@ -400,20 +423,8 @@ func (s *tickState) pre() error {
 
 	// Outer loop: migration decision (Figure 1).
 	if r.migCtl != nil {
-		// The scaling relation used to normalize observations back to
-		// full speed depends on the inner mechanism: cubic for DVFS
-		// (§6.1/§6.3), linear for stop-go, whose trend scale is a
-		// run/stall duty rather than a frequency.
-		dynScale := cfg.Power.DynamicScale
-		if r.spec.Mechanism == core.StopGo {
-			dynScale = func(s units.ScaleFactor) float64 { return float64(s) }
-		}
-		ctx := &migration.Context{
-			Now: now, Tick: tick,
-			Sched: r.sched, BlockTemps: temps,
-			Throttler: r.throt, FP: cfg.Floorplan, Bank: r.bank,
-			DynScale: dynScale,
-		}
+		ctx := s.migCtx
+		ctx.Now, ctx.Tick = now, tick
 		if assign, decided := r.migCtl.Step(ctx); decided {
 			before := r.sched.Assignment()
 			moved, err := r.sched.Apply(float64(now), assign)

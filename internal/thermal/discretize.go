@@ -101,15 +101,9 @@ func (t *Template) buildDiscretization(dt float64) (*Discretization, error) {
 // the store is identical to the losers.
 func (t *Template) Discretization(dt units.Seconds) (*Discretization, error) {
 	key := float64(dt)
-	if v, ok := t.discCache.Load(key); ok {
-		return v.(*Discretization), nil
-	}
-	d, err := t.buildDiscretization(key)
-	if err != nil {
-		return nil, err
-	}
-	v, _ := t.discCache.LoadOrStore(key, d)
-	return v.(*Discretization), nil
+	return t.discCache.LoadOrStore(key, func() (*Discretization, error) {
+		return t.buildDiscretization(key)
+	})
 }
 
 // Dt returns the step size the discretization was built for.

@@ -21,10 +21,10 @@ package thermal
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/linalg"
+	"multitherm/internal/memo"
 	"multitherm/internal/units"
 )
 
@@ -162,9 +162,11 @@ type Template struct {
 	// hoisted here at build time so Step need not rescan the graph.
 	hMax float64
 
-	// discCache memoizes exact ZOH discretizations keyed by dt
-	// (float64); see Template.Discretization.
-	discCache sync.Map
+	// discCache memoizes exact ZOH discretizations keyed by dt; see
+	// Template.Discretization. Copy-on-write: a lookup on the sweep's
+	// hot construction path is one atomic load, with no contention
+	// against concurrent first-builds of other step sizes.
+	discCache memo.Map[float64, *Discretization]
 }
 
 // Model is one integrable instance of a Template: the shared immutable
@@ -274,22 +276,17 @@ type templateKey struct {
 	p  Params
 }
 
-var templates sync.Map // templateKey -> *Template
+var templates memo.Map[templateKey, *Template]
 
 // TemplateFor returns the memoized template for (floorplan, params),
 // building it on first use. Concurrent callers may race to build the
-// same template; exactly one wins and is shared thereafter.
+// same template; exactly one wins and is shared thereafter. The cache
+// is copy-on-write, so the per-cell lookup every simulation makes is a
+// single atomic load with nothing to contend on.
 func TemplateFor(fp *floorplan.Floorplan, p Params) (*Template, error) {
-	key := templateKey{fp: fp, p: p}
-	if v, ok := templates.Load(key); ok {
-		return v.(*Template), nil
-	}
-	t, err := NewTemplate(fp, p)
-	if err != nil {
-		return nil, err
-	}
-	v, _ := templates.LoadOrStore(key, t)
-	return v.(*Template), nil
+	return templates.LoadOrStore(templateKey{fp: fp, p: p}, func() (*Template, error) {
+		return NewTemplate(fp, p)
+	})
 }
 
 // NewModel stamps out an integrable instance sharing this template's

@@ -17,10 +17,18 @@
 #   - kernel_batch_ns_per_lane: BenchmarkThermalStepBatch8 per-lane cost
 #     (eight models stepped in lockstep through one shared propagator)
 #   - batch_speedup: dirty exact step time / batched per-lane step time
-#   - sweep wall-clock of a quick reproduction at -parallel 1 vs all CPUs
+#   - sweep wall-clock of a quick reproduction, three ways: -workers 1
+#     at GOMAXPROCS=1 (the true sequential baseline), -workers 0 at
+#     GOMAXPROCS=1 (scheduler overhead with no extra CPUs), and
+#     -workers 0 at GOMAXPROCS=NumCPU (the real parallel run)
+#   - sweep_parallel_speedup_ncpu: sequential / NumCPU wall-clock, the
+#     honest multi-core speedup; `workers` records NumCPU alongside so
+#     the number can be judged against the machine it ran on
+#   - previous_*: the prior run's headline numbers, carried forward so
+#     the trajectory survives regeneration
 #
-# On a single-core machine the two sweep times are expected to match;
-# the speedup column is only meaningful with GOMAXPROCS > 1.
+# On a single-core machine all three sweep times are expected to match;
+# the speedup fields are only meaningful with NumCPU > 1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,11 +41,20 @@ bench_ns() {
         awk '/ns\/op/ { if (min == "" || $3 < min) min = $3 } END { print (min == "" ? "null" : min) }'
 }
 
+# sweep_seconds <workers> <gomaxprocs>
 sweep_seconds() {
     start=$(date +%s.%N 2>/dev/null || date +%s)
-    go run ./cmd/sweep -quick -simtime 0.02 -parallel "$1" >/dev/null
+    GOMAXPROCS="$2" go run ./cmd/sweep -quick -simtime 0.02 -workers "$1" >/dev/null
     end=$(date +%s.%N 2>/dev/null || date +%s)
     awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }'
+}
+
+# prev_field <name>: pull a numeric field out of the existing summary so
+# regeneration keeps the previous headline numbers for trajectory.
+prev_field() {
+    [ -f "$out" ] || { echo null; return; }
+    awk -v k="\"$1\"" -F '[:,]' '$1 ~ k { gsub(/[ \t]/, "", $2); print ($2 == "" ? "null" : $2); found = 1; exit }
+        END { if (!found) print "null" }' "$out"
 }
 
 echo "building..." >&2
@@ -55,16 +72,32 @@ batch8_ns=$(bench_ns BenchmarkThermalStepBatch8)
 batch_lane_ns=$(awk -v a="$batch8_ns" 'BEGIN { printf "%.1f", a / 8 }')
 batch_speedup=$(awk -v a="$expm_dirty_ns" -v b="$batch_lane_ns" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
-echo "quick sweep, sequential..." >&2
-seq_s=$(sweep_seconds 1)
-echo "quick sweep, ${ncpu} workers..." >&2
-par_s=$(sweep_seconds 0)
+# Carry the prior run's headline numbers before overwriting the file.
+prev_batch_speedup=$(prev_field batch_speedup)
+prev_batch_lane_ns=$(prev_field kernel_batch_ns_per_lane)
+prev_speedup=$(prev_field sweep_parallel_speedup)
+prev_speedup_ncpu=$(prev_field sweep_parallel_speedup_ncpu)
+
+# Warm the build cache and the binary link before timing: the first
+# `go run` pays compile/link and cold page-cache costs that would
+# otherwise inflate whichever run happens to go first (and with it the
+# reported speedup).
+go run ./cmd/sweep -list >/dev/null
+
+echo "quick sweep, 1 worker at GOMAXPROCS=1..." >&2
+seq_s=$(sweep_seconds 1 1)
+echo "quick sweep, all workers at GOMAXPROCS=1..." >&2
+par_s=$(sweep_seconds 0 1)
+echo "quick sweep, all workers at GOMAXPROCS=${ncpu}..." >&2
+par_ncpu_s=$(sweep_seconds 0 "$ncpu")
 
 speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
+speedup_ncpu=$(awk -v a="$seq_s" -v b="$par_ncpu_s" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
 cat >"$out" <<EOF
 {
   "gomaxprocs": ${ncpu},
+  "workers": ${ncpu},
   "kernel_ns_per_op": ${step_ns},
   "kernel_flat_ns_per_op": ${flat_ns},
   "kernel_expm_ns_per_op": ${expm_ns},
@@ -74,7 +107,13 @@ cat >"$out" <<EOF
   "batch_speedup": ${batch_speedup},
   "sweep_quick_sequential_s": ${seq_s},
   "sweep_quick_parallel_s": ${par_s},
-  "sweep_parallel_speedup": ${speedup}
+  "sweep_quick_parallel_ncpu_s": ${par_ncpu_s},
+  "sweep_parallel_speedup": ${speedup},
+  "sweep_parallel_speedup_ncpu": ${speedup_ncpu},
+  "previous_kernel_batch_ns_per_lane": ${prev_batch_lane_ns},
+  "previous_batch_speedup": ${prev_batch_speedup},
+  "previous_sweep_parallel_speedup": ${prev_speedup},
+  "previous_sweep_parallel_speedup_ncpu": ${prev_speedup_ncpu}
 }
 EOF
 

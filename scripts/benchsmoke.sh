@@ -1,0 +1,68 @@
+#!/bin/sh
+# benchsmoke.sh — benchmark-regression gate for CI.
+#
+# Runs the two benchmarks that cover the hot path end to end — the
+# batched thermal kernel (BenchmarkThermalStepBatch32) and the batched
+# sweep engine (BenchmarkSweepBatched/batch8) — takes the min of three
+# repetitions (min-of-N is robust against scheduler noise on shared
+# runners; the min is the least-perturbed run), and fails if either
+# regresses more than 25% against the checked-in BENCH_baseline.json.
+#
+# Usage: scripts/benchsmoke.sh            # gate against the baseline
+#        scripts/benchsmoke.sh --update   # re-measure, rewrite baseline
+#
+# The baseline is wall-clock on a reference machine, so the 25% gate is
+# deliberately loose: it catches algorithmic regressions (a lost SIMD
+# dispatch, an allocation sneaking into the tick loop), not single-digit
+# drift. After an intentional perf change, or when moving the reference
+# machine, refresh with --update and commit the new numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+base="BENCH_baseline.json"
+
+# min_ns <bench regex> <benchtime>: min ns/op over 3 repetitions.
+min_ns() {
+    go test -run '^$' -bench "$1" -benchtime "$2" -count=3 . |
+        awk '/ns\/op/ { if (min == "" || $3 + 0 < min + 0) min = $3 } END { print (min == "" ? "FAIL" : min) }'
+}
+
+field() {
+    awk -v k="\"$1\"" -F '[:,]' '$1 ~ k { gsub(/[ \t]/, "", $2); print $2; exit }' "$base"
+}
+
+echo "building..." >&2
+go build ./...
+
+echo "BenchmarkThermalStepBatch32 (min of 3 x 200k iterations)..." >&2
+batch32=$(min_ns 'BenchmarkThermalStepBatch32' 200000x)
+echo "BenchmarkSweepBatched/batch8 (min of 3 x 1 iteration)..." >&2
+sweep8=$(min_ns 'BenchmarkSweepBatched/batch8' 1x)
+
+if [ "${1:-}" = "--update" ]; then
+    cat >"$base" <<EOF
+{
+  "thermal_step_batch32_ns_per_op": ${batch32},
+  "sweep_batched8_ns_per_op": ${sweep8}
+}
+EOF
+    echo "wrote ${base}:" >&2
+    cat "$base"
+    exit 0
+fi
+
+status=0
+for row in \
+    "BenchmarkThermalStepBatch32 ${batch32} $(field thermal_step_batch32_ns_per_op)" \
+    "BenchmarkSweepBatched/batch8 ${sweep8} $(field sweep_batched8_ns_per_op)"; do
+    set -- $row
+    if ! awk -v name="$1" -v got="$2" -v want="$3" 'BEGIN {
+        ratio = got / want
+        printf "%-30s %14.0f ns/op  baseline %14.0f  ratio %.2f\n", name, got, want, ratio
+        exit (ratio > 1.25 ? 1 : 0)
+    }'; then
+        echo "FAIL: ${1} regressed more than 25% against ${base}" >&2
+        status=1
+    fi
+done
+exit $status
