@@ -179,6 +179,45 @@ func BenchmarkThermalStepBatch1(b *testing.B)  { benchThermalStepBatch(b, 1) }
 func BenchmarkThermalStepBatch8(b *testing.B)  { benchThermalStepBatch(b, 8) }
 func BenchmarkThermalStepBatch32(b *testing.B) { benchThermalStepBatch(b, 32) }
 
+// benchGridStep measures one exact tick on a generated Rows x Cols
+// grid in the simulator's dirty-power calling pattern (SetPower every
+// tick). The 2x2 grid (26 nodes) runs the dense packed path; 4x4, 8x8,
+// and 16x16 (74/266/1034 nodes) run the sparse Krylov path. bench.sh
+// fits ln(ns) against ln(cores) across the four sizes into
+// step_cost_exponent — the scaling claim that per-step cost tracks
+// nonzeros, not N².
+func benchGridStep(b *testing.B, rows, cols int) {
+	fp, err := floorplan.Grid(floorplan.GridSpec{
+		Rows: rows, Cols: cols,
+		Pattern: floorplan.PatternMixedRows,
+		Cooling: floorplan.CoolingEdgeBoost,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := thermal.New(fp, thermal.FitParams(fp))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make(units.PowerVec, m.NumBlocks())
+	for i := range p {
+		p[i] = 1.0 + 0.1*float64(i%5)
+	}
+	if err := m.UseExact(control.PaperSamplePeriod); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetPower(p)
+		m.Step(control.PaperSamplePeriod)
+	}
+}
+
+func BenchmarkGridStepN4(b *testing.B)   { benchGridStep(b, 2, 2) }
+func BenchmarkGridStepN16(b *testing.B)  { benchGridStep(b, 4, 4) }
+func BenchmarkGridStepN64(b *testing.B)  { benchGridStep(b, 8, 8) }
+func BenchmarkGridStepN256(b *testing.B) { benchGridStep(b, 16, 16) }
+
 // BenchmarkThermalStepFlat isolates the flattened-CSR RK4 kernel at its
 // raw stability-bound step (no substep loop), so improvements to the
 // integrator itself show without Step's ceil/substep bookkeeping.

@@ -10,6 +10,7 @@
 //	sweep -simtime 0.25   # custom simulated silicon time
 //	sweep -workers 8      # fan (policy, workload) cells across 8 workers
 //	sweep -batch 8        # step 8 same-propagator cells in lockstep
+//	sweep -floorplan 16x16 -only manycore   # 256-core generated grid
 //
 //mtlint:units
 package main
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"multitherm/internal/experiments"
+	"multitherm/internal/floorplan"
 	"multitherm/internal/units"
 )
 
@@ -35,6 +37,7 @@ func main() {
 	par := flag.Int("parallel", 0, "deprecated alias for -workers")
 	batch := flag.Int("batch", 0, "lockstep batch width for cells sharing one thermal propagator (0 = auto-size from cache, 1 = no batching; results identical at any width)")
 	ablations := flag.Bool("ablations", false, "also run the beyond-the-paper extension/ablation artifacts")
+	gridFlag := flag.String("floorplan", "", "generated grid for the manycore artifact, as RxC (e.g. 16x16 for 256 cores)")
 	mdPath := flag.String("md", "", "also write the report as markdown to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -85,11 +88,25 @@ func main() {
 	if *simtime > 0 {
 		opt.SimTime = units.Seconds(*simtime)
 	}
+	if *par != 0 {
+		fmt.Fprintln(os.Stderr, "sweep: -parallel is deprecated; use -workers")
+	}
 	if *workersFlag == 0 {
 		*workersFlag = *par
 	}
 	opt.Parallelism = *workersFlag
 	opt.Batch = *batch
+	if *gridFlag != "" {
+		spec, err := floorplan.ParseGridSpec(*gridFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Grid = spec
+		if *only == "" {
+			*only = "manycore"
+		}
+	}
 
 	runners := experiments.Registry()
 	if *ablations {

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"multitherm/internal/core"
+	"multitherm/internal/floorplan"
 	"multitherm/internal/metrics"
 	"multitherm/internal/parallel"
 	"multitherm/internal/sim"
@@ -45,6 +46,10 @@ type Options struct {
 	// bit-identical to running them one by one. 0 picks the cache-sized
 	// default (sim.DefaultBatchSize); 1 disables batching.
 	Batch int
+	// Grid selects the generated floorplan the many-core extension
+	// runs on (cmd/sweep -floorplan). The zero value picks the
+	// experiment's 4x4 mixed-rows default.
+	Grid floorplan.GridSpec
 }
 
 // DefaultOptions runs the full paper configuration.

@@ -31,6 +31,8 @@ func ExtensionRegistry() []Runner {
 			func(o Options) (Result, error) { return RunPIDAblation() }},
 		{"multiproc", "time-shared multiprogramming: 6 processes on 4 cores (§6 extension)",
 			func(o Options) (Result, error) { return RunMultiproc(o) }},
+		{"manycore", "taxonomy on generated 16-1024-core grids via the sparse Krylov solve",
+			func(o Options) (Result, error) { return RunManycore(o) }},
 	}
 }
 

@@ -10,10 +10,13 @@ import (
 
 func TestExtensionRegistry(t *testing.T) {
 	reg := ExtensionRegistry()
-	if len(reg) != 6 {
+	if len(reg) != 7 {
 		t.Fatalf("extension registry size %d", len(reg))
 	}
 	if _, err := FindExtension("hetero"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindExtension("manycore"); err != nil {
 		t.Error(err)
 	}
 	if _, err := FindExtension("nope"); err == nil {
@@ -103,6 +106,39 @@ func TestSetpointAblationQuick(t *testing.T) {
 	}
 	if r.Worst[2] >= r.Worst[0] {
 		t.Errorf("5 °C margin worst temp %.2f not below 1 °C margin %.2f", r.Worst[2], r.Worst[0])
+	}
+}
+
+func TestManycoreQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	o := quick(t)
+	o.SimTime = 0.01
+	r, err := RunManycore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spec.Rows != 4 || r.Spec.Cols != 4 {
+		t.Errorf("default grid %+v, want 4x4", r.Spec)
+	}
+	if !strings.Contains(r.Mode, "sparse-krylov") {
+		t.Errorf("16-core grid ran in mode %q; want the sparse path", r.Mode)
+	}
+	if len(r.BIPS) != len(r.Specs) {
+		t.Fatalf("result arity mismatch")
+	}
+	for i, b := range r.BIPS {
+		if b <= 0 {
+			t.Errorf("policy %s produced zero throughput", r.Specs[i])
+		}
+	}
+	// The taxonomy's headline ordering must survive the scale-up.
+	if r.BIPS[1] <= r.BIPS[0] {
+		t.Errorf("dist DVFS %.2f did not beat stop-go %.2f on the grid", r.BIPS[1], r.BIPS[0])
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
 	}
 }
 

@@ -63,6 +63,13 @@ type Block struct {
 	Core int // owning core index, or SharedCore
 	X, Y float64
 	W, H float64
+
+	// CoolingBoost is extra thermal conductance from this block
+	// straight to ambient, in W/K, on top of the package path the
+	// thermal model derives from geometry. Zero for ordinary blocks;
+	// generated many-core floorplans use it to model per-position
+	// cooling (e.g. stronger heat-sink airflow over edge tiles).
+	CoolingBoost float64
 }
 
 // Area returns the block area in m².
@@ -197,6 +204,9 @@ func (f *Floorplan) Validate() error {
 		names[b.Name] = true
 		if b.W <= 0 || b.H <= 0 {
 			return fmt.Errorf("floorplan %q: block %q has non-positive size", f.Name, b.Name)
+		}
+		if b.CoolingBoost < 0 {
+			return fmt.Errorf("floorplan %q: block %q has negative cooling boost", f.Name, b.Name)
 		}
 		if b.X < -geomEps || b.Y < -geomEps ||
 			b.X+b.W > f.ChipW+geomEps || b.Y+b.H > f.ChipH+geomEps {

@@ -1,0 +1,162 @@
+package sparse
+
+import "fmt"
+
+// Structure detection. The RC networks the thermal model assembles are
+// not random sparsity: grid floorplans index blocks tile by tile, so
+// the conduction matrix is nearly banded (neighbors within a tile and
+// along a row are a few indices apart; the row-to-row couplings sit at
+// +-4*Cols) and the per-tile couplings form dense blocks. The probes
+// here quantify that so callers can pick a banded kernel when the band
+// is tight, and so tests can pin the generated matrices' shape.
+
+// Structure summarizes the sparsity pattern of a CSR matrix.
+type Structure struct {
+	Rows, Cols int
+	NNZ        int
+	// Lower and Upper are the furthest stored entry below and above
+	// the main diagonal; the bandwidth is Lower+Upper+1.
+	Lower, Upper int
+	// BandOccupancy is NNZ divided by the in-band slot count: 1 means
+	// the band is completely full, small values mean band storage
+	// would waste memory.
+	BandOccupancy float64
+	// BlockSize is the largest b in {8, 6, 4, 3, 2} for which the
+	// pattern, grouped into b x b tiles, fills at least three
+	// quarters of the touched tiles' slots on average (i.e. the
+	// pattern is mostly dense b x b blocks); 1 if no blocking helps.
+	BlockSize int
+}
+
+// Structure scans the pattern once and returns its summary.
+func (a *CSR) Structure() Structure {
+	s := Structure{Rows: a.rows, Cols: a.cols, NNZ: len(a.vals), BlockSize: 1}
+	for i := 0; i < a.rows; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			d := int(a.colIdx[k]) - i
+			if -d > s.Lower {
+				s.Lower = -d
+			}
+			if d > s.Upper {
+				s.Upper = d
+			}
+		}
+	}
+	slots := bandSlots(a.rows, a.cols, s.Lower, s.Upper)
+	if slots > 0 {
+		s.BandOccupancy = float64(s.NNZ) / float64(slots)
+	}
+	for _, b := range [...]int{8, 6, 4, 3, 2} {
+		if a.rows%b != 0 || a.cols%b != 0 {
+			continue
+		}
+		if a.blockFill(b) >= 0.75 {
+			s.BlockSize = b
+			break
+		}
+	}
+	return s
+}
+
+// bandSlots counts the stored slots of a band with the given lower and
+// upper half-widths over a rows x cols matrix.
+func bandSlots(rows, cols, lower, upper int) int {
+	slots := 0
+	for i := 0; i < rows; i++ {
+		lo := i - lower
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + upper
+		if hi > cols-1 {
+			hi = cols - 1
+		}
+		if hi >= lo {
+			slots += hi - lo + 1
+		}
+	}
+	return slots
+}
+
+// blockFill returns the average fill of the b x b tiles that contain
+// at least one stored entry.
+func (a *CSR) blockFill(b int) float64 {
+	tiles := map[int64]int{}
+	for i := 0; i < a.rows; i++ {
+		ti := int64(i / b)
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			tiles[ti*int64(a.cols/b)+int64(int(a.colIdx[k])/b)]++
+		}
+	}
+	if len(tiles) == 0 {
+		return 0
+	}
+	return float64(len(a.vals)) / float64(len(tiles)*b*b)
+}
+
+// Banded stores a matrix by diagonals: row i's entries for columns
+// i-lower..i+upper live contiguously at data[i*width:], width =
+// lower+upper+1, with out-of-range slots zero. The row-major layout
+// makes the SpMV a strided dot product with no index stream at all.
+type Banded struct {
+	n            int
+	lower, upper int
+	data         []float64
+}
+
+// ToBanded converts a square CSR matrix to banded storage when the
+// band is economical: it returns ok=false if the matrix is not square
+// or if band storage would exceed twice the nonzero count (the memory
+// bound at which the index-free kernel stops paying for itself).
+func (a *CSR) ToBanded() (*Banded, bool) {
+	if a.rows != a.cols {
+		return nil, false
+	}
+	s := a.Structure()
+	width := s.Lower + s.Upper + 1
+	if a.rows*width > 2*len(a.vals) {
+		return nil, false
+	}
+	b := &Banded{n: a.rows, lower: s.Lower, upper: s.Upper,
+		data: make([]float64, a.rows*width)}
+	for i := 0; i < a.rows; i++ {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			b.data[i*width+(int(a.colIdx[k])-i+s.Lower)] = a.vals[k]
+		}
+	}
+	return b, true
+}
+
+// Bandwidth returns the lower and upper half-widths.
+func (b *Banded) Bandwidth() (lower, upper int) { return b.lower, b.upper }
+
+// MulVecInto computes y = B·x over the band.
+//
+//mtlint:zeroalloc
+func (b *Banded) MulVecInto(y, x []float64) {
+	if len(y) < b.n || len(x) < b.n {
+		badBandArgs(len(y), len(x), b.n)
+	}
+	width := b.lower + b.upper + 1
+	for i := 0; i < b.n; i++ {
+		lo := i - b.lower
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + b.upper
+		if hi > b.n-1 {
+			hi = b.n - 1
+		}
+		row := b.data[i*width:]
+		var acc float64
+		for j := lo; j <= hi; j++ {
+			acc += row[j-i+b.lower] * x[j]
+		}
+		y[i] = acc
+	}
+}
+
+//go:noinline
+func badBandArgs(ly, lx, n int) {
+	panic(fmt.Sprintf("sparse: Banded.MulVecInto: len(y)=%d len(x)=%d for n=%d", ly, lx, n))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multitherm/internal/linalg"
+	"multitherm/internal/linalg/sparse"
 	"multitherm/internal/units"
 )
 
@@ -48,6 +49,14 @@ type BatchModel struct {
 	// gather. biasAmb replicates ψ_amb across lanes, built once.
 	pw      []float64
 	biasAmb []float64
+
+	// Sparse mode (d.Sparse()): z is the K×(n+1) augmented state panel
+	// (lane l's temps alias z[l*(n+1):l*(n+1)+n]), c the K×n panel of
+	// substep-scaled constant terms, and kws the shared K-lane Arnoldi
+	// workspace. The dense panels above stay nil; the Krylov advance is
+	// in place, so there is no buffer swap.
+	z, c []float64
+	kws  *sparse.Workspace
 }
 
 // NewBatch adopts the given models — all stamped from one Template —
@@ -72,6 +81,24 @@ func NewBatch(models []*Model, dt units.Seconds) (*BatchModel, error) {
 		return nil, err
 	}
 	k := len(models)
+	if d.Sparse() {
+		n1 := t.n + 1
+		b := &BatchModel{
+			d: d, lanes: models, stride: n1,
+			z:   make([]float64, k*n1),
+			c:   make([]float64, k*t.n),
+			kws: sparse.NewWorkspace(d.prop, k),
+		}
+		for l, m := range models {
+			lz := b.z[l*n1 : (l+1)*n1 : (l+1)*n1]
+			copy(lz[:m.n], m.temps)
+			lz[m.n] = 1
+			m.temps = lz[:m.n]
+			m.powerDirty = true
+			m.disc = nil
+		}
+		return b, nil
+	}
 	stride := d.phiPacked.Stride()
 	b := &BatchModel{
 		d: d, lanes: models, stride: stride,
@@ -106,7 +133,7 @@ func (b *BatchModel) Dt() units.Seconds { return units.Seconds(b.d.dt) }
 
 // SIMDAccelerated reports whether the batched tick runs the vectorized
 // panel kernel on this machine.
-func (b *BatchModel) SIMDAccelerated() bool { return b.d.phiPacked.SIMDAccelerated() }
+func (b *BatchModel) SIMDAccelerated() bool { return b.d.SIMDAccelerated() }
 
 // Step advances every lane by one exact tick: T ← Φ·T + (Ψ·P + ψ_amb),
 // with T the n×K panel. Input terms are memoized per lane and
@@ -122,6 +149,10 @@ func (b *BatchModel) SIMDAccelerated() bool { return b.d.phiPacked.SIMDAccelerat
 //mtlint:zeroalloc
 func (b *BatchModel) Step() {
 	d, k := b.d, len(b.lanes)
+	if d.prop != nil {
+		b.stepSparse()
+		return
+	}
 	dirty := 0
 	for _, m := range b.lanes {
 		if m.powerDirty {
@@ -147,4 +178,31 @@ func (b *BatchModel) Step() {
 		m.xbuf, m.ybuf = m.ybuf, m.xbuf
 		m.temps = m.xbuf[:m.n]
 	}
+}
+
+// stepSparse advances every lane one exact tick through the shared
+// Krylov propagator: the m Arnoldi mat-vecs per substep run as one
+// batched SpMM over the lane panel, and each lane's constant term is
+// rebuilt only when its power changed — the same memoization contract
+// as the dense input panel. The per-lane constant-term loop is
+// Model.stepSparse's loop verbatim, and the propagator's per-lane
+// arithmetic is independent of the batch width, so a batched run is
+// bit-identical to K sequential runs. Zero allocations.
+//
+//mtlint:zeroalloc
+func (b *BatchModel) stepSparse() {
+	d, k := b.d, len(b.lanes)
+	n := b.lanes[0].n
+	tau := d.prop.Tau()
+	for l, m := range b.lanes {
+		if !m.powerDirty {
+			continue
+		}
+		m.powerDirty = false
+		cl := b.c[l*n : (l+1)*n]
+		for i := 0; i < n; i++ {
+			cl[i] = (m.power[i] + m.ambFlow[i]) * m.invCap[i] * tau
+		}
+	}
+	d.prop.AdvanceBatch(b.kws, b.z, b.c, k)
 }

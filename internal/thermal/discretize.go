@@ -4,8 +4,20 @@ import (
 	"fmt"
 
 	"multitherm/internal/linalg"
+	"multitherm/internal/linalg/sparse"
 	"multitherm/internal/units"
 )
+
+// sparseCrossoverNodes is the node count above which the exact ZOH
+// path stops materializing dense Φ/Ψ and switches to the Krylov
+// expm·v action on the CSR generator. 64 is the packed kernel's SIMD
+// stride: at or below it the dense panels fit one packed tile and the
+// fused GEMV is unbeatable; above it the O((2n)³) Expm build and the
+// O(n²) per-tick panels lose to O(nnz·m) Arnoldi on these ~7
+// nonzeros-per-row RC networks. The mode depends only on the template
+// size — never on dt — so a (Template, dt) pair always lands in the
+// same cache entry with the same representation.
+const sparseCrossoverNodes = 64
 
 // Discretization is the exact zero-order-hold discretization of the RC
 // network at a fixed step dt. Writing the continuous model as
@@ -44,6 +56,25 @@ type Discretization struct {
 	phiPacked *linalg.Packed
 	psiPacked *linalg.Packed
 	psiAmbPad []float64
+
+	// Sparse mode (templates above sparseCrossoverNodes): prop is the
+	// fixed-schedule Krylov propagator for e^{A·dt} acting on the
+	// augmented state [T; 1], and every dense field above is nil — Φ/Ψ
+	// are never materialized. The two modes expose one stepping
+	// contract; Model.stepExact dispatches on Sparse().
+	prop *sparse.Propagator
+}
+
+// Sparse reports whether this discretization steps through the Krylov
+// propagator instead of the dense packed Φ/Ψ panels.
+func (d *Discretization) Sparse() bool { return d.prop != nil }
+
+// Mode describes the representation for reports and logs.
+func (d *Discretization) Mode() string {
+	if d.prop != nil {
+		return fmt.Sprintf("sparse-krylov(m=%d,nsub=%d)", d.prop.Dim(), d.prop.Substeps())
+	}
+	return "dense-packed"
 }
 
 // buildDiscretization computes Φ and Ψ via the augmented-matrix
@@ -92,16 +123,52 @@ func (t *Template) buildDiscretization(dt float64) (*Discretization, error) {
 	return d, nil
 }
 
+// buildSparseDiscretization constructs the Krylov-propagator form of
+// the same exact ZOH update: instead of materializing Φ/Ψ it
+// calibrates a fixed (m, nsub) Arnoldi schedule for e^{M·dt} on the
+// augmented affine system, where the constant term c = B·u is rebuilt
+// per model whenever its power changes. The calibration probe is a
+// deterministic warm-gradient state under a representative per-block
+// power, so equal (Template, dt) pairs always freeze the identical
+// schedule — the property that keeps sparse steps bit-reproducible
+// and batch lanes in lockstep.
+func (t *Template) buildSparseDiscretization(dt float64) (*Discretization, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive discretization step %g", dt)
+	}
+	probeX := make([]float64, t.n)
+	probeC := make([]float64, t.n)
+	const probeWatts = 2.0 // representative per-block dissipation
+	for i := 0; i < t.n; i++ {
+		probeX[i] = float64(t.params.Ambient) + 10 + float64(i%7)
+		var w float64
+		if i < t.nBlocks {
+			w = probeWatts
+		}
+		probeC[i] = (w + t.ambFlow[i]) * t.invCap[i]
+	}
+	prop, err := sparse.NewPropagator(t.asp, dt, 1e-12, probeX, probeC)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: sparse discretization at dt=%g: %w", dt, err)
+	}
+	return &Discretization{dt: dt, n: t.n, prop: prop}, nil
+}
+
 // Discretization returns the memoized exact ZOH discretization of this
-// template at step dt, building it on first use. The cache key is
-// (Template, dt): templates are themselves memoized per (floorplan,
-// params), so a parallel sweep pays the matrix exponential once per
-// configuration, not once per run. Concurrent first callers may race to
-// build; the construction is deterministic, so whichever instance wins
-// the store is identical to the losers.
+// template at step dt, building it on first use. The representation is
+// picked automatically per template size — dense packed Φ/Ψ at or
+// below sparseCrossoverNodes, the Krylov propagator above — and the
+// cache key is (Template, dt): templates are themselves memoized per
+// (floorplan, params), so a parallel sweep pays the build once per
+// configuration, not once per run. Concurrent first callers may race
+// to build; the construction is deterministic, so whichever instance
+// wins the store is identical to the losers.
 func (t *Template) Discretization(dt units.Seconds) (*Discretization, error) {
 	key := float64(dt)
 	return t.discCache.LoadOrStore(key, func() (*Discretization, error) {
+		if t.n > sparseCrossoverNodes {
+			return t.buildSparseDiscretization(key)
+		}
 		return t.buildDiscretization(key)
 	})
 }
@@ -110,22 +177,32 @@ func (t *Template) Discretization(dt units.Seconds) (*Discretization, error) {
 func (d *Discretization) Dt() units.Seconds { return units.Seconds(d.dt) }
 
 // SIMDAccelerated reports whether the per-tick update runs the
-// vectorized packed kernel on this machine.
-func (d *Discretization) SIMDAccelerated() bool { return d.phiPacked.SIMDAccelerated() }
+// vectorized packed kernel on this machine. Sparse discretizations
+// step through the generic Krylov kernels, so they report false.
+func (d *Discretization) SIMDAccelerated() bool {
+	return d.prop == nil && d.phiPacked.SIMDAccelerated()
+}
 
 // Phi returns Φ[i][j], the exact dt-step response of node i to a unit
-// initial temperature on node j. Exposed for validation tests.
+// initial temperature on node j. Exposed for validation tests; only
+// the dense representation materializes Φ.
 //
 //mtlint:allow unit propagator entries are dimensionless °C-per-°C responses
 func (d *Discretization) Phi(i, j int) float64 { return d.phi.At(i, j) }
 
 // PreferExact reports whether the exact discretized step is expected to
-// beat substepped RK4 at step dt on this machine. Two regimes qualify:
+// beat substepped RK4 at step dt on this machine. Three regimes
+// qualify: the template is above the sparse crossover (one Krylov
+// substep costs about the same as one RK4 substep but is exact at any
+// dt and — unlike RK4 — batches across lanes through the SpMM kernel),
 // the dense Φ kernel is SIMD-accelerated (a single fused pass beats
 // even one sparse RK4 substep), or dt is far enough past the stability
 // bound that RK4 must substep repeatedly while the exact update stays a
 // single application regardless of dt.
 func (t *Template) PreferExact(dt units.Seconds) bool {
+	if t.n > sparseCrossoverNodes {
+		return true
+	}
 	if float64(dt) > 2*t.hMax {
 		return true
 	}
@@ -136,35 +213,70 @@ func (t *Template) PreferExact(dt units.Seconds) bool {
 // update for exactly this dt; Step at any other size still runs RK4 on
 // the same state, so off-grid steps (warmup, odd remainders) fall back
 // transparently. The discretization comes from the template's memoized
-// cache. Calling UseExact again re-targets the fast path to the new dt.
+// cache and may be dense or sparse per the template size. Calling
+// UseExact again re-targets the fast path to the new dt.
 func (m *Model) UseExact(dt units.Seconds) error {
 	d, err := m.Template.Discretization(dt)
 	if err != nil {
 		return err
 	}
-	stride := d.phiPacked.Stride()
-	if len(m.xbuf) != stride {
-		// Double-buffered state: temps aliases the live buffer, the kernel
-		// writes the other, and the two swap each tick — no per-tick copy.
-		m.xbuf = make([]float64, stride)
-		m.ybuf = make([]float64, stride)
-		m.uCache = make([]float64, stride)
-		copy(m.xbuf[:m.n], m.temps)
-		m.temps = m.xbuf[:m.n]
-	}
-	m.disc = d
-	m.powerDirty = true
+	m.armDisc(d)
 	return nil
 }
 
-// stepExact advances one exact tick: T ← Φ·T + (Ψ·P + ψ_amb). The
-// input term is memoized in uCache and recomputed only when SetPower
-// has run since the last tick, so constant-power stretches pay only the
-// Φ pass. Zero allocations; buffer padding rows stay zero because the
-// packed operands' padding rows are zero.
+// armDisc points the model's exact path at d, moving the live state
+// into whichever buffer that representation steps. The alias check
+// (&temps[0] against the target buffer) handles every re-arm
+// combination — dense→sparse, sparse→dense, repeated arms — without
+// copying when the state is already in place.
+func (m *Model) armDisc(d *Discretization) {
+	if d.prop != nil {
+		if len(m.zaug) != m.n+1 {
+			m.zaug = make([]float64, m.n+1)
+			m.cvec = make([]float64, m.n)
+		}
+		if &m.temps[0] != &m.zaug[0] {
+			copy(m.zaug[:m.n], m.temps)
+			m.temps = m.zaug[:m.n]
+		}
+		m.zaug[m.n] = 1
+		if m.kws == nil || m.kwsProp != d.prop {
+			m.kws = sparse.NewWorkspace(d.prop, 1)
+			m.kwsProp = d.prop
+		}
+	} else {
+		stride := d.phiPacked.Stride()
+		if len(m.xbuf) != stride {
+			// Double-buffered state: temps aliases the live buffer, the
+			// kernel writes the other, and the two swap each tick — no
+			// per-tick copy.
+			m.xbuf = make([]float64, stride)
+			m.ybuf = make([]float64, stride)
+			m.uCache = make([]float64, stride)
+		}
+		if &m.temps[0] != &m.xbuf[0] {
+			copy(m.xbuf[:m.n], m.temps)
+			m.temps = m.xbuf[:m.n]
+		}
+	}
+	m.disc = d
+	m.powerDirty = true
+}
+
+// stepExact advances one exact tick, dispatching on the
+// discretization's representation. Dense: T ← Φ·T + (Ψ·P + ψ_amb)
+// through the packed kernels, with the input term memoized in uCache
+// and recomputed only when SetPower has run since the last tick, so
+// constant-power stretches pay only the Φ pass. Zero allocations;
+// buffer padding rows stay zero because the packed operands' padding
+// rows are zero.
 //
 //mtlint:zeroalloc
 func (m *Model) stepExact(d *Discretization) {
+	if d.prop != nil {
+		m.stepSparse(d)
+		return
+	}
 	if m.powerDirty {
 		d.psiPacked.MulAddInto(m.uCache, d.psiAmbPad, m.power[:m.nBlocks])
 		m.powerDirty = false
@@ -172,4 +284,22 @@ func (m *Model) stepExact(d *Discretization) {
 	d.phiPacked.MulAddInto(m.ybuf, m.uCache, m.temps)
 	m.xbuf, m.ybuf = m.ybuf, m.xbuf
 	m.temps = m.xbuf[:m.n]
+}
+
+// stepSparse advances one exact tick through the Krylov propagator on
+// the augmented state z = [T; 1]. The substep-scaled constant term
+// c = τ·B·u plays uCache's role: rebuilt only when SetPower has run
+// since the last tick. temps aliases zaug[:n] throughout, so the
+// in-place advance leaves the public view current with no swap.
+//
+//mtlint:zeroalloc
+func (m *Model) stepSparse(d *Discretization) {
+	if m.powerDirty {
+		tau := d.prop.Tau()
+		for i := 0; i < m.n; i++ {
+			m.cvec[i] = (m.power[i] + m.ambFlow[i]) * m.invCap[i] * tau
+		}
+		m.powerDirty = false
+	}
+	d.prop.Advance(m.kws, m.zaug, m.cvec)
 }

@@ -24,6 +24,7 @@ import (
 
 	"multitherm/internal/floorplan"
 	"multitherm/internal/linalg"
+	"multitherm/internal/linalg/sparse"
 	"multitherm/internal/memo"
 	"multitherm/internal/units"
 )
@@ -158,6 +159,14 @@ type Template struct {
 	invCap  []float64   // 1/C_i, precomputed so the kernel multiplies instead of divides
 	ambFlow []float64   // gAmbient_i·T_amb, the constant inflow from the ambient
 
+	// The same network in the sparse package's CSR form: gsp is the
+	// conductance matrix G (for the CG steady-state solve) and asp is
+	// the transient generator A = −C⁻¹G (for the Krylov propagator).
+	// Built eagerly — assembly is O(nnz) — so sharing the template
+	// across goroutines never races on lazy construction.
+	gsp *sparse.CSR
+	asp *sparse.CSR
+
 	// hMax is the RK4 stability bound, invariant for the network and
 	// hoisted here at build time so Step need not rescan the graph.
 	hMax float64
@@ -204,6 +213,14 @@ type Model struct {
 	xbuf, ybuf []float64
 	uCache     []float64
 	powerDirty bool
+
+	// Sparse exact path (armed when disc.Sparse()): temps aliases
+	// zaug[:n] with the augmented entry zaug[n] pinned to 1; cvec
+	// memoizes the substep-scaled constant term the way uCache
+	// memoizes Ψ·P; kws is the Arnoldi workspace sized for kwsProp.
+	zaug, cvec []float64
+	kws        *sparse.Workspace
+	kwsProp    *sparse.Propagator
 }
 
 // Node index helpers (offsets after the die blocks).
@@ -257,6 +274,14 @@ func NewTemplate(fp *floorplan.Floorplan, p Params) (*Template, error) {
 	t.buildVerticalPath()
 	t.buildSpreader()
 	t.buildSink()
+	// Per-position cooling from the floorplan: extra conductance
+	// straight to ambient on individual die blocks (e.g. the edge
+	// tiles of a generated many-core grid sitting under stronger
+	// airflow). Applied before indexEdges so gTotal, ambFlow, and the
+	// stability bound all see the boosted path.
+	for i, b := range fp.Blocks {
+		t.gAmbient[i] += b.CoolingBoost
+	}
 
 	t.indexEdges()
 	t.invCap = make([]float64, t.n)
@@ -265,8 +290,29 @@ func NewTemplate(fp *floorplan.Floorplan, p Params) (*Template, error) {
 		t.invCap[i] = 1 / c
 		t.ambFlow[i] = t.gAmbient[i] * float64(p.Ambient)
 	}
+	t.buildSparse()
 	t.hMax = t.computeMaxStableStep()
 	return t, nil
+}
+
+// buildSparse assembles the CSR forms of the conductance matrix and
+// the transient generator from the indexed adjacency. Row neighbor
+// order comes out column-sorted, which the structure probes rely on;
+// the kernels only need consistency.
+func (t *Template) buildSparse() {
+	gb := sparse.NewBuilder(t.n, t.n)
+	ab := sparse.NewBuilder(t.n, t.n)
+	for i := 0; i < t.n; i++ {
+		gb.Add(i, i, t.gTotal[i])
+		ab.Add(i, i, -t.gTotal[i]*t.invCap[i])
+		for k, j := range t.nbrIdx[i] {
+			g := t.nbrG[i][k]
+			gb.Add(i, int(j), -g)
+			ab.Add(i, int(j), g*t.invCap[i])
+		}
+	}
+	t.gsp = gb.Build()
+	t.asp = ab.Build()
 }
 
 // templateKey identifies a memoized template. Floorplans are treated as
@@ -577,12 +623,16 @@ func (t *Template) ConductanceMatrix() *linalg.Matrix {
 
 // SteadyState solves for the equilibrium temperatures under the given
 // die-block power vector without disturbing any transient state. The
-// returned slice covers all nodes; die blocks come first.
+// returned slice covers all nodes; die blocks come first. Below the
+// sparse crossover it solves densely by LU; above it, by
+// Jacobi-preconditioned CG on the CSR conductance matrix — G is a
+// graph Laplacian plus a positive convection diagonal, so it is
+// symmetric positive definite and CG converges without ever forming
+// the O(n²) dense matrix.
 func (t *Template) SteadyState(watts units.PowerVec) (units.TempVec, error) {
 	if len(watts) != t.nBlocks {
 		return nil, fmt.Errorf("thermal: power vector length %d, want %d", len(watts), t.nBlocks)
 	}
-	g := t.ConductanceMatrix()
 	rhs := make([]float64, t.n)
 	for i, w := range watts {
 		rhs[i] = w
@@ -590,8 +640,35 @@ func (t *Template) SteadyState(watts units.PowerVec) (units.TempVec, error) {
 	for i, ga := range t.gAmbient {
 		rhs[i] += ga * float64(t.params.Ambient)
 	}
+	if t.n > sparseCrossoverNodes {
+		sol, err := sparse.SolveCG(t.gsp, rhs, 1e-13, 0)
+		return units.TempVec(sol), err
+	}
+	g := t.ConductanceMatrix()
 	sol, err := linalg.Solve(g, rhs)
 	return units.TempVec(sol), err
+}
+
+// FitParams returns DefaultParams scaled so the package physically
+// fits the floorplan: the spreader plate must cover the die with a
+// margin, the sink tracks the spreader at the default 2:1 ratio, and
+// the convection resistance shrinks with sink area (a bigger sink
+// carries proportionally more fin surface under the same airflow).
+// For floorplans that already fit the paper's 30 mm spreader — the
+// CMP4 among them — it returns DefaultParams unchanged, so existing
+// results are untouched; generated many-core grids above ~14x14 mm get
+// a proportionally larger package.
+func FitParams(fp *floorplan.Floorplan) Params {
+	p := DefaultParams()
+	side := math.Max(fp.ChipW, fp.ChipH)
+	const margin = 10e-3 // spreader overhang around the die, total
+	if side+margin > p.SpreaderSide {
+		defaultSinkArea := p.SinkSide * p.SinkSide
+		p.SpreaderSide = side + margin
+		p.SinkSide = 2 * p.SpreaderSide
+		p.ConvectionResistance *= defaultSinkArea / (p.SinkSide * p.SinkSide)
+	}
+	return p
 }
 
 // InitSteadyState sets the transient state to the equilibrium for the

@@ -17,6 +17,13 @@
 #   - kernel_batch_ns_per_lane: BenchmarkThermalStepBatch8 per-lane cost
 #     (eight models stepped in lockstep through one shared propagator)
 #   - batch_speedup: dirty exact step time / batched per-lane step time
+#   - sweep_n{4,16,64,256}_step_ns: BenchmarkGridStepN* — one exact tick
+#     on generated 2x2/4x4/8x8/16x16 grids (26/74/266/1034 thermal
+#     nodes; dense packed below the 64-node crossover, sparse Krylov
+#     above it)
+#   - step_cost_exponent: least-squares slope of ln(step ns) against
+#     ln(cores) over the four grid sizes — the sparse-solve scaling
+#     claim (dense exact ZOH would fit ~2, per-nonzero cost fits < 2)
 #   - sweep wall-clock of a quick reproduction, three ways: -workers 1
 #     at GOMAXPROCS=1 (the true sequential baseline), -workers 0 at
 #     GOMAXPROCS=1 (scheduler overhead with no extra CPUs), and
@@ -38,6 +45,14 @@ ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
 bench_ns() {
     # Fixed iteration count + min of 3 repetitions: robust on noisy VMs.
     go test -run '^$' -bench "^$1\$" -benchtime=200000x -count=3 . |
+        awk '/ns\/op/ { if (min == "" || $3 < min) min = $3 } END { print (min == "" ? "null" : min) }'
+}
+
+# bench_ns_at <name> <iterations>: like bench_ns with a per-benchmark
+# iteration count, for the big-grid steps where 200k iterations would
+# take minutes each.
+bench_ns_at() {
+    go test -run '^$' -bench "^$1\$" -benchtime="$2"x -count=3 . |
         awk '/ns\/op/ { if (min == "" || $3 < min) min = $3 } END { print (min == "" ? "null" : min) }'
 }
 
@@ -72,11 +87,31 @@ batch8_ns=$(bench_ns BenchmarkThermalStepBatch8)
 batch_lane_ns=$(awk -v a="$batch8_ns" 'BEGIN { printf "%.1f", a / 8 }')
 batch_speedup=$(awk -v a="$expm_dirty_ns" -v b="$batch_lane_ns" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 
+echo "many-core grid step scaling (4/16/64/256 cores)..." >&2
+n4_ns=$(bench_ns_at BenchmarkGridStepN4 200000)
+n16_ns=$(bench_ns_at BenchmarkGridStepN16 20000)
+n64_ns=$(bench_ns_at BenchmarkGridStepN64 10000)
+n256_ns=$(bench_ns_at BenchmarkGridStepN256 3000)
+# Least-squares fit of ln(ns) over ln(cores): the fitted exponent is the
+# effective power p in step_cost ~ cores^p.
+step_exponent=$(awk -v a="$n4_ns" -v b="$n16_ns" -v c="$n64_ns" -v d="$n256_ns" 'BEGIN {
+    n = 4
+    x[1] = log(4);   y[1] = log(a)
+    x[2] = log(16);  y[2] = log(b)
+    x[3] = log(64);  y[3] = log(c)
+    x[4] = log(256); y[4] = log(d)
+    for (i = 1; i <= n; i++) { sx += x[i]; sy += y[i] }
+    mx = sx / n; my = sy / n
+    for (i = 1; i <= n; i++) { num += (x[i] - mx) * (y[i] - my); den += (x[i] - mx) ^ 2 }
+    printf "%.3f", num / den
+}')
+
 # Carry the prior run's headline numbers before overwriting the file.
 prev_batch_speedup=$(prev_field batch_speedup)
 prev_batch_lane_ns=$(prev_field kernel_batch_ns_per_lane)
 prev_speedup=$(prev_field sweep_parallel_speedup)
 prev_speedup_ncpu=$(prev_field sweep_parallel_speedup_ncpu)
+prev_step_exponent=$(prev_field step_cost_exponent)
 
 # Warm the build cache and the binary link before timing: the first
 # `go run` pays compile/link and cold page-cache costs that would
@@ -105,6 +140,11 @@ cat >"$out" <<EOF
   "kernel_expm_speedup": ${expm_speedup},
   "kernel_batch_ns_per_lane": ${batch_lane_ns},
   "batch_speedup": ${batch_speedup},
+  "sweep_n4_step_ns": ${n4_ns},
+  "sweep_n16_step_ns": ${n16_ns},
+  "sweep_n64_step_ns": ${n64_ns},
+  "sweep_n256_step_ns": ${n256_ns},
+  "step_cost_exponent": ${step_exponent},
   "sweep_quick_sequential_s": ${seq_s},
   "sweep_quick_parallel_s": ${par_s},
   "sweep_quick_parallel_ncpu_s": ${par_ncpu_s},
@@ -113,7 +153,8 @@ cat >"$out" <<EOF
   "previous_kernel_batch_ns_per_lane": ${prev_batch_lane_ns},
   "previous_batch_speedup": ${prev_batch_speedup},
   "previous_sweep_parallel_speedup": ${prev_speedup},
-  "previous_sweep_parallel_speedup_ncpu": ${prev_speedup_ncpu}
+  "previous_sweep_parallel_speedup_ncpu": ${prev_speedup_ncpu},
+  "previous_step_cost_exponent": ${prev_step_exponent}
 }
 EOF
 

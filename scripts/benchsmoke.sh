@@ -1,9 +1,11 @@
 #!/bin/sh
 # benchsmoke.sh — benchmark-regression gate for CI.
 #
-# Runs the two benchmarks that cover the hot path end to end — the
-# batched thermal kernel (BenchmarkThermalStepBatch32) and the batched
-# sweep engine (BenchmarkSweepBatched/batch8) — takes the min of three
+# Runs the three benchmarks that cover the hot paths end to end — the
+# batched thermal kernel (BenchmarkThermalStepBatch32), the batched
+# sweep engine (BenchmarkSweepBatched/batch8), and the sparse Krylov
+# step on a 256-core generated grid (BenchmarkGridStepN256) — takes the
+# min of three
 # repetitions (min-of-N is robust against scheduler noise on shared
 # runners; the min is the least-perturbed run), and fails if either
 # regresses more than 25% against the checked-in BENCH_baseline.json.
@@ -38,12 +40,15 @@ echo "BenchmarkThermalStepBatch32 (min of 3 x 200k iterations)..." >&2
 batch32=$(min_ns 'BenchmarkThermalStepBatch32' 200000x)
 echo "BenchmarkSweepBatched/batch8 (min of 3 x 1 iteration)..." >&2
 sweep8=$(min_ns 'BenchmarkSweepBatched/batch8' 1x)
+echo "BenchmarkGridStepN256 (min of 3 x 3k iterations)..." >&2
+grid256=$(min_ns 'BenchmarkGridStepN256' 3000x)
 
 if [ "${1:-}" = "--update" ]; then
     cat >"$base" <<EOF
 {
   "thermal_step_batch32_ns_per_op": ${batch32},
-  "sweep_batched8_ns_per_op": ${sweep8}
+  "sweep_batched8_ns_per_op": ${sweep8},
+  "grid_step_n256_ns_per_op": ${grid256}
 }
 EOF
     echo "wrote ${base}:" >&2
@@ -54,7 +59,8 @@ fi
 status=0
 for row in \
     "BenchmarkThermalStepBatch32 ${batch32} $(field thermal_step_batch32_ns_per_op)" \
-    "BenchmarkSweepBatched/batch8 ${sweep8} $(field sweep_batched8_ns_per_op)"; do
+    "BenchmarkSweepBatched/batch8 ${sweep8} $(field sweep_batched8_ns_per_op)" \
+    "BenchmarkGridStepN256 ${grid256} $(field grid_step_n256_ns_per_op)"; do
     set -- $row
     if ! awk -v name="$1" -v got="$2" -v want="$3" 'BEGIN {
         ratio = got / want
