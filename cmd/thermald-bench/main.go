@@ -1,0 +1,340 @@
+// Command thermald-bench is a closed-loop saturation harness for the
+// thermald serving stack. It spins up an in-process server per
+// scenario, drives it with 1/8/64 concurrent clients over real HTTP,
+// and records requests/sec and p50/p99 latency into BENCH_serve.json:
+//
+//   - cold:     result cache disabled — every request computes
+//   - warm:     cache pre-warmed — every request replays cached bytes
+//   - batchon:  cache disabled, cross-request coalescing enabled
+//   - batchoff: cache disabled, coalescing disabled
+//
+// With -smoke it instead fires a mixed sim/sweep burst at an already
+// running server (-url) twice in different client orderings and exits
+// non-zero unless every response is bit-identical across the runs —
+// the CI determinism gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multitherm/internal/serve"
+)
+
+// requestSet is the shared closed-loop workload: every (workload,
+// policy) pair below shares one (Template, dt) propagator, so under
+// concurrency the batcher can coalesce any of them into one panel.
+func requestSet(simtime float64) []string {
+	policies := []string{"dist-dvfs", "global-dvfs", "dist-stopgo", "global-stopgo"}
+	var reqs []string
+	for w := 1; w <= 12; w++ {
+		for _, p := range policies {
+			reqs = append(reqs, fmt.Sprintf(
+				`{"workload":"workload%d","policy":"%s","simtime_s":%g}`, w, p, simtime))
+		}
+	}
+	return reqs
+}
+
+type scenarioResult struct {
+	Requests int
+	Elapsed  time.Duration
+	P50, P99 time.Duration
+	MeanNS   float64
+}
+
+func (r scenarioResult) rps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// drive runs a closed loop: `clients` goroutines issue `total`
+// requests round-robin from reqs, each client immediately issuing its
+// next request when the previous answers.
+func drive(client *http.Client, url string, reqs []string, clients, total int) (scenarioResult, error) {
+	lat := make([]time.Duration, total)
+	var cursor atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				body := reqs[i%len(reqs)]
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/sim", "application/json", strings.NewReader(body))
+				if err == nil {
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return scenarioResult{}, err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(total-1))
+		return lat[i]
+	}
+	return scenarioResult{
+		Requests: total,
+		Elapsed:  elapsed,
+		P50:      pct(0.50),
+		P99:      pct(0.99),
+		MeanNS:   float64(sum.Nanoseconds()) / float64(total),
+	}, nil
+}
+
+type scenario struct {
+	name    string
+	cfg     func(clients int) serve.Config
+	prewarm bool // replay the request set once before timing
+	total   func(clients int) int
+}
+
+func runScenarios(simtime float64, out map[string]any) error {
+	reqs := requestSet(simtime)
+	computeTotal := func(clients int) int {
+		// Long enough to integrate over scheduling-noise bursts, bounded
+		// so the compute scenarios stay in CI budget on one core.
+		n := clients * 24
+		if n < 2*len(reqs) {
+			n = 2 * len(reqs)
+		}
+		return n
+	}
+	warmTotal := func(clients int) int { return clients * 200 }
+
+	// The batching scenario matches width to the closed-loop fan-in
+	// (capped at sim.DefaultBatchSize's clamp ceiling of 16) so batches
+	// fill and flush immediately instead of always waiting out the
+	// window — the setting an operator who knows their concurrency
+	// would pick.
+	fanWidth := func(clients int) int {
+		if clients > 16 {
+			return 16
+		}
+		if clients < 2 {
+			// A lone client can never fill a batch; width 2 keeps
+			// coalescing (and its window cost) honestly enabled so the
+			// c1 row shows what batching costs a client with no peers.
+			return 2
+		}
+		return clients
+	}
+	scenarios := []scenario{
+		{"cold", func(int) serve.Config {
+			return serve.Config{Window: 2 * time.Millisecond}
+		}, false, computeTotal},
+		{"warm", func(int) serve.Config {
+			return serve.Config{CacheEntries: 4096, Window: 2 * time.Millisecond}
+		}, true, warmTotal},
+		{"batchon", func(clients int) serve.Config {
+			return serve.Config{BatchWidth: fanWidth(clients), Window: 2 * time.Millisecond}
+		}, false, computeTotal},
+		{"batchoff", func(int) serve.Config {
+			return serve.Config{BatchWidth: 1}
+		}, false, computeTotal},
+	}
+	// Each (scenario, clients) row runs three times with the scenarios
+	// interleaved — on,off,on,off… — so slow drift in background load
+	// hits every scenario equally, and the best repetition is kept: on
+	// a shared 1-CPU box scheduling noise is comparable to the effects
+	// under measurement, and paired best-of-N is the standard de-noiser
+	// for closed-loop throughput.
+	const repeats = 3
+	results := map[string]map[int]scenarioResult{}
+	for _, sc := range scenarios {
+		results[sc.name] = map[int]scenarioResult{}
+	}
+	for _, clients := range []int{1, 8, 64} {
+		for rep := 0; rep < repeats; rep++ {
+			for _, sc := range scenarios {
+				srv := serve.New(sc.cfg(clients))
+				ts := httptest.NewServer(srv.Handler())
+				client := ts.Client()
+				client.Transport = &http.Transport{MaxIdleConnsPerHost: 128}
+				if sc.prewarm {
+					if _, err := drive(client, ts.URL, reqs, 1, len(reqs)); err != nil {
+						ts.Close()
+						srv.Close()
+						return fmt.Errorf("%s c%d prewarm: %w", sc.name, clients, err)
+					}
+				}
+				res, err := drive(client, ts.URL, reqs, clients, sc.total(clients))
+				ts.Close()
+				srv.Close()
+				if err != nil {
+					return fmt.Errorf("%s c%d: %w", sc.name, clients, err)
+				}
+				if best, ok := results[sc.name][clients]; !ok || res.rps() > best.rps() {
+					results[sc.name][clients] = res
+				}
+			}
+		}
+		for _, sc := range scenarios {
+			res := results[sc.name][clients]
+			fmt.Printf("serve %-8s c%-2d  %8.1f req/s  p50 %8.3f ms  p99 %8.3f ms  (%d reqs)\n",
+				sc.name, clients, res.rps(),
+				float64(res.P50)/1e6, float64(res.P99)/1e6, res.Requests)
+			key := fmt.Sprintf("serve_%s_c%d", sc.name, clients)
+			out[key+"_rps"] = round2(res.rps())
+			out[key+"_p50_ms"] = round3(float64(res.P50) / 1e6)
+			out[key+"_p99_ms"] = round3(float64(res.P99) / 1e6)
+		}
+	}
+	for _, clients := range []int{1, 8, 64} {
+		cold, warm := results["cold"][clients], results["warm"][clients]
+		on, off := results["batchon"][clients], results["batchoff"][clients]
+		if cold.rps() > 0 {
+			out[fmt.Sprintf("serve_warm_over_cold_c%d", clients)] = round2(warm.rps() / cold.rps())
+		}
+		// The coalescing gain is only meaningful under concurrency — a
+		// lone client pays the window and gains nothing, by design.
+		if clients >= 8 && off.rps() > 0 {
+			out[fmt.Sprintf("serve_batch_gain_c%d", clients)] = round2(on.rps() / off.rps())
+		}
+	}
+	out["serve_warm_request_ns"] = round2(results["warm"][1].MeanNS)
+	out["serve_simtime_s"] = simtime
+	return nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+// smoke fires a mixed sim/sweep burst at url in two orderings and
+// verifies per-request bit-identity across the runs.
+func smoke(url string) error {
+	type req struct{ path, body string }
+	reqs := []req{
+		{"/v1/sim", `{"workload":"workload1","policy":"dist-dvfs","simtime_s":0.01}`},
+		{"/v1/sim", `{"workload":"workload2","policy":"global-stopgo","simtime_s":0.01}`},
+		{"/v1/sim", `{"workload":"workload3","policy":"dist-stopgo+counter","simtime_s":0.01}`},
+		{"/v1/sweep", `{"simtime_s":0.01,"cells":[{"workload":"workload4","policy":"dist-dvfs"},{"workload":"workload1","policy":"dist-dvfs"}]}`},
+		{"/v1/sim/trace", `{"workload":"workload5","policy":"dist-dvfs","simtime_s":0.005,"every":8}`},
+	}
+	run := func(order []int) (map[int][]byte, error) {
+		out := make(map[int][]byte, len(reqs))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		for _, i := range order {
+			r := reqs[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(url+r.path, "application/json", strings.NewReader(r.body))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				defer resp.Body.Close()
+				b, err := io.ReadAll(resp.Body)
+				if err == nil && resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("%s: status %d: %s", r.path, resp.StatusCode, b)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				mu.Lock()
+				out[i] = b
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	first, err := run([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		return err
+	}
+	second, err := run([]int{4, 3, 2, 1, 0})
+	if err != nil {
+		return err
+	}
+	for i := range reqs {
+		if !bytes.Equal(first[i], second[i]) {
+			return fmt.Errorf("response %d (%s) diverged between orderings:\n run1: %s\n run2: %s",
+				i, reqs[i].path, first[i], second[i])
+		}
+	}
+	fmt.Printf("thermald-bench: smoke ok — %d responses bit-identical across orderings\n", len(reqs))
+	return nil
+}
+
+func main() {
+	outPath := flag.String("o", "BENCH_serve.json", "output JSON path")
+	simtime := flag.Float64("simtime", 0.02, "simulated seconds per cell")
+	smokeMode := flag.Bool("smoke", false, "determinism smoke against -url instead of benchmarking")
+	url := flag.String("url", "", "server URL for -smoke (e.g. http://127.0.0.1:7016)")
+	flag.Parse()
+
+	if *smokeMode {
+		if *url == "" {
+			fmt.Fprintln(os.Stderr, "thermald-bench: -smoke requires -url")
+			os.Exit(2)
+		}
+		if err := smoke(strings.TrimRight(*url, "/")); err != nil {
+			fmt.Fprintf(os.Stderr, "thermald-bench: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	out := map[string]any{}
+	if err := runScenarios(*simtime, out); err != nil {
+		fmt.Fprintf(os.Stderr, "thermald-bench: %v\n", err)
+		os.Exit(1)
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermald-bench: %v\n", err)
+		os.Exit(1)
+	}
+	body = append(body, '\n')
+	if err := os.WriteFile(*outPath, body, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "thermald-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("thermald-bench: wrote %s\n", *outPath)
+}

@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"multitherm/internal/control"
 	"multitherm/internal/units"
@@ -106,6 +108,53 @@ func Taxonomy() []PolicySpec {
 		}
 	}
 	return out
+}
+
+// CLIName returns the short machine-friendly identifier of a taxonomy
+// cell — "dist-dvfs", "global-stopgo", "dist-dvfs+sensor" — the form
+// accepted by PolicyByName and used by the CLI flags and the serving
+// API alike.
+func (p PolicySpec) CLIName() string {
+	mech := "stopgo"
+	if p.Mechanism == DVFS {
+		mech = "dvfs"
+	}
+	scope := "global"
+	if p.Scope == Distributed {
+		scope = "dist"
+	}
+	name := scope + "-" + mech
+	switch p.Migration {
+	case CounterMigration:
+		name += "+counter"
+	case SensorMigration:
+		name += "+sensor"
+	}
+	return name
+}
+
+// PolicyNames lists the accepted PolicyByName identifiers, sorted.
+func PolicyNames() []string {
+	out := make([]string, 0, 12)
+	for _, p := range Taxonomy() {
+		out = append(out, p.CLIName())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyByName resolves names like "dist-dvfs", "global-stopgo",
+// "dist-stopgo+counter", or "dist-dvfs+sensor" (case-insensitive,
+// surrounding whitespace ignored).
+func PolicyByName(name string) (PolicySpec, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range Taxonomy() {
+		if p.CLIName() == want {
+			return p, nil
+		}
+	}
+	return PolicySpec{}, fmt.Errorf("core: unknown policy %q (known: %s)",
+		name, strings.Join(PolicyNames(), ", "))
 }
 
 // Params gathers the thermal-control constants shared by all policies.

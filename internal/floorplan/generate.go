@@ -2,6 +2,8 @@ package floorplan
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"multitherm/internal/memo"
 )
@@ -152,9 +154,12 @@ func buildGrid(spec GridSpec) (*Floorplan, error) {
 	if spec.Rows < 1 || spec.Cols < 1 {
 		return nil, fmt.Errorf("floorplan: grid spec %dx%d: dimensions must be >= 1", spec.Rows, spec.Cols)
 	}
-	if n := spec.Rows * spec.Cols; n > MaxGridCores {
-		return nil, fmt.Errorf("floorplan: grid spec %dx%d: %d cores exceeds the %d-core limit",
-			spec.Rows, spec.Cols, n, MaxGridCores)
+	// Bound each dimension before multiplying: Rows*Cols on two large
+	// ints can wrap negative (or small positive) and slip past the
+	// product check into a multi-gigabyte build.
+	if spec.Rows > MaxGridCores || spec.Cols > MaxGridCores || spec.Rows*spec.Cols > MaxGridCores {
+		return nil, fmt.Errorf("floorplan: grid spec %dx%d exceeds the %d-core limit",
+			spec.Rows, spec.Cols, MaxGridCores)
 	}
 	boost := spec.BoostWK
 	if boost < 0 {
@@ -232,9 +237,20 @@ func GridCoreScales(spec GridSpec) []float64 {
 // with the mixed-rows pattern and edge-boost cooling defaults the
 // many-core experiment sweeps.
 func ParseGridSpec(s string) (GridSpec, error) {
-	var rows, cols int
-	if _, err := fmt.Sscanf(s, "%dx%d", &rows, &cols); err != nil {
+	// Strict split + Atoi rather than Sscanf: Sscanf's "%dx%d" silently
+	// accepts trailing garbage ("4x8x2", "4x8 ") and panics on nothing,
+	// but reporting those as success builds the wrong grid.
+	rs, cs, ok := strings.Cut(s, "x")
+	if !ok {
 		return GridSpec{}, fmt.Errorf("floorplan: cannot parse grid %q (want RxC, e.g. 16x16)", s)
+	}
+	rows, err := strconv.Atoi(rs)
+	if err != nil {
+		return GridSpec{}, fmt.Errorf("floorplan: cannot parse grid %q (want RxC, e.g. 16x16): %v", s, err)
+	}
+	cols, err := strconv.Atoi(cs)
+	if err != nil {
+		return GridSpec{}, fmt.Errorf("floorplan: cannot parse grid %q (want RxC, e.g. 16x16): %v", s, err)
 	}
 	spec := GridSpec{Rows: rows, Cols: cols, Pattern: PatternMixedRows, Cooling: CoolingEdgeBoost}
 	if _, err := Grid(spec); err != nil {

@@ -155,7 +155,17 @@ func TestParseGridSpec(t *testing.T) {
 	if spec.Pattern != PatternMixedRows || spec.Cooling != CoolingEdgeBoost {
 		t.Errorf("defaults not applied: %+v", spec)
 	}
-	for _, bad := range []string{"", "x", "4x", "x8", "0x4", "64x64", "abc"} {
+	for _, bad := range []string{
+		"", "x", "4x", "x8", "0x4", "64x64", "abc",
+		// Negative dimensions in either position (and both).
+		"-1x4", "4x-2", "-2x-2",
+		// Integer overflow: wider than any int, and a pair that is
+		// individually representable but whose product overflows.
+		"99999999999999999999x2", "2x99999999999999999999",
+		"3037000500x3037000500",
+		// Trailing garbage after a well-formed prefix.
+		"4x8x2", "4x8 ",
+	} {
 		if _, err := ParseGridSpec(bad); err == nil {
 			t.Errorf("%q: want error", bad)
 		}

@@ -1,0 +1,106 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUGetPut(t *testing.T) {
+	c := NewLRU[string, int](4)
+	if v, ok := c.Get("a"); ok || v != 0 {
+		t.Fatalf("Get on empty = (%d, %v)", v, ok)
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get after Put = (%d, %v)", v, ok)
+	}
+	c.Put("a", 2) // replace
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("replace: got %d", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEvictsStalest(t *testing.T) {
+	c := NewLRU[int, int](3)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Put(3, 30)
+	// Touch 1 so 2 becomes the stalest entry.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 missing before eviction")
+	}
+	c.Put(4, 40)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("stalest entry 2 survived eviction")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %d evicted, want only 2 gone", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU[string, string](0)
+	c.Put("k", "v")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestLRUFlush(t *testing.T) {
+	c := NewLRU[int, int](8)
+	for i := 0; i < 5; i++ {
+		c.Put(i, i)
+	}
+	c.Flush()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len after flush = %d", n)
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("entry survived flush")
+	}
+}
+
+// TestLRUConcurrent hammers a small cache from many goroutines so the
+// race detector can see the snapshot-load / entry-touch / copy-on-write
+// interleavings. Every value is a pure function of its key, so any hit
+// must return the key's own value regardless of eviction pressure.
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (seed*31 + i) % 64
+				if v, ok := c.Get(k); ok && v != k*7 {
+					panic(fmt.Sprintf("key %d returned foreign value %d", k, v))
+				}
+				c.Put(k, k*7)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 16 {
+		t.Fatalf("cache exceeded its bound: %d entries", n)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("expected evictions under pressure, stats = %+v", s)
+	}
+}

@@ -141,6 +141,94 @@ func TestConcurrentMixedUse(t *testing.T) {
 	}
 }
 
+// TestRacingBuildersDiscardLosers forces the build-discard path: a
+// barrier inside the builder guarantees every goroutine really builds
+// (no early Load hit), so exactly one build may win the publish and
+// every loser must throw its own value away and return the winner's.
+func TestRacingBuildersDiscardLosers(t *testing.T) {
+	var m Map[string, *int]
+	const racers = 8
+	var builds atomic.Int64
+	entered := make(chan struct{}, racers)
+	barrier := make(chan struct{})
+	got := make([]*int, racers)
+	var wg sync.WaitGroup
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := m.LoadOrStore("k", func() (*int, error) {
+				builds.Add(1)
+				entered <- struct{}{}
+				<-barrier // hold every racer inside its build
+				p := new(int)
+				*p = g
+				return p, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[g] = v
+		}(g)
+	}
+	// Wait until every racer is committed to building, then release.
+	for g := 0; g < racers; g++ {
+		<-entered
+	}
+	close(barrier)
+	wg.Wait()
+	if n := builds.Load(); n != racers {
+		t.Fatalf("%d builds ran, want %d concurrent ones", n, racers)
+	}
+	for g := 1; g < racers; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d holds a losing build, not the published winner", g)
+		}
+	}
+	if v, ok := m.Load("k"); !ok || v != got[0] {
+		t.Fatal("published value differs from what the racers returned")
+	}
+	if n := m.Len(); n != 1 {
+		t.Fatalf("Len = %d after %d racing builds", n, racers)
+	}
+}
+
+// TestStoreDuringSlowBuild pins the other first-store race: a direct
+// Store that lands while a LoadOrStore build is still running must win
+// — the slow builder finds the key published when it reaches the lock
+// and returns the stored value, discarding its own.
+func TestStoreDuringSlowBuild(t *testing.T) {
+	var m Map[string, int]
+	building := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	var got int
+	go func() {
+		defer close(done)
+		v, err := m.LoadOrStore("k", func() (int, error) {
+			close(building)
+			<-release
+			return 1, nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = v
+	}()
+	<-building
+	m.Store("k", 2) // publishes first, while the build is in flight
+	close(release)
+	<-done
+	if got != 2 {
+		t.Fatalf("slow builder returned %d, want the already-published 2", got)
+	}
+	if v, _ := m.Load("k"); v != 2 {
+		t.Fatalf("map holds %d, want the first-published 2", v)
+	}
+}
+
 func BenchmarkLoadHit(b *testing.B) {
 	var m Map[string, int]
 	for i := 0; i < 64; i++ {

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"multitherm/internal/core"
+	"multitherm/internal/metrics"
+	"multitherm/internal/sim"
+	"multitherm/internal/units"
+	"multitherm/internal/workload"
+)
+
+// CellSpec is the wire form of one simulation cell: a workload mix, a
+// DTM policy from the taxonomy, and the simulated silicon time. It is
+// the body of POST /v1/sim and the element type of a sweep request's
+// cells array. SimTimeS of zero inherits the request (for sweep cells)
+// or server default.
+type CellSpec struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	SimTimeS float64 `json:"simtime_s,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: many cells answered in
+// one response, sharded across the worker pool and coalesced into
+// lockstep panels with every other in-flight request.
+type SweepRequest struct {
+	SimTimeS float64    `json:"simtime_s,omitempty"` // default for cells that leave theirs zero
+	Cells    []CellSpec `json:"cells"`
+}
+
+// TraceRequest is the body of POST /v1/sim/trace: one cell streamed as
+// NDJSON, one line per Every control ticks (default 16).
+type TraceRequest struct {
+	CellSpec
+	Every int `json:"every,omitempty"`
+}
+
+// cell is a fully resolved, validated simulation cell. Its canonical
+// hash is the content address under which the finished result is
+// cached; everything the simulation depends on — workload, policy,
+// simulated time, the control period that picks the propagator, and
+// the trace length — is folded into the key, so two requests collide
+// exactly when their responses must be bit-identical.
+type cell struct {
+	spec   CellSpec // normalized: canonical policy name, resolved simtime
+	cfg    sim.Config
+	mix    workload.Mix
+	policy core.PolicySpec
+	key    [32]byte
+}
+
+// resolveCell validates a wire spec against the server limits and
+// binds it to the paper's default chip configuration.
+func (s *Server) resolveCell(spec CellSpec, defaultSimTime float64) (*cell, error) {
+	mix, err := workload.MixByName(strings.TrimSpace(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	policy, err := core.PolicyByName(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	simTime := spec.SimTimeS
+	if simTime == 0 { //mtlint:allow floatcmp zero is the explicit "inherit the default" sentinel on the wire
+		simTime = defaultSimTime
+	}
+	if simTime == 0 { //mtlint:allow floatcmp same sentinel, one level up
+		simTime = s.cfg.defaultSimTime()
+	}
+	if simTime < 0 || math.IsNaN(simTime) || math.IsInf(simTime, 0) {
+		return nil, fmt.Errorf("serve: simtime_s %v is not a positive duration", spec.SimTimeS)
+	}
+	if max := s.cfg.maxSimTime(); simTime > max {
+		return nil, fmt.Errorf("serve: simtime_s %g exceeds the server limit of %g s", simTime, max)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.SimTime = units.Seconds(simTime)
+	c := &cell{
+		spec: CellSpec{
+			Workload: mix.Name,
+			Policy:   policy.CLIName(),
+			SimTimeS: simTime,
+		},
+		cfg:    cfg,
+		mix:    mix,
+		policy: policy,
+	}
+	c.key = cellKey(c.spec, float64(cfg.Policy.SamplePeriod), cfg.TraceIntervals)
+	return c, nil
+}
+
+// keyPreimageMax bounds the stack buffer the canonical preimage is
+// assembled in: scheme tag, two short names, three 8-byte words, and
+// separators all fit with slack.
+const keyPreimageMax = 160
+
+// cellKey computes the content address of a cell result: a SHA-256
+// over a versioned canonical encoding of everything the response bytes
+// depend on. Strings are length-delimited (no separator ambiguity) and
+// floats are encoded as their IEEE-754 bit patterns, so distinct specs
+// cannot collide by formatting and equal specs hash equally on every
+// machine.
+//
+//mtlint:zeroalloc
+func cellKey(spec CellSpec, dt float64, traceIntervals int) [32]byte {
+	var arr [keyPreimageMax]byte
+	b := arr[:0]
+	b = append(b, "mtserve/1\x00"...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Workload)))
+	b = append(b, spec.Workload...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Policy)))
+	b = append(b, spec.Policy...)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(spec.SimTimeS))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(dt))
+	b = binary.LittleEndian.AppendUint64(b, uint64(traceIntervals))
+	return sha256.Sum256(b)
+}
+
+// CellResult is the wire form of one finished cell. Field order is the
+// canonical response order; encoding/json marshals struct fields in
+// declaration order with deterministic float formatting, so equal
+// metrics always produce equal bytes — the property the determinism
+// guarantee and the content-addressed cache both rest on.
+type CellResult struct {
+	Workload     string    `json:"workload"`
+	Policy       string    `json:"policy"`
+	PolicyLabel  string    `json:"policy_label"`
+	SimTimeS     float64   `json:"simtime_s"`
+	BIPS         float64   `json:"bips"`
+	DutyCycle    float64   `json:"duty_cycle"`
+	MaxTempC     float64   `json:"max_temp_c"`
+	EmergencyS   float64   `json:"emergency_s"`
+	StallS       float64   `json:"stall_s"`
+	PenaltyS     float64   `json:"penalty_s"`
+	WorkS        float64   `json:"work_s"`
+	Instructions float64   `json:"instructions"`
+	Migrations   int       `json:"migrations"`
+	Preemptions  int       `json:"preemptions"`
+	Transitions  int       `json:"transitions"`
+	PerCoreInstr []float64 `json:"per_core_instr"`
+}
+
+// encodeResult renders the canonical response bytes for one finished
+// cell. These exact bytes are what the cache stores and what every
+// transport path writes, so hit and miss responses cannot diverge.
+func encodeResult(c *cell, m *metrics.Run) ([]byte, error) {
+	res := CellResult{
+		Workload:     c.spec.Workload,
+		Policy:       c.spec.Policy,
+		PolicyLabel:  c.policy.String(),
+		SimTimeS:     c.spec.SimTimeS,
+		BIPS:         float64(m.BIPS()),
+		DutyCycle:    float64(m.DutyCycle()),
+		MaxTempC:     float64(m.MaxTempC),
+		EmergencyS:   float64(m.EmergencySeconds),
+		StallS:       float64(m.StallSeconds),
+		PenaltyS:     float64(m.PenaltySeconds),
+		WorkS:        float64(m.WorkSeconds),
+		Instructions: m.Instructions,
+		Migrations:   m.Migrations,
+		Preemptions:  m.Preemptions,
+		Transitions:  m.Transitions,
+		PerCoreInstr: m.PerCoreInstr,
+	}
+	return json.Marshal(res)
+}

@@ -15,7 +15,6 @@ package multitherm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"multitherm/internal/core"
@@ -56,48 +55,18 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // Policies enumerates the full taxonomy in the paper's order.
 func Policies() []Policy { return core.Taxonomy() }
 
-// policyNames maps CLI-friendly names to taxonomy cells.
-func policyNames() map[string]Policy {
-	m := map[string]Policy{}
-	for _, p := range core.Taxonomy() {
-		mech := "stopgo"
-		if p.Mechanism == core.DVFS {
-			mech = "dvfs"
-		}
-		scope := "global"
-		if p.Scope == core.Distributed {
-			scope = "dist"
-		}
-		name := scope + "-" + mech
-		switch p.Migration {
-		case core.CounterMigration:
-			name += "+counter"
-		case core.SensorMigration:
-			name += "+sensor"
-		}
-		m[name] = p
-	}
-	return m
-}
-
 // PolicyNames lists the accepted PolicyByName identifiers, sorted.
-func PolicyNames() []string {
-	var out []string
-	for n := range policyNames() {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func PolicyNames() []string { return core.PolicyNames() }
 
 // PolicyByName resolves names like "dist-dvfs", "global-stopgo",
 // "dist-stopgo+counter", or "dist-dvfs+sensor".
 func PolicyByName(name string) (Policy, error) {
-	if p, ok := policyNames()[strings.ToLower(strings.TrimSpace(name))]; ok {
-		return p, nil
+	p, err := core.PolicyByName(name)
+	if err != nil {
+		return Policy{}, fmt.Errorf("multitherm: unknown policy %q (known: %s)",
+			name, strings.Join(PolicyNames(), ", "))
 	}
-	return Policy{}, fmt.Errorf("multitherm: unknown policy %q (known: %s)",
-		name, strings.Join(PolicyNames(), ", "))
+	return p, nil
 }
 
 // Workloads lists the names of the 12 four-process mixes of Table 4.

@@ -72,6 +72,16 @@ prev_field() {
         END { if (!found) print "null" }' "$out"
 }
 
+# prev_or <name> <current>: prev_field, seeded from the current
+# measurement when the field is absent — on the first run, or the first
+# run after a metric is added, the trajectory starts at the current
+# value instead of recording "previous_*: null".
+prev_or() {
+    v=$(prev_field "$1")
+    [ "$v" = "null" ] && v="$2"
+    echo "$v"
+}
+
 echo "building..." >&2
 go build ./...
 
@@ -106,13 +116,6 @@ step_exponent=$(awk -v a="$n4_ns" -v b="$n16_ns" -v c="$n64_ns" -v d="$n256_ns" 
     printf "%.3f", num / den
 }')
 
-# Carry the prior run's headline numbers before overwriting the file.
-prev_batch_speedup=$(prev_field batch_speedup)
-prev_batch_lane_ns=$(prev_field kernel_batch_ns_per_lane)
-prev_speedup=$(prev_field sweep_parallel_speedup)
-prev_speedup_ncpu=$(prev_field sweep_parallel_speedup_ncpu)
-prev_step_exponent=$(prev_field step_cost_exponent)
-
 # Warm the build cache and the binary link before timing: the first
 # `go run` pays compile/link and cold page-cache costs that would
 # otherwise inflate whichever run happens to go first (and with it the
@@ -128,6 +131,14 @@ par_ncpu_s=$(sweep_seconds 0 "$ncpu")
 
 speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
 speedup_ncpu=$(awk -v a="$seq_s" -v b="$par_ncpu_s" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
+
+# Carry the prior run's headline numbers before overwriting the file,
+# seeding any metric the existing summary predates from this run.
+prev_batch_speedup=$(prev_or batch_speedup "$batch_speedup")
+prev_batch_lane_ns=$(prev_or kernel_batch_ns_per_lane "$batch_lane_ns")
+prev_speedup=$(prev_or sweep_parallel_speedup "$speedup")
+prev_speedup_ncpu=$(prev_or sweep_parallel_speedup_ncpu "$speedup_ncpu")
+prev_step_exponent=$(prev_or step_cost_exponent "$step_exponent")
 
 cat >"$out" <<EOF
 {

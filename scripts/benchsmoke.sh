@@ -18,10 +18,18 @@
 # dispatch, an allocation sneaking into the tick loop), not single-digit
 # drift. After an intentional perf change, or when moving the reference
 # machine, refresh with --update and commit the new numbers.
+# The serving stack is gated separately: BenchmarkServeWarm (one warm
+# cache-hit request over loopback HTTP) is compared against the
+# serve_warm_request_ns recorded in BENCH_serve.json by
+# cmd/thermald-bench, with a loose 3x bound — HTTP round-trips on a
+# shared runner are noisier than kernel benches, and the gate only
+# needs to catch the cache or the canonical-bytes path falling off the
+# hit path entirely. Skipped when BENCH_serve.json is absent.
 set -eu
 
 cd "$(dirname "$0")/.."
 base="BENCH_baseline.json"
+serve="BENCH_serve.json"
 
 # min_ns <bench regex> <benchtime>: min ns/op over 3 repetitions.
 min_ns() {
@@ -71,4 +79,21 @@ for row in \
         status=1
     fi
 done
+
+if [ -f "$serve" ]; then
+    echo "BenchmarkServeWarm (min of 3 x 2000 iterations)..." >&2
+    servewarm=$(go test -run '^$' -bench '^BenchmarkServeWarm$' -benchtime 2000x -count=3 ./internal/serve/ |
+        awk '/ns\/op/ { if (min == "" || $3 + 0 < min + 0) min = $3 } END { print (min == "" ? "FAIL" : min) }')
+    servebase=$(awk -F '[:,]' '$1 ~ /"serve_warm_request_ns"/ { gsub(/[ \t]/, "", $2); print $2; exit }' "$serve")
+    if ! awk -v got="$servewarm" -v want="$servebase" 'BEGIN {
+        ratio = got / want
+        printf "%-30s %14.0f ns/op  baseline %14.0f  ratio %.2f\n", "BenchmarkServeWarm", got, want, ratio
+        exit (ratio > 3.0 ? 1 : 0)
+    }'; then
+        echo "FAIL: BenchmarkServeWarm more than 3x the serve_warm_request_ns recorded in ${serve}" >&2
+        status=1
+    fi
+else
+    echo "skipping serve gate: no ${serve}" >&2
+fi
 exit $status

@@ -1,0 +1,54 @@
+#!/bin/sh
+# servesmoke.sh — end-to-end smoke for the thermald serving stack.
+#
+# Builds thermald and thermald-bench, starts the server on an ephemeral
+# port, fires a mixed sim/sweep/trace burst at it twice in different
+# client orderings (thermald-bench -smoke), and fails unless every
+# response is bit-identical across the two runs — the serving layer's
+# determinism contract. Finishes by exercising the SIGTERM drain path
+# and checking the server reports a clean exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="${TMPDIR:-/tmp}/thermald-smoke.$$"
+mkdir -p "$tmp"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+echo "building..." >&2
+go build -o "$tmp/thermald" ./cmd/thermald
+go build -o "$tmp/thermald-bench" ./cmd/thermald-bench
+
+"$tmp/thermald" -addr 127.0.0.1:0 >"$tmp/thermald.log" 2>&1 &
+pid=$!
+
+# The server prints "thermald: listening on http://host:port" once the
+# listener is up; with port 0 that line is the only way to learn the
+# port.
+url=""
+i=0
+while [ $i -lt 100 ]; do
+    url=$(sed -n 's/^thermald: listening on \(http:.*\)$/\1/p' "$tmp/thermald.log" | head -1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { cat "$tmp/thermald.log" >&2; echo "FAIL: thermald exited before listening" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$url" ] || { echo "FAIL: thermald never reported its address" >&2; exit 1; }
+echo "thermald up at ${url}" >&2
+
+"$tmp/thermald-bench" -smoke -url "$url"
+
+# Graceful drain: SIGTERM must finish open work and exit 0.
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    [ $i -lt 100 ] || { echo "FAIL: thermald did not drain within 10s" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "thermald: drained" "$tmp/thermald.log" || {
+    cat "$tmp/thermald.log" >&2
+    echo "FAIL: thermald exited without reporting a clean drain" >&2
+    exit 1
+}
+echo "servesmoke: ok" >&2
