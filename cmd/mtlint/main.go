@@ -16,6 +16,15 @@
 //	unitsafety   — raw floats in unit-bearing APIs, cross-dimension
 //	               conversions, and unaudited .Raw() escapes in
 //	               //mtlint:units packages
+//	lockcheck    — lock-ordering cycles, locks held across blocking
+//	               calls, and //mtlint:guardedby field accesses
+//	               without the lock (CFG must-hold dataflow)
+//	cowcheck     — mutations of atomically published maps/slices and
+//	               fields mixing sync/atomic with plain access (CFG
+//	               may-publish dataflow)
+//	lifecycle    — goroutines without a join path and timers without
+//	               a stop path in //mtlint:deterministic or
+//	               //mtlint:lifecycle packages
 //
 // Exit status is 2 on findings or type errors, 1 on infrastructure
 // failure, 0 when clean. -json emits machine-readable findings.
@@ -28,10 +37,13 @@ import (
 	"os"
 	"regexp"
 
+	"multitherm/internal/analysis/cowcheck"
 	"multitherm/internal/analysis/determinism"
 	"multitherm/internal/analysis/driver"
 	"multitherm/internal/analysis/floatcmp"
 	"multitherm/internal/analysis/kernelparity"
+	"multitherm/internal/analysis/lifecycle"
+	"multitherm/internal/analysis/lockcheck"
 	"multitherm/internal/analysis/unitsafety"
 	"multitherm/internal/analysis/zeroalloc"
 )
@@ -42,6 +54,9 @@ var all = []*driver.Analyzer{
 	zeroalloc.Analyzer,
 	kernelparity.Analyzer,
 	unitsafety.Analyzer,
+	lockcheck.Analyzer,
+	cowcheck.Analyzer,
+	lifecycle.Analyzer,
 }
 
 func main() {

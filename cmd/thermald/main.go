@@ -13,7 +13,10 @@
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, open
 // requests finish, pending batches flush, the pool joins, then the
-// process exits.
+// process exits. The lifecycle analyzer enforces that every goroutine
+// and timer here has a join or stop path, so the drain terminates.
+//
+//mtlint:lifecycle
 package main
 
 import (

@@ -1,0 +1,491 @@
+// Package cowcheck enforces the memo layer's copy-on-write contract.
+// The lock-free read path works only if every value reachable through
+// an atomic.Pointer/atomic.Value is immutable from the moment it is
+// published: readers Load the snapshot with no lock, so a single
+// post-publish write is an unsynchronized data race even when the
+// writer still holds the writer mutex.
+//
+// Two checks, both over the driver's CFG dataflow core:
+//
+//  1. Publish-then-mutate. A forward may-analysis (union join) tracks
+//     local variables that become aliases of a published value —
+//     either because they were the operand of an atomic
+//     Store/Swap/CompareAndSwap, or because they were bound from an
+//     atomic Load. Any subsequent mutation through such a variable is
+//     flagged: index assignment, delete, append (which mutates the
+//     shared backing array in place when capacity allows), or a write
+//     through the pointer. Rebinding the variable to a fresh value
+//     (the correct copy-on-write move) kills the fact.
+//
+//  2. Mixed access discipline. A field passed by address to a
+//     sync/atomic package function (atomic.AddInt64(&s.n, 1)) must
+//     never also be read or written plainly: the plain access is
+//     invisible to the atomic one and the pair races. Fields of
+//     atomic value types (atomic.Int64 and friends) cannot be
+//     accessed plainly at all, so they are exempt by construction.
+//
+// The analysis is intraprocedural and tracks identifiers, not heap
+// shapes: passing a published map to another function that mutates it
+// is not caught. Suppress deliberate violations with
+// //mtlint:allow cowcheck|atomicmix <reason>.
+package cowcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the copy-on-write contract check.
+var Analyzer = &driver.Analyzer{
+	Name: "cowcheck",
+	Doc:  "flag mutations of atomically published values and fields mixing sync/atomic with plain access",
+	Run:  run,
+}
+
+// Allow check names.
+const (
+	AllowPublish = "cowcheck"
+	AllowMix     = "atomicmix"
+)
+
+// pubSet is the may-published set: objects that may alias an
+// atomically published value at a program point. Treated as immutable.
+type pubSet map[types.Object]bool
+
+func (s pubSet) with(o types.Object) pubSet {
+	if s[o] {
+		return s
+	}
+	next := make(pubSet, len(s)+1)
+	for k := range s { //mtlint:allow maprange set copy; sets are order-insensitive
+		next[k] = true
+	}
+	next[o] = true
+	return next
+}
+
+func (s pubSet) without(o types.Object) pubSet {
+	if !s[o] {
+		return s
+	}
+	next := make(pubSet, len(s))
+	for k := range s { //mtlint:allow maprange set copy; sets are order-insensitive
+		if k != o {
+			next[k] = true
+		}
+	}
+	return next
+}
+
+func joinSets(a, b pubSet) pubSet {
+	if len(a) == 0 {
+		return b
+	}
+	out := a
+	for o := range b { //mtlint:allow maprange set union; sets are order-insensitive
+		out = out.with(o)
+	}
+	return out
+}
+
+func equalSets(a, b pubSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o := range a { //mtlint:allow maprange set compare; sets are order-insensitive
+		if !b[o] {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass *driver.Pass
+	info *types.Info
+}
+
+func run(pass *driver.Pass) error {
+	c := &checker{pass: pass, info: pass.TypesInfo()}
+	for _, fb := range driver.PackageFunctions(pass.Pkg) {
+		c.checkFunc(fb)
+	}
+	c.checkMixedAccess()
+	return nil
+}
+
+func (c *checker) checkFunc(fb driver.FuncBody) {
+	cfg := driver.NewCFG(fb.Body)
+	transfer := func(b *driver.Block, in pubSet) pubSet {
+		s := in
+		for _, a := range b.Atoms {
+			s = c.atom(a, s, false)
+		}
+		return s
+	}
+	in := driver.Forward(cfg, nil, joinSets, equalSets, transfer)
+	for _, b := range cfg.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, a := range b.Atoms {
+			s = c.atom(a, s, true)
+		}
+	}
+}
+
+// atom threads the may-published set through one CFG atom, reporting
+// post-publish mutations when report is set.
+func (c *checker) atom(a ast.Node, s pubSet, report bool) pubSet {
+	switch n := a.(type) {
+	case *ast.AssignStmt:
+		return c.assign(n, s, report)
+	case *ast.IncDecStmt:
+		c.checkMutation(n.X, "mutated", s, report)
+		return c.scanPublishes(n, s)
+	default:
+		c.scanDeletes(a, s, report)
+		return c.scanPublishes(a, s)
+	}
+}
+
+// assign handles gen (publish, load-alias, alias copy), kill (rebind
+// to a fresh value), and mutation checks for one assignment.
+func (c *checker) assign(n *ast.AssignStmt, s pubSet, report bool) pubSet {
+	for _, r := range n.Rhs {
+		c.scanDeletes(r, s, report)
+		s = c.scanPublishes(r, s)
+	}
+	paired := len(n.Lhs) == len(n.Rhs)
+	for i, l := range n.Lhs {
+		// Mutations through a published alias: m[k] = v, *p = v.
+		switch l.(type) {
+		case *ast.IndexExpr, *ast.StarExpr:
+			c.checkMutation(l, "mutated", s, report)
+		}
+		id, isIdent := l.(*ast.Ident)
+		if !isIdent {
+			continue
+		}
+		obj := c.objOf(id)
+		if obj == nil {
+			continue
+		}
+		if !paired {
+			continue
+		}
+		rhs := n.Rhs[i]
+		switch {
+		case c.isAppendOfPublished(rhs, s):
+			if report && !driver.Allowed(c.pass.Pkg, rhs.Pos(), AllowPublish) {
+				c.pass.Reportf(rhs.Pos(), "append to %s after atomic publish; append mutates the shared backing array in place — build a fresh slice and re-publish", appendArgName(rhs))
+			}
+			s = s.without(obj)
+		case c.isAtomicLoad(rhs):
+			s = s.with(obj)
+		default:
+			if src := c.objOf(aliasSource(rhs)); src != nil && s[src] {
+				s = s.with(obj) // m2 := m keeps the alias published
+			} else {
+				s = s.without(obj) // rebinding to a fresh value is the COW move
+			}
+		}
+	}
+	return s
+}
+
+// checkMutation reports a write through e when e bottoms out in a
+// published identifier.
+func (c *checker) checkMutation(e ast.Expr, verb string, s pubSet, report bool) {
+	if !report {
+		return
+	}
+	base := baseIdent(e)
+	if base == nil {
+		return
+	}
+	obj := c.objOf(base)
+	if obj == nil || !s[obj] {
+		return
+	}
+	if driver.Allowed(c.pass.Pkg, e.Pos(), AllowPublish) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "%s %s after atomic publish; lock-free readers share this value — build a fresh copy and re-publish", base.Name, verb)
+}
+
+// scanDeletes finds delete(m, k) calls on published maps anywhere in
+// the atom.
+func (c *checker) scanDeletes(a ast.Node, s pubSet, report bool) {
+	if !report {
+		return
+	}
+	driver.WalkAtom(a, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "delete" || len(call.Args) == 0 {
+			return true
+		}
+		if _, isBuiltin := c.info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		base := baseIdent(call.Args[0])
+		if base == nil {
+			return true
+		}
+		if obj := c.objOf(base); obj != nil && s[obj] {
+			if !driver.Allowed(c.pass.Pkg, call.Pos(), AllowPublish) {
+				c.pass.Reportf(call.Pos(), "%s deleted from after atomic publish; lock-free readers share this value — build a fresh copy and re-publish", base.Name)
+			}
+		}
+		return true
+	})
+}
+
+// scanPublishes adds the operands of atomic Store/Swap/CompareAndSwap
+// calls found in the atom to the published set.
+func (c *checker) scanPublishes(a ast.Node, s pubSet) pubSet {
+	driver.WalkAtom(a, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		argIdx, isPublish := atomicPublishArg[sel.Sel.Name]
+		if !isPublish || !c.isAtomicMethodSel(sel) || len(call.Args) <= argIdx {
+			return true
+		}
+		if base := baseIdent(call.Args[argIdx]); base != nil {
+			if obj := c.objOf(base); obj != nil {
+				s = s.with(obj)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// atomicPublishArg maps publishing method names to the index of the
+// argument that becomes visible to other goroutines.
+var atomicPublishArg = map[string]int{
+	"Store":          0,
+	"Swap":           0,
+	"CompareAndSwap": 1,
+}
+
+// isAtomicLoad reports whether e is a Load from an atomic value,
+// possibly behind a dereference: p.Load(), *p.Load().
+func (c *checker) isAtomicLoad(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.StarExpr:
+		return c.isAtomicLoad(n.X)
+	case *ast.ParenExpr:
+		return c.isAtomicLoad(n.X)
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Load" && c.isAtomicMethodSel(sel)
+	}
+	return false
+}
+
+// isAtomicMethodSel reports whether sel names a method of a
+// sync/atomic type.
+func (c *checker) isAtomicMethodSel(sel *ast.SelectorExpr) bool {
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAppendOfPublished reports whether e is append(m, ...) with m
+// published.
+func (c *checker) isAppendOfPublished(e ast.Expr, s pubSet) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := c.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	base := baseIdent(call.Args[0])
+	if base == nil {
+		return false
+	}
+	obj := c.objOf(base)
+	return obj != nil && s[obj]
+}
+
+func appendArgName(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) > 0 {
+		if base := baseIdent(call.Args[0]); base != nil {
+			return base.Name
+		}
+	}
+	return "value"
+}
+
+// baseIdent unwraps unary/star/paren/index layers to the identifier a
+// mutation flows through, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch n := e.(type) {
+		case *ast.Ident:
+			return n
+		case *ast.ParenExpr:
+			e = n.X
+		case *ast.StarExpr:
+			e = n.X
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return nil
+			}
+			e = n.X
+		case *ast.IndexExpr:
+			e = n.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) objOf(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := c.info.Uses[id]; o != nil {
+		return o
+	}
+	return c.info.Defs[id]
+}
+
+// aliasSource unwraps an RHS to the identifier it aliases, if the
+// binding shares backing storage: m2 := m, p2 := (m).
+func aliasSource(e ast.Expr) ast.Expr {
+	for {
+		switch n := e.(type) {
+		case *ast.ParenExpr:
+			e = n.X
+		default:
+			return e
+		}
+	}
+}
+
+// checkMixedAccess flags fields that are accessed both through
+// sync/atomic package functions and plainly.
+func (c *checker) checkMixedAccess() {
+	atomicSel := map[*ast.SelectorExpr]bool{} // &s.f args of atomic pkg funcs
+	skipSel := map[*ast.SelectorExpr]bool{}   // receivers of atomic-typed method calls
+
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if c.isAtomicPkgFunc(n) {
+					for _, arg := range n.Args {
+						if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+							if sel, ok := u.X.(*ast.SelectorExpr); ok {
+								atomicSel[sel] = true
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				// s.counter.Add(1): the field selector is the receiver of
+				// an atomic-typed method; the type system already forbids
+				// plain access to such fields.
+				if c.isAtomicMethodSel(n) {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						skipSel[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	type access struct {
+		pos    token.Pos
+		atomic bool
+	}
+	uses := map[*types.Var][]access{}
+	var order []*types.Var
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || skipSel[sel] {
+				return true
+			}
+			selection, ok := c.info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, seen := uses[field]; !seen {
+				order = append(order, field)
+			}
+			uses[field] = append(uses[field], access{pos: sel.Pos(), atomic: atomicSel[sel]})
+			return true
+		})
+	}
+
+	for _, field := range order {
+		accs := uses[field]
+		hasAtomic := false
+		for _, a := range accs {
+			if a.atomic {
+				hasAtomic = true
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		for _, a := range accs {
+			if a.atomic {
+				continue
+			}
+			if driver.Allowed(c.pass.Pkg, a.pos, AllowMix) {
+				continue
+			}
+			c.pass.Reportf(a.pos, "field %s is accessed plainly here but through sync/atomic elsewhere in this package; the pair races — use one discipline", field.Name())
+		}
+	}
+}
+
+// isAtomicPkgFunc reports whether call invokes a package-level
+// function of sync/atomic (atomic.AddInt64, atomic.LoadPointer, ...).
+func (c *checker) isAtomicPkgFunc(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

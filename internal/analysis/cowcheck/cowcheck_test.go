@@ -1,0 +1,12 @@
+package cowcheck_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/cowcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", cowcheck.Analyzer)
+}

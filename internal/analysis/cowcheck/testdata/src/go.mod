@@ -1,0 +1,3 @@
+module fixture.example/cowcheck
+
+go 1.22

@@ -1,0 +1,42 @@
+// Package mix seeds the mixed-discipline bug: one goroutine bumps a
+// counter through sync/atomic while another reads it plainly; the
+// plain access is invisible to the atomic one and the pair races.
+package mix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	// ops uses an atomic value type: the compiler already forbids
+	// plain access, so method calls on it are never flagged.
+	ops atomic.Int64
+}
+
+func (c *counters) RecordHit() {
+	atomic.AddInt64(&c.hits, 1)
+	c.ops.Add(1)
+}
+
+func (c *counters) SnapshotBad() int64 {
+	return c.hits // want `field hits is accessed plainly here but through sync/atomic elsewhere`
+}
+
+func (c *counters) SnapshotGood() int64 {
+	return atomic.LoadInt64(&c.hits) + c.ops.Load()
+}
+
+// misses is only ever accessed plainly: one discipline, no report.
+func (c *counters) RecordMiss() {
+	c.misses++
+}
+
+func (c *counters) Misses() int64 {
+	return c.misses
+}
+
+// Allowed demonstrates the suppression escape hatch.
+func (c *counters) SnapshotAllowed() int64 {
+	//mtlint:allow atomicmix post-join readout; all writers have exited
+	return c.hits
+}

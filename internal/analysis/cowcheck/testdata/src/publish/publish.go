@@ -1,0 +1,114 @@
+// Package publish seeds the publish-then-mutate bug family: a map or
+// slice handed to an atomic.Pointer keeps being written through the
+// local variable, racing with every lock-free reader that already
+// Loaded it. The compliant shapes are the real copy-on-write moves:
+// build fresh, publish, forget.
+package publish
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type cache struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[map[string]int]
+}
+
+// PutGood is the production shape: copy the current snapshot, mutate
+// the copy, publish, never touch it again.
+func (c *cache) PutGood(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := map[string]int{}
+	if cur := c.snap.Load(); cur != nil {
+		for key, val := range *cur {
+			next[key] = val
+		}
+	}
+	next[k] = v
+	c.snap.Store(&next)
+}
+
+// PutThenMutate stores the map and keeps writing it: the classic
+// snapshot-mutated-after-publish bug.
+func (c *cache) PutThenMutate(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := map[string]int{k: v}
+	c.snap.Store(&next)
+	next["extra"] = v // want `next mutated after atomic publish`
+}
+
+func (c *cache) DeleteAfterPublish(k string) {
+	next := map[string]int{}
+	c.snap.Store(&next)
+	delete(next, k) // want `next deleted from after atomic publish`
+}
+
+// MutateLoaded writes through a Load result: the alias is published
+// by definition.
+func (c *cache) MutateLoaded(k string, v int) {
+	m := c.snap.Load()
+	if m == nil {
+		return
+	}
+	(*m)[k] = v // want `m mutated after atomic publish`
+}
+
+// AliasEscapes shows the alias chain is followed: m2 shares backing
+// with the published map.
+func (c *cache) AliasEscapes(k string, v int) {
+	next := map[string]int{}
+	c.snap.Store(&next)
+	m2 := next
+	m2[k] = v // want `m2 mutated after atomic publish`
+}
+
+// RebindIsFine: after rebinding to a fresh map the variable no longer
+// aliases the published value.
+func (c *cache) RebindIsFine(k string, v int) {
+	next := map[string]int{}
+	c.snap.Store(&next)
+	next = map[string]int{}
+	next[k] = v
+}
+
+// Allowed demonstrates the suppression escape hatch.
+func (c *cache) Allowed(k string, v int) {
+	next := map[string]int{}
+	c.snap.Store(&next)
+	//mtlint:allow cowcheck single-writer startup fill; no reader exists yet
+	next[k] = v
+}
+
+type ring struct {
+	slots atomic.Pointer[[]int]
+}
+
+// AppendAfterPublish is the memo slice-swap analogue: append may
+// write the published backing array in place.
+func (r *ring) AppendAfterPublish(v int) {
+	s := make([]int, 0, 8)
+	r.slots.Store(&s)
+	s = append(s, v) // want `append to s after atomic publish`
+}
+
+// SwapPublishes: Swap's operand is published exactly like Store's.
+func (r *ring) SwapPublishes(v int) {
+	s := []int{v}
+	_ = r.slots.Swap(&s)
+	s[0] = v // want `s mutated after atomic publish`
+}
+
+// CopyFirst is the compliant slice move.
+func (r *ring) CopyFirst(v int) {
+	old := r.slots.Load()
+	var next []int
+	if old != nil {
+		next = append(append([]int(nil), *old...), v)
+	} else {
+		next = []int{v}
+	}
+	r.slots.Store(&next)
+}

@@ -1,0 +1,524 @@
+package driver
+
+// This file is the intraprocedural control-flow + dataflow core the
+// concurrency analyzers (lockcheck, cowcheck, lifecycle) build on. It
+// deliberately stops far short of golang.org/x/tools SSA: there is no
+// value numbering, no phi insertion, no interprocedural anything —
+// just basic blocks over `go/ast` statement structure, a generic
+// forward fixpoint, and a reachability query. That is enough to answer
+// the questions the concurrency contracts pose ("is this lock held at
+// this access?", "does any path write this map after its atomic
+// publish?", "is the join reachable from the spawn?") while staying
+// stdlib-only and small enough to hold in one's head.
+//
+// Vocabulary: a Block holds a sequence of *atoms* — simple statements
+// (assignments, calls, sends, defers, go statements) and the condition
+// or tag expressions of the control statements that end a block.
+// Control statements themselves are decomposed into edges and never
+// appear whole inside a block, with two deliberate exceptions that
+// WalkAtom compensates for: a RangeStmt heads its loop block (its
+// Body belongs to other blocks) and a select's CommClause comm
+// statements open their clause blocks. WalkAtom therefore never
+// descends into a nested *ast.BlockStmt, and visits *ast.FuncLit
+// nodes without entering their bodies — a literal's body is its own
+// function with its own CFG.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: atoms executed in order, then a transfer
+// of control along one of Succs.
+type Block struct {
+	Index int
+	Atoms []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution begins; Exit is the single synthetic block every return
+// (and the final fall-off-the-end) feeds.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of a function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelInfo{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+// labelInfo tracks the blocks a label can transfer control to: the
+// label's own block (goto target) and, when the labeled statement is a
+// loop or switch, its break/continue targets.
+type labelInfo struct {
+	block *Block // goto target; created lazily on first reference
+	brk   *Block
+	cont  *Block
+}
+
+// loopCtx is one enclosing breakable/continuable construct.
+type loopCtx struct {
+	brk  *Block
+	cont *Block // nil for switch/select (continue skips them)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil after a terminating statement (return/goto/...)
+	loops  []loopCtx
+	labels map[string]*labelInfo
+	// pendingLabel carries a just-opened label block into the labeled
+	// statement so labeled loops register their break/continue targets.
+	pendingLabel *labelInfo
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// current returns the block under construction, opening an unreachable
+// one if control cannot arrive here (code after return/goto — it still
+// parses, so it still gets blocks; they simply have no predecessors).
+func (b *cfgBuilder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) atom(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.current()
+	blk.Atoms = append(blk.Atoms, n)
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.block == nil {
+		li.block = b.newBlock()
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		b.edge(b.current(), li.block)
+		b.cur = li.block
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Cond)
+		cond := b.current()
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.current(), head)
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.cur = head
+			b.atom(s.Cond)
+			b.edge(head, after)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.atom(s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushLoop(after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, cont)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.current(), head)
+		// The RangeStmt itself is the head atom: analyzers see its X
+		// (and Key/Value) via WalkAtom, which will not descend into the
+		// Body — those statements live in the loop body blocks.
+		b.cur = head
+		b.atom(s)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		if s.Tag != nil {
+			b.atom(s.Tag)
+		}
+		b.buildSwitch(s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Assign)
+		b.buildSwitch(s.Body.List)
+
+	case *ast.SelectStmt:
+		head := b.current()
+		after := b.newBlock()
+		b.pushLoop(after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			b.edge(head, clause)
+			b.cur = clause
+			// The comm statement (send or receive) opens the clause: it
+			// is where the channel operation happens, so analyzers see
+			// it with the dataflow state that held at the select.
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.popLoop()
+		// An empty select blocks forever: no edge to after.
+		if len(s.Body.List) == 0 {
+			b.cur = nil
+		} else {
+			b.cur = after
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.edge(b.current(), b.labelFor(s.Label.Name).block)
+			b.cur = nil
+		case token.BREAK:
+			b.edge(b.current(), b.branchTarget(s.Label, false))
+			b.cur = nil
+		case token.CONTINUE:
+			b.edge(b.current(), b.branchTarget(s.Label, true))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by buildSwitch, which inspects the clause tail.
+		}
+
+	case *ast.ReturnStmt:
+		b.atom(s)
+		b.edge(b.current(), b.cfg.Exit)
+		b.cur = nil
+
+	default:
+		// Assign, Decl, Expr, IncDec, Send, Go, Defer, Empty: straight-
+		// line atoms.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.atom(s)
+	}
+}
+
+// buildSwitch lowers (type) switch clauses: the dispatcher block fans
+// out to every clause, a missing default adds a fall-past edge, and a
+// trailing fallthrough chains to the next clause's block.
+func (b *cfgBuilder) buildSwitch(clauses []ast.Stmt) {
+	head := b.current()
+	after := b.newBlock()
+	b.pushLoop(after, nil)
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.atom(e)
+		}
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = nil
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.loops = append(b.loops, loopCtx{brk: brk, cont: cont})
+	if b.pendingLabel != nil {
+		b.pendingLabel.brk = brk
+		b.pendingLabel.cont = cont
+		b.pendingLabel = nil
+	}
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *cfgBuilder) branchTarget(label *ast.Ident, isContinue bool) *Block {
+	if label != nil {
+		li := b.labelFor(label.Name)
+		if isContinue && li.cont != nil {
+			return li.cont
+		}
+		if !isContinue && li.brk != nil {
+			return li.brk
+		}
+		// Label declared after the branch (or on a non-loop): fall back
+		// to the label block itself; conservative but connected.
+		return li.block
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := b.loops[i]
+		if isContinue {
+			if lc.cont != nil {
+				return lc.cont
+			}
+			continue // continue skips switch/select contexts
+		}
+		return lc.brk
+	}
+	// Malformed code (break outside loop) — route to exit so the graph
+	// stays connected.
+	return b.cfg.Exit
+}
+
+// WalkAtom visits n and its children in source order, calling fn for
+// each node; fn returning false prunes that subtree. Unlike
+// ast.Inspect it never descends into a nested *ast.BlockStmt (those
+// statements belong to other blocks) and visits *ast.FuncLit nodes
+// without entering their bodies — a literal is its own function with
+// its own CFG.
+func WalkAtom(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c.(type) {
+		case nil:
+			return false
+		case *ast.BlockStmt:
+			return false
+		}
+		if !fn(c) {
+			return false
+		}
+		if lit, ok := c.(*ast.FuncLit); ok {
+			// Visit the literal's signature but not its body.
+			ast.Inspect(lit.Type, func(t ast.Node) bool {
+				if t == nil {
+					return false
+				}
+				return fn(t)
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// Reachable reports whether to can be reached from from along CFG
+// edges (from is considered to reach itself).
+func (c *CFG) Reachable(from, to *Block) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{from}
+	seen[from.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// BlockOf returns the block whose atoms contain pos, or nil. Positions
+// inside nested function literals resolve to the block holding the
+// literal's atom.
+func (c *CFG) BlockOf(pos token.Pos) *Block {
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if a.Pos() <= pos && pos <= a.End() {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// Forward runs an iterative forward dataflow analysis to fixpoint and
+// returns the state at entry to each reachable block. join merges the
+// states arriving along two edges; equal detects convergence; transfer
+// pushes a state through one block's atoms. States must be treated as
+// immutable by all three callbacks (return fresh values), and transfer
+// must be monotone for termination.
+func Forward[S any](c *CFG, entry S, join func(a, b S) S, equal func(a, b S) bool, transfer func(b *Block, in S) S) map[*Block]S {
+	in := map[*Block]S{c.Entry: entry}
+	work := []*Block{c.Entry}
+	queued := make([]bool, len(c.Blocks))
+	queued[c.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := transfer(blk, in[blk])
+		for _, s := range blk.Succs {
+			next, ok := in[s]
+			if !ok {
+				in[s] = out
+			} else {
+				j := join(next, out)
+				if equal(j, next) {
+					continue
+				}
+				in[s] = j
+			}
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// FuncBody is one analyzable function body: a declared function or
+// method (Decl set) or a function literal (Lit set).
+type FuncBody struct {
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Body *ast.BlockStmt
+}
+
+// Pos returns the function's position for reporting.
+func (f FuncBody) Pos() token.Pos {
+	if f.Decl != nil {
+		return f.Decl.Pos()
+	}
+	return f.Lit.Pos()
+}
+
+// PackageFunctions enumerates every function body in the package's
+// non-test files: declared functions and methods first, then every
+// function literal (including literals nested in other literals), in
+// source order. Each body is analyzed as its own function — a
+// literal's CFG is not embedded in its enclosing function's.
+func PackageFunctions(pkg *Package) []FuncBody {
+	var out []FuncBody
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, FuncBody{Decl: n, Body: n.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, FuncBody{Lit: n, Body: n.Body})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,401 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a file body containing one function named fn)
+// and returns the function's declaration.
+func parseFunc(t *testing.T, src, fn string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fset, fd
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// atomStrings renders every atom of every reachable block, for shape
+// assertions that survive formatting changes.
+func atomStrings(c *CFG) []string {
+	var out []string
+	for _, b := range c.Blocks {
+		if b != c.Entry && len(b.Preds) == 0 {
+			continue
+		}
+		for _, a := range b.Atoms {
+			switch a := a.(type) {
+			case *ast.Ident:
+				out = append(out, a.Name)
+			case *ast.ReturnStmt:
+				out = append(out, "return")
+			default:
+				out = append(out, "")
+			}
+		}
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f() int {
+	x := 1
+	x++
+	return x
+}`, "f")
+	c := NewCFG(fd.Body)
+	if len(c.Entry.Atoms) != 3 {
+		t.Fatalf("entry has %d atoms, want 3 (assign, incdec, return)", len(c.Entry.Atoms))
+	}
+	if !c.Reachable(c.Entry, c.Exit) {
+		t.Fatal("exit not reachable from entry")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	c := NewCFG(fd.Body)
+	// Entry (assign + cond) must have two successors, both of which
+	// reach the block holding the return.
+	if got := len(c.Entry.Succs); got != 2 {
+		t.Fatalf("condition block has %d successors, want 2", got)
+	}
+	for i, s := range c.Entry.Succs {
+		if !c.Reachable(s, c.Exit) {
+			t.Errorf("branch %d cannot reach exit", i)
+		}
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	c := NewCFG(fd.Body)
+	// The loop body must be able to reach itself (through the post and
+	// head blocks) — i.e. the graph has a cycle.
+	var body *Block
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if as, ok := a.(*ast.AssignStmt); ok && as.Tok.String() == "+=" {
+				body = b
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("loop body block not found")
+	}
+	cyclic := false
+	for _, s := range body.Succs {
+		if c.Reachable(s, body) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatal("loop body has no back edge to itself")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 2
+}`, "f")
+	c := NewCFG(fd.Body)
+	if len(c.Exit.Preds) != 2 {
+		t.Fatalf("exit has %d predecessors, want 2 (both returns)", len(c.Exit.Preds))
+	}
+}
+
+func TestCFGSelectClausesCarryCommAtoms(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+	}
+	return 0
+}`, "f")
+	c := NewCFG(fd.Body)
+	recv, send := false, false
+	for _, blk := range c.Blocks {
+		for _, atom := range blk.Atoms {
+			switch atom.(type) {
+			case *ast.AssignStmt:
+				recv = true
+			case *ast.SendStmt:
+				send = true
+			}
+		}
+	}
+	if !recv || !send {
+		t.Fatalf("select comm statements missing from clause blocks (recv=%v send=%v)", recv, send)
+	}
+}
+
+func TestCFGGotoAndLabels(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`, "f")
+	c := NewCFG(fd.Body)
+	if !c.Reachable(c.Entry, c.Exit) {
+		t.Fatal("exit unreachable through goto loop")
+	}
+	// The goto must create a cycle: some block reaches itself.
+	cyclic := false
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if c.Reachable(s, b) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("goto loop produced no cycle")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}`, "f")
+	c := NewCFG(fd.Body)
+	if !c.Reachable(c.Entry, c.Exit) {
+		t.Fatal("exit unreachable with labeled break")
+	}
+}
+
+// TestCFGForwardMustHold exercises the Forward fixpoint with the exact
+// lattice lockcheck uses: a must-hold set with intersection join. The
+// "lock" is modeled as idents named lock/unlock.
+func TestCFGForwardMustHold(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(a bool) {
+	lock
+	if a {
+		unlock
+	}
+	probe
+}`, "f")
+	c := NewCFG(fd.Body)
+	type state = string // "" or "held"
+	join := func(x, y state) state {
+		if x == y {
+			return x
+		}
+		return ""
+	}
+	equal := func(x, y state) bool { return x == y }
+	var probeState *string
+	transfer := func(b *Block, in state) state {
+		s := in
+		for _, a := range b.Atoms {
+			WalkAtom(a, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					switch id.Name {
+					case "lock":
+						s = "held"
+					case "unlock":
+						s = ""
+					case "probe":
+						v := s
+						probeState = &v
+					}
+				}
+				return true
+			})
+		}
+		return s
+	}
+	Forward(c, "", join, equal, transfer)
+	if probeState == nil {
+		t.Fatal("probe atom never visited")
+	}
+	// One path unlocks, so the must-hold meet at the probe is "not held".
+	if *probeState != "" {
+		t.Fatalf("probe sees state %q, want must-hold meet of branches (empty)", *probeState)
+	}
+}
+
+// TestCFGForwardMayPublish exercises the union-join direction cowcheck
+// uses: after a conditional publish, the merge point must still report
+// "maybe published".
+func TestCFGForwardMayPublish(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(a bool) {
+	if a {
+		publish
+	}
+	probe
+}`, "f")
+	c := NewCFG(fd.Body)
+	join := func(x, y bool) bool { return x || y }
+	equal := func(x, y bool) bool { return x == y }
+	var probeState *bool
+	transfer := func(b *Block, in bool) bool {
+		s := in
+		for _, a := range b.Atoms {
+			WalkAtom(a, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					switch id.Name {
+					case "publish":
+						s = true
+					case "probe":
+						v := s
+						probeState = &v
+					}
+				}
+				return true
+			})
+		}
+		return s
+	}
+	Forward(c, false, join, equal, transfer)
+	if probeState == nil || !*probeState {
+		t.Fatal("may-publish did not survive the branch merge")
+	}
+}
+
+// TestWalkAtomSkipsFuncLitBodies proves atoms never leak another
+// function's statements: the literal node is visited, its body is not.
+func TestWalkAtomSkipsFuncLitBodies(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f() {
+	g := func() { inner }
+	g()
+}`, "f")
+	c := NewCFG(fd.Body)
+	sawLit, sawInner := false, false
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			WalkAtom(a, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					sawLit = true
+				case *ast.Ident:
+					if n.Name == "inner" {
+						sawInner = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !sawLit {
+		t.Fatal("WalkAtom never visited the function literal node")
+	}
+	if sawInner {
+		t.Fatal("WalkAtom descended into the function literal's body")
+	}
+}
+
+// TestPackageFunctionsFindsLiterals checks literals are enumerated as
+// their own bodies.
+func TestPackageFunctionsFindsLiterals(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", `package p
+func a() { go func() { _ = func() {} }() }
+func b() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{file}}
+	fns := PackageFunctions(pkg)
+	decls, lits := 0, 0
+	for _, f := range fns {
+		if f.Decl != nil {
+			decls++
+		}
+		if f.Lit != nil {
+			lits++
+		}
+	}
+	if decls != 2 || lits != 2 {
+		t.Fatalf("got %d decls and %d literals, want 2 and 2", decls, lits)
+	}
+}
+
+// TestCFGSwitchFallthrough checks fallthrough chains clause blocks.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, fd := parseFunc(t, `
+func f(x int) string {
+	out := ""
+	switch x {
+	case 1:
+		out += "one"
+		fallthrough
+	case 2:
+		out += "two"
+	default:
+		out += "other"
+	}
+	return out
+}`, "f")
+	c := NewCFG(fd.Body)
+	if !c.Reachable(c.Entry, c.Exit) {
+		t.Fatal("exit unreachable through switch")
+	}
+	// Sanity: all atom text accounted for (no clause bodies dropped).
+	var rendered strings.Builder
+	for _, b := range c.Blocks {
+		for _, a := range b.Atoms {
+			if as, ok := a.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					rendered.WriteString(lit.Value)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"one", "two", "other"} {
+		if !strings.Contains(rendered.String(), want) {
+			t.Errorf("case body %q missing from CFG atoms", want)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package lifecycle verifies that concurrency in deterministic and
+// server packages can be shut down. The SIGTERM drain contract
+// (Shutdown → flushAll → pool Close → exit 0) only terminates if
+// every goroutine has a join path and every timer can be stopped; a
+// single leaked worker or flush timer keeps the process alive past
+// drain or fires into freed state after it.
+//
+// The check runs only in packages marked //mtlint:deterministic or
+// //mtlint:lifecycle. For every `go` statement it demands join
+// evidence in the spawned body (including package-local functions it
+// calls, one level deep):
+//
+//   - a sync.WaitGroup Done whose Wait exists — reachable from the
+//     spawn site (CFG) when the group is a local variable, anywhere
+//     in the package when it is a field; or
+//   - a channel send whose channel is received from somewhere in the
+//     package (the errc <- srv.Serve(ln) idiom, observed by the
+//     caller's select).
+//
+// For every time.AfterFunc / time.NewTimer / time.NewTicker it
+// demands the result be captured and Stop be called on that variable
+// or field somewhere in the package; a discarded result can never be
+// stopped. time.Tick is flagged unconditionally — its ticker is
+// unreachable by construction.
+//
+// The analysis is intraprocedural plus one level of local call
+// expansion; a goroutine that is joined through a mechanism it cannot
+// see (context trees, external registries) should carry
+// //mtlint:allow lifecycle <reason>.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the goroutine/timer lifecycle check.
+var Analyzer = &driver.Analyzer{
+	Name: "lifecycle",
+	Doc:  "flag goroutines without a join path and timers without a stop path in //mtlint:deterministic or //mtlint:lifecycle packages",
+	Run:  run,
+}
+
+// Marker gates the check; //mtlint:deterministic packages are also
+// covered since determinism is the stronger contract.
+const Marker = "lifecycle"
+
+// AllowLifecycle is the suppression check name.
+const AllowLifecycle = "lifecycle"
+
+type checker struct {
+	pass  *driver.Pass
+	info  *types.Info
+	funcs map[*types.Func]*ast.FuncDecl // package-local declarations
+	waits map[types.Object]bool         // WaitGroup objects with a package-level Wait
+	stops map[types.Object]bool         // timer/ticker objects Stop is called on
+	recvs map[types.Object]bool         // channel objects received from
+}
+
+func run(pass *driver.Pass) error {
+	if !driver.PackageMarked(pass.Pkg, Marker) && !driver.PackageMarked(pass.Pkg, "deterministic") {
+		return nil
+	}
+	c := &checker{
+		pass:  pass,
+		info:  pass.TypesInfo(),
+		funcs: map[*types.Func]*ast.FuncDecl{},
+		waits: map[types.Object]bool{},
+		stops: map[types.Object]bool{},
+		recvs: map[types.Object]bool{},
+	}
+	c.collectFacts()
+	for _, fb := range driver.PackageFunctions(pass.Pkg) {
+		c.checkGoStmts(fb)
+	}
+	c.checkTimers()
+	return nil
+}
+
+// collectFacts indexes the package: function declarations, Wait/Stop
+// call receivers, and channels that something receives from.
+func (c *checker) collectFacts() {
+	for _, f := range c.pass.Files() {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := c.info.Defs[fd.Name].(*types.Func); ok {
+					c.funcs[fn] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch c.fullName(sel) {
+				case "(*sync.WaitGroup).Wait":
+					if obj := c.baseObj(sel.X); obj != nil {
+						c.waits[obj] = true
+					}
+				case "(*time.Timer).Stop", "(*time.Ticker).Stop":
+					if obj := c.baseObj(sel.X); obj != nil {
+						c.stops[obj] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if obj := c.baseObj(n.X); obj != nil {
+						c.recvs[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := c.info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if obj := c.baseObj(n.X); obj != nil {
+							c.recvs[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGoStmts demands join evidence for every go statement in one
+// function body.
+func (c *checker) checkGoStmts(fb driver.FuncBody) {
+	cfg := driver.NewCFG(fb.Body)
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			c.checkGo(gs, fb, cfg)
+			return true // still descend: spawnedBody only reads the literal
+		}
+		// Nested literals are enumerated as their own FuncBody by
+		// PackageFunctions; their go statements are checked there.
+		_, isLit := n.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// checkGo verifies one go statement.
+func (c *checker) checkGo(gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG) {
+	body := c.spawnedBody(gs.Call)
+	if body != nil && c.hasJoinEvidence(body, gs, fb, cfg, 1) {
+		return
+	}
+	if driver.Allowed(c.pass.Pkg, gs.Pos(), AllowLifecycle) {
+		return
+	}
+	c.pass.Reportf(gs.Pos(), "goroutine has no join or stop path (no WaitGroup Done with a matching Wait, no channel send with a package-side receiver); it can outlive Close and drain")
+}
+
+// spawnedBody resolves the body the go statement runs: a literal, or
+// a package-local function or method declaration.
+func (c *checker) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := c.info.Uses[fun].(*types.Func); ok {
+			if fd := c.funcs[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := c.funcs[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasJoinEvidence scans a spawned body (expanding package-local calls
+// up to depth levels) for a Done/send that something else observes.
+func (c *checker) hasJoinEvidence(body *ast.BlockStmt, gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG, depth int) bool {
+	found := false
+	var callees []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := c.baseObj(n.Chan); obj != nil && c.recvs[obj] {
+				found = true
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				if depth > 0 {
+					if id, ok := n.Fun.(*ast.Ident); ok {
+						if fn, ok := c.info.Uses[id].(*types.Func); ok {
+							if fd := c.funcs[fn]; fd != nil {
+								callees = append(callees, fd.Body)
+							}
+						}
+					}
+				}
+				return true
+			}
+			if c.fullName(sel) == "(*sync.WaitGroup).Done" {
+				if obj := c.baseObj(sel.X); obj != nil && c.waitObserved(obj, gs, fb, cfg) {
+					found = true
+				}
+				return true
+			}
+			if depth > 0 {
+				if fn, ok := c.info.Uses[sel.Sel].(*types.Func); ok {
+					if fd := c.funcs[fn]; fd != nil {
+						callees = append(callees, fd.Body)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	for _, cb := range callees {
+		if c.hasJoinEvidence(cb, gs, fb, cfg, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitObserved decides whether a Done on obj is matched by a Wait:
+// fields and package variables need one anywhere in the package;
+// locals need one reachable from the spawn site in the spawning
+// function, so a Wait on a dead branch does not count.
+func (c *checker) waitObserved(obj types.Object, gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG) bool {
+	if !c.waits[obj] {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || isPkgLevel(v) {
+		return true
+	}
+	// Local WaitGroup: find a reachable Wait in the spawning function.
+	spawnBlock := cfg.BlockOf(gs.Pos())
+	if spawnBlock == nil {
+		return true // conservative: the spawn sits outside tracked atoms
+	}
+	reachable := false
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if reachable {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || c.fullName(sel) != "(*sync.WaitGroup).Wait" {
+			return true
+		}
+		if c.baseObj(sel.X) != obj {
+			return true
+		}
+		wb := cfg.BlockOf(call.Pos())
+		if wb != nil && (wb == spawnBlock || cfg.Reachable(spawnBlock, wb)) {
+			reachable = true
+		}
+		return true
+	})
+	return reachable
+}
+
+// timeCtors maps timer-producing time functions to what to call the
+// leak.
+var timeCtors = map[string]string{
+	"time.AfterFunc": "timer",
+	"time.NewTimer":  "timer",
+	"time.NewTicker": "ticker",
+}
+
+// checkTimers demands a stop path for every timer/ticker constructor.
+func (c *checker) checkTimers() {
+	captured := map[*ast.CallExpr]bool{}
+	for _, f := range c.pass.Files() {
+		// First pass: constructor results that are captured into a
+		// variable or field; verify Stop evidence on the target.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, r := range n.Rhs {
+					call, kind := c.timeCtor(r)
+					if call == nil {
+						continue
+					}
+					captured[call] = true
+					c.checkStopTarget(n.Lhs[i], call, kind)
+				}
+			case *ast.ValueSpec:
+				for i, r := range n.Values {
+					call, kind := c.timeCtor(r)
+					if call == nil || i >= len(n.Names) {
+						continue
+					}
+					captured[call] = true
+					c.checkStopTarget(n.Names[i], call, kind)
+				}
+			}
+			return true
+		})
+		// Second pass: constructors whose result is discarded, plus
+		// time.Tick which has no stoppable handle at all.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && c.fullName(sel) == "time.Tick" {
+				if !driver.Allowed(c.pass.Pkg, call.Pos(), AllowLifecycle) {
+					c.pass.Reportf(call.Pos(), "time.Tick leaks its ticker by construction; use time.NewTicker and Stop it")
+				}
+				return true
+			}
+			kind := ""
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				kind = timeCtors[c.fullName(sel)]
+			}
+			if kind == "" || captured[call] {
+				return true
+			}
+			// Escaping uses (return values, call arguments, composite
+			// literals) hand ownership elsewhere; only a bare statement
+			// provably discards the handle.
+			if c.isExprStmtCall(f, call) {
+				if !driver.Allowed(c.pass.Pkg, call.Pos(), AllowLifecycle) {
+					c.pass.Reportf(call.Pos(), "%s result discarded; the %s can never be stopped — capture it and Stop it on shutdown", callName(call), kind)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkStopTarget verifies Stop is called somewhere on the variable
+// or field a constructor result lands in.
+func (c *checker) checkStopTarget(lhs ast.Expr, call *ast.CallExpr, kind string) {
+	obj := c.baseObj(lhs)
+	if obj == nil {
+		return // blank identifier or untrackable target: report as discard below
+	}
+	if c.stops[obj] {
+		return
+	}
+	if driver.Allowed(c.pass.Pkg, call.Pos(), AllowLifecycle) {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "%s stored in %s is never stopped; call Stop on every shutdown path", kind, obj.Name())
+}
+
+// timeCtor matches a timer/ticker constructor call.
+func (c *checker) timeCtor(e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	kind := timeCtors[c.fullName(sel)]
+	if kind == "" {
+		return nil, ""
+	}
+	return call, kind
+}
+
+// isExprStmtCall reports whether call appears as its own statement.
+func (c *checker) isExprStmtCall(f *ast.File, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok && es.X == ast.Expr(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) fullName(sel *ast.SelectorExpr) string {
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// baseObj resolves the object an expression's access path starts
+// from: the field for s.wg, the variable for wg.
+func (c *checker) baseObj(e ast.Expr) types.Object {
+	switch n := e.(type) {
+	case *ast.ParenExpr:
+		return c.baseObj(n.X)
+	case *ast.UnaryExpr:
+		return c.baseObj(n.X)
+	case *ast.StarExpr:
+		return c.baseObj(n.X)
+	case *ast.Ident:
+		if o := c.info.Uses[n]; o != nil {
+			return o
+		}
+		return c.info.Defs[n]
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[n]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}

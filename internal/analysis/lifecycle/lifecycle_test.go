@@ -1,0 +1,12 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/lifecycle"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lifecycle.Analyzer)
+}

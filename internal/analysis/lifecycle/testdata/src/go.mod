@@ -1,0 +1,3 @@
+module fixture.example/lifecycle
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package leak seeds goroutine and timer leaks: spawns with no join
+// evidence and timers nobody can stop. The compliant shapes mirror
+// production: WaitGroup-joined workers (local and field), the
+// errc-send-observed-by-select idiom, and field timers with a Stop on
+// the drain path.
+//
+//mtlint:lifecycle
+package leak
+
+import (
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// Orphan spawns a goroutine nothing ever joins.
+func Orphan() {
+	go work() // want `goroutine has no join or stop path`
+}
+
+// OrphanLit is the literal flavor.
+func OrphanLit() {
+	go func() { // want `goroutine has no join or stop path`
+		work()
+	}()
+}
+
+// LocalJoin is the steal-scheduler shape: local WaitGroup, Done in
+// the body, Wait reachable from the spawn.
+func LocalJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// DeadWait has the Done/Wait pair, but the Wait sits behind a return:
+// the CFG proves the spawn never reaches it.
+func DeadWait(skip bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine has no join or stop path`
+		defer wg.Done()
+		work()
+	}()
+	if skip {
+		return
+	}
+	return
+	wg.Wait()
+}
+
+// worker is the pool shape: Done on a field group, Wait on the drain
+// path of another method.
+type worker struct {
+	wg sync.WaitGroup
+}
+
+func (w *worker) run() {
+	defer w.wg.Done()
+	work()
+}
+
+func (w *worker) Start() {
+	w.wg.Add(1)
+	go w.run()
+}
+
+func (w *worker) Close() {
+	w.wg.Wait()
+}
+
+// ServeShape is the thermald idiom: the goroutine's send is observed
+// by the caller's receive.
+func ServeShape() error {
+	errc := make(chan error, 1)
+	go func() { errc <- serve() }()
+	return <-errc
+}
+
+func serve() error { return nil }
+
+// DeafChannel sends on a channel nothing receives from.
+func DeafChannel() {
+	done := make(chan int, 1)
+	go func() { // want `goroutine has no join or stop path`
+		done <- 1
+	}()
+	_ = done
+}
+
+// AllowedDetached is the sanctioned leak: the suppression names the
+// external joiner the analysis cannot see.
+func AllowedDetached() {
+	//mtlint:allow lifecycle joined by the process-wide supervisor registry
+	go work()
+}
+
+// flusher mirrors the batcher: a field timer armed on demand.
+type flusher struct {
+	mu    sync.Mutex
+	timer *time.Timer
+}
+
+// Arm stores the timer in a field; Drain stops it, so the package has
+// a stop path and Arm is silent.
+func (f *flusher) Arm(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.timer = time.AfterFunc(d, work)
+}
+
+func (f *flusher) Drain() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+}
+
+// leaky mirrors the seeded bug: the flush timer field has no Stop
+// anywhere.
+type leaky struct {
+	timer *time.Timer
+}
+
+func (l *leaky) Arm(d time.Duration) {
+	l.timer = time.AfterFunc(d, work) // want `timer stored in timer is never stopped`
+}
+
+// DiscardedTimer drops the handle on the floor.
+func DiscardedTimer(d time.Duration) {
+	time.AfterFunc(d, work) // want `time.AfterFunc result discarded; the timer can never be stopped`
+}
+
+// LocalStopped stops its ticker on the way out.
+func LocalStopped(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// TickLeaks has no stoppable handle at all.
+func TickLeaks(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `time.Tick leaks its ticker by construction`
+}
+
+// AllowedTimer suppresses a deliberate fire-and-forget arm.
+func AllowedTimer(d time.Duration) {
+	//mtlint:allow lifecycle one-shot process deadline; firing is the point
+	time.AfterFunc(d, work)
+}

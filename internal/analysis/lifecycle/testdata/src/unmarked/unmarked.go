@@ -1,0 +1,12 @@
+// Package unmarked leaks freely: without //mtlint:lifecycle or
+// //mtlint:deterministic the analyzer must stay silent.
+package unmarked
+
+import "time"
+
+func work() {}
+
+func Orphan() {
+	go work()
+	time.AfterFunc(time.Second, work)
+}

@@ -1,0 +1,784 @@
+// Package lockcheck enforces the repository's lock discipline over the
+// driver's CFG dataflow core. The serving stack's correctness argument
+// (bit-identical responses, SIGTERM drain that terminates) depends on
+// three lock invariants that per-statement AST checks cannot see,
+// because each one is a property of *paths*, not statements:
+//
+//  1. Lock ordering. Every site that acquires a sync.Mutex/RWMutex
+//     while another is held contributes an edge to a per-package
+//     lock-ordering graph; a cycle in that graph is a latent deadlock
+//     (two goroutines taking the locks in opposite orders), and
+//     re-acquiring a lock already held on the same receiver deadlocks
+//     immediately. Both are flagged.
+//
+//  2. No blocking under a lock. A lock held across a channel send or
+//     receive, a select, sync.WaitGroup.Wait, time.Sleep, or a call
+//     into the worker-pool surface (Pool.Submit/Close,
+//     parallel.RunTasks/ForEach) stalls every other goroutine needing
+//     that lock for as long as the blocked goroutine waits — the exact
+//     shape that turns a full batch queue into a server-wide stall.
+//     sync.Cond.Wait is exempt: it atomically releases its mutex.
+//
+//  3. Guarded fields. A struct field annotated
+//     //mtlint:guardedby <lockField> [writes] may only be accessed at
+//     program points where the sibling lock is held on the *same base
+//     expression* (g.pending requires g.mu). The must-hold set is
+//     computed by forward dataflow with intersection join, so an
+//     access is only accepted when *every* path to it holds the lock.
+//     The `writes` variant guards writes only — the copy-on-write
+//     discipline, where lock-free readers load an immutable snapshot
+//     and only publication requires the writer lock. Helper methods
+//     whose contract is "caller holds the lock" declare it with
+//     //mtlint:locked <lockField>, which both seeds their entry state
+//     and makes every call site prove it holds the receiver's lock.
+//
+// The analysis is intraprocedural. A deferred Unlock keeps the lock
+// held to function exit (the dominant idiom); lock identities are
+// matched by expression spelling (g.mu), which is exact for the
+// receiver-field idiom this repository uses and conservative for
+// aliases. Suppress deliberate violations with
+// //mtlint:allow lockheld|lockorder|guardedby <reason>.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the lock-discipline check.
+var Analyzer = &driver.Analyzer{
+	Name: "lockcheck",
+	Doc:  "flag lock-ordering cycles, locks held across blocking calls, and //mtlint:guardedby field accesses without their lock",
+	Run:  run,
+}
+
+// Directive names.
+const (
+	GuardedByMarker = "guardedby" // field: //mtlint:guardedby <lockField> [writes]
+	LockedMarker    = "locked"    // method: //mtlint:locked <lockField>
+)
+
+// Allow check names.
+const (
+	AllowHeld      = "lockheld"
+	AllowOrder     = "lockorder"
+	AllowGuardedBy = "guardedby"
+)
+
+// lockID identifies one lock.
+type lockID struct {
+	expr  string // spelling at the use site: "g.mu", "mu"
+	class string // package-stable identity for the ordering graph: "(group).mu"
+}
+
+// held is one element of the must-hold set.
+type held struct {
+	id   lockID
+	excl bool // Lock (true) vs RLock (false)
+}
+
+// state is the sorted must-hold set; treated as immutable.
+type state []held
+
+func (s state) find(expr string) int {
+	for i, h := range s {
+		if h.id.expr == expr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s state) with(h held) state {
+	if i := s.find(h.id.expr); i >= 0 {
+		if s[i].excl == h.excl {
+			return s
+		}
+		next := append(state(nil), s...)
+		next[i].excl = h.excl
+		return next
+	}
+	next := append(append(state(nil), s...), h)
+	sort.Slice(next, func(a, b int) bool { return next[a].id.expr < next[b].id.expr })
+	return next
+}
+
+func (s state) without(expr string) state {
+	i := s.find(expr)
+	if i < 0 {
+		return s
+	}
+	next := append(append(state(nil), s[:i]...), s[i+1:]...)
+	return next
+}
+
+func joinStates(a, b state) state {
+	var out state
+	for _, h := range a {
+		if j := b.find(h.id.expr); j >= 0 {
+			m := h
+			m.excl = h.excl && b[j].excl
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func equalStates(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// guardSpec is one parsed //mtlint:guardedby annotation.
+type guardSpec struct {
+	lockField  string
+	writesOnly bool
+}
+
+// orderEdge records "to acquired while from held".
+type orderEdge struct {
+	from, to string // lock classes
+	pos      token.Pos
+}
+
+// checker carries the per-package analysis.
+type checker struct {
+	pass    *driver.Pass
+	info    *types.Info
+	guards  map[*types.Var]guardSpec  // annotated fields
+	locked  map[*types.Func]string    // method -> lock field the caller must hold
+	methods map[*types.Func]*ast.FuncDecl
+	edges   []orderEdge
+}
+
+func run(pass *driver.Pass) error {
+	c := &checker{
+		pass:    pass,
+		info:    pass.TypesInfo(),
+		guards:  map[*types.Var]guardSpec{},
+		locked:  map[*types.Func]string{},
+		methods: map[*types.Func]*ast.FuncDecl{},
+	}
+	c.collectAnnotations()
+	for _, fb := range driver.PackageFunctions(pass.Pkg) {
+		c.checkFunc(fb)
+	}
+	c.reportOrderCycles()
+	return nil
+}
+
+// collectAnnotations gathers //mtlint:guardedby field specs and
+// //mtlint:locked method preconditions.
+func (c *checker) collectAnnotations() {
+	for _, f := range c.pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				args, ok := fieldDirective(field, GuardedByMarker)
+				if !ok {
+					continue
+				}
+				parts := strings.Fields(args)
+				if len(parts) == 0 {
+					c.pass.Reportf(field.Pos(), "//mtlint:guardedby needs a sibling lock field name")
+					continue
+				}
+				spec := guardSpec{lockField: parts[0]}
+				if len(parts) > 1 && parts[1] == "writes" {
+					spec.writesOnly = true
+				}
+				if !structHasField(st, spec.lockField) {
+					c.pass.Reportf(field.Pos(), "//mtlint:guardedby names %q, which is not a field of this struct", spec.lockField)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := c.info.Defs[name].(*types.Var); ok {
+						c.guards[v] = spec
+					}
+				}
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := c.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.methods[fn] = fd
+			if args, ok := driver.FuncDirective(fd, LockedMarker); ok {
+				fields := strings.Fields(args)
+				if len(fields) == 0 || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+					c.pass.Reportf(fd.Pos(), "//mtlint:locked needs a lock field name and a named receiver")
+					continue
+				}
+				c.locked[fn] = fields[0]
+			}
+		}
+	}
+}
+
+// fieldDirective finds an //mtlint:<name> directive in a struct
+// field's doc or trailing comment.
+func fieldDirective(field *ast.Field, name string) (args string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if !strings.HasPrefix(cm.Text, "//mtlint:") {
+				continue
+			}
+			rest := strings.TrimPrefix(cm.Text, "//mtlint:")
+			n, a, _ := strings.Cut(rest, " ")
+			if n == name {
+				return strings.TrimSpace(a), true
+			}
+		}
+	}
+	return "", false
+}
+
+func structHasField(st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFunc runs the held-set dataflow over one function body and
+// reports violations with per-atom precision.
+func (c *checker) checkFunc(fb driver.FuncBody) {
+	cfg := driver.NewCFG(fb.Body)
+	entry := c.entryState(fb)
+	transfer := func(b *driver.Block, in state) state {
+		s := in
+		for _, a := range b.Atoms {
+			s = c.atom(a, s, false)
+		}
+		return s
+	}
+	in := driver.Forward(cfg, entry, joinStates, equalStates, transfer)
+	for _, b := range cfg.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, a := range b.Atoms {
+			s = c.atom(a, s, true)
+		}
+	}
+}
+
+// entryState seeds the held set of a //mtlint:locked method with its
+// declared precondition.
+func (c *checker) entryState(fb driver.FuncBody) state {
+	if fb.Decl == nil {
+		return nil
+	}
+	fn, ok := c.info.Defs[fb.Decl.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	lockField, ok := c.locked[fn]
+	if !ok {
+		return nil
+	}
+	recv := fb.Decl.Recv.List[0].Names[0].Name
+	expr := recv + "." + lockField
+	return state{held{id: lockID{expr: expr, class: c.classOfRecvField(fb.Decl, lockField)}, excl: true}}
+}
+
+// classOfRecvField builds the ordering-graph identity of a receiver
+// field lock: "(T).field".
+func (c *checker) classOfRecvField(fd *ast.FuncDecl, field string) string {
+	fn, ok := c.info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return "local:" + field
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "local:" + field
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return "(" + n.Obj().Name() + ")." + field
+	}
+	return "local:" + field
+}
+
+// atom interprets one CFG atom, threading the held set through it.
+// With report set, violations are diagnosed and ordering edges
+// recorded; the fixpoint pass runs with report false.
+func (c *checker) atom(a ast.Node, s state, report bool) state {
+	switch n := a.(type) {
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at exit: the lock stays held for the
+		// rest of the function, which is exactly what guardedby wants.
+		// Other deferred calls execute after every atom we analyze, so
+		// their blocking behavior is not "held across" anything here;
+		// evaluate only the argument expressions (they run now).
+		if c.unlockTarget(n.Call) == "" {
+			for _, arg := range n.Call.Args {
+				s = c.expr(arg, false, s, report)
+			}
+		}
+		return s
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			s = c.expr(r, false, s, report)
+		}
+		for _, l := range n.Lhs {
+			s = c.expr(l, true, s, report)
+		}
+		return s
+	case *ast.IncDecStmt:
+		return c.expr(n.X, true, s, report)
+	case *ast.SendStmt:
+		s = c.expr(n.Chan, false, s, report)
+		s = c.expr(n.Value, false, s, report)
+		c.reportBlocking(n.Pos(), "a channel send", s, report)
+		return s
+	case *ast.ExprStmt:
+		return c.expr(n.X, false, s, report)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			s = c.expr(r, false, s, report)
+		}
+		return s
+	case *ast.GoStmt:
+		// The spawned call runs on another goroutine; only argument
+		// evaluation happens here.
+		for _, arg := range n.Call.Args {
+			s = c.expr(arg, false, s, report)
+		}
+		return s
+	case *ast.RangeStmt:
+		s = c.expr(n.X, false, s, report)
+		if n.Key != nil {
+			s = c.expr(n.Key, true, s, report)
+		}
+		if n.Value != nil {
+			s = c.expr(n.Value, true, s, report)
+		}
+		// Ranging over a channel blocks on every iteration.
+		if tv, ok := c.info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.reportBlocking(n.Pos(), "a channel range", s, report)
+			}
+		}
+		return s
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s = c.expr(v, false, s, report)
+					}
+				}
+			}
+		}
+		return s
+	case ast.Expr:
+		return c.expr(n, false, s, report)
+	default:
+		return s
+	}
+}
+
+// expr interprets one expression; write reports whether the value of e
+// itself is being stored to.
+func (c *checker) expr(e ast.Expr, write bool, s state, report bool) state {
+	switch n := e.(type) {
+	case *ast.ParenExpr:
+		return c.expr(n.X, write, s, report)
+	case *ast.CallExpr:
+		return c.call(n, s, report)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			s = c.expr(n.X, false, s, report)
+			c.reportBlocking(n.Pos(), "a channel receive", s, report)
+			return s
+		}
+		return c.expr(n.X, false, s, report)
+	case *ast.SelectorExpr:
+		c.checkGuardedAccess(n, write, s, report)
+		return c.expr(n.X, false, s, report)
+	case *ast.IndexExpr:
+		s = c.expr(n.X, write, s, report)
+		return c.expr(n.Index, false, s, report)
+	case *ast.IndexListExpr:
+		s = c.expr(n.X, false, s, report)
+		for _, i := range n.Indices {
+			s = c.expr(i, false, s, report)
+		}
+		return s
+	case *ast.SliceExpr:
+		s = c.expr(n.X, false, s, report)
+		for _, sub := range []ast.Expr{n.Low, n.High, n.Max} {
+			if sub != nil {
+				s = c.expr(sub, false, s, report)
+			}
+		}
+		return s
+	case *ast.StarExpr:
+		return c.expr(n.X, false, s, report)
+	case *ast.BinaryExpr:
+		s = c.expr(n.X, false, s, report)
+		return c.expr(n.Y, false, s, report)
+	case *ast.KeyValueExpr:
+		s = c.expr(n.Key, false, s, report)
+		return c.expr(n.Value, false, s, report)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			s = c.expr(el, false, s, report)
+		}
+		return s
+	case *ast.TypeAssertExpr:
+		return c.expr(n.X, false, s, report)
+	case *ast.FuncLit:
+		return s // its body is its own CFG
+	default:
+		return s
+	}
+}
+
+// call interprets a call expression: lock transitions, blocking
+// lexicon, locked-method preconditions, atomic read/write
+// classification, builtins.
+func (c *checker) call(call *ast.CallExpr, s state, report bool) state {
+	// Builtins: delete writes its map, append reads its operands (the
+	// write surfaces at the enclosing assignment's LHS).
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+			for i, arg := range call.Args {
+				s = c.expr(arg, id.Name == "delete" && i == 0, s, report)
+			}
+			return s
+		}
+	}
+
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	full := c.calleeFullName(call)
+
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(sync.Locker).Lock":
+		return c.acquire(sel, true, s, report)
+	case "(*sync.RWMutex).RLock":
+		return c.acquire(sel, false, s, report)
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock", "(sync.Locker).Unlock":
+		if expr := c.unlockTarget(call); expr != "" {
+			return s.without(expr)
+		}
+		return s
+	case "(*sync.Cond).Wait":
+		// Atomically releases and reacquires its mutex: exempt from the
+		// blocking rule, and the mutex is held again afterwards.
+		return s
+	case "(*sync.WaitGroup).Wait":
+		c.reportBlocking(call.Pos(), "sync.WaitGroup.Wait", s, report)
+	}
+
+	// Atomic value methods classify the receiver access for guardedby.
+	if sel != nil && c.isAtomicMethod(sel) {
+		write := atomicWriteMethods[sel.Sel.Name]
+		if base, ok := sel.X.(*ast.SelectorExpr); ok {
+			c.checkGuardedAccess(base, write, s, report)
+			s = c.expr(base.X, false, s, report)
+		} else {
+			s = c.expr(sel.X, false, s, report)
+		}
+		for _, arg := range call.Args {
+			s = c.expr(arg, false, s, report)
+		}
+		return s
+	}
+
+	// Blocking lexicon beyond the fully-qualified sync cases: the
+	// worker-pool surface (by type and method name, so fixtures and
+	// future pools match) and time.Sleep.
+	if c.isBlockingCall(call, full) {
+		c.reportBlocking(call.Pos(), callLabel(call), s, report)
+	}
+
+	// //mtlint:locked callee: the call site must hold the receiver's
+	// lock.
+	if sel != nil {
+		if fn, ok := c.info.Uses[sel.Sel].(*types.Func); ok {
+			if lockField, isLocked := c.locked[fn]; isLocked {
+				want := types.ExprString(sel.X) + "." + lockField
+				if i := s.find(want); i < 0 || !s[i].excl {
+					if report && !driver.Allowed(c.pass.Pkg, call.Pos(), AllowGuardedBy) {
+						c.pass.Reportf(call.Pos(), "call to %s requires %s held (//mtlint:locked); acquire it first", sel.Sel.Name, want)
+					}
+				}
+			}
+		}
+	}
+
+	s = c.expr(call.Fun, false, s, report)
+	for _, arg := range call.Args {
+		s = c.expr(arg, false, s, report)
+	}
+	return s
+}
+
+// acquire processes a Lock/RLock call: self-acquire and ordering
+// edges, then the new held set.
+func (c *checker) acquire(sel *ast.SelectorExpr, excl bool, s state, report bool) state {
+	if sel == nil {
+		return s
+	}
+	id := c.lockIDOf(sel.X)
+	if i := s.find(id.expr); i >= 0 {
+		if report && !driver.Allowed(c.pass.Pkg, sel.Pos(), AllowHeld) {
+			c.pass.Reportf(sel.Pos(), "lock %s acquired while already held; a second acquire of a sync mutex deadlocks", id.expr)
+		}
+		return s
+	}
+	if report {
+		for _, h := range s {
+			c.edges = append(c.edges, orderEdge{from: h.id.class, to: id.class, pos: sel.Pos()})
+		}
+	}
+	return s.with(held{id: id, excl: excl})
+}
+
+// unlockTarget returns the held-set key an Unlock call releases, or ""
+// when the call is not an unlock on a selector.
+func (c *checker) unlockTarget(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch c.calleeFullName(call) {
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock", "(sync.Locker).Unlock":
+		return c.lockIDOf(sel.X).expr
+	}
+	return ""
+}
+
+// lockIDOf derives the identity of the lock value expression (the
+// receiver of Lock/Unlock).
+func (c *checker) lockIDOf(lockExpr ast.Expr) lockID {
+	expr := types.ExprString(lockExpr)
+	class := "local:" + expr
+	switch le := lockExpr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.info.Selections[le]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				class = "(" + n.Obj().Name() + ")." + le.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := c.info.Uses[le]; obj != nil && obj.Parent() == obj.Pkg().Scope() {
+			class = "pkgvar:" + le.Name
+		} else if obj != nil {
+			class = fmt.Sprintf("local:%s@%d", le.Name, obj.Pos())
+		}
+	}
+	return lockID{expr: expr, class: class}
+}
+
+// calleeFullName resolves a call's target to its types.Func full name
+// ("(*sync.Mutex).Lock"), or "".
+func (c *checker) calleeFullName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// atomicWriteMethods classifies sync/atomic value methods.
+var atomicWriteMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "And": true, "Or": true,
+	"Load": false,
+}
+
+func (c *checker) isAtomicMethod(sel *ast.SelectorExpr) bool {
+	if _, known := atomicWriteMethods[sel.Sel.Name]; !known {
+		return false
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// isBlockingCall matches the name-based blocking lexicon: worker-pool
+// entry points and time.Sleep.
+func (c *checker) isBlockingCall(call *ast.CallExpr, full string) bool {
+	if full == "time.Sleep" {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Pool.Submit / Pool.Close on any type named Pool: submitting
+		// can contend on the pool's own lock, Close blocks for a full
+		// drain.
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Name() == "Pool" {
+			return sel.Sel.Name == "Submit" || sel.Sel.Name == "Close"
+		}
+		return false
+	}
+	// Package-level scheduler entry points in a package named parallel.
+	if fn.Pkg() != nil && fn.Pkg().Name() == "parallel" {
+		return fn.Name() == "RunTasks" || fn.Name() == "ForEach"
+	}
+	return false
+}
+
+func callLabel(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name
+	}
+	return types.ExprString(call.Fun)
+}
+
+// reportBlocking diagnoses every lock held across a blocking point.
+func (c *checker) reportBlocking(pos token.Pos, what string, s state, report bool) {
+	if !report || len(s) == 0 {
+		return
+	}
+	if driver.Allowed(c.pass.Pkg, pos, AllowHeld) {
+		return
+	}
+	for _, h := range s {
+		c.pass.Reportf(pos, "lock %s held across %s; release it first or annotate //mtlint:allow lockheld <reason>", h.id.expr, what)
+	}
+}
+
+// checkGuardedAccess verifies one selector access against its
+// guardedby annotation, if any.
+func (c *checker) checkGuardedAccess(sel *ast.SelectorExpr, write bool, s state, report bool) {
+	if !report {
+		return
+	}
+	selection, ok := c.info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec, guarded := c.guards[field]
+	if !guarded {
+		return
+	}
+	if spec.writesOnly && !write {
+		return
+	}
+	want := types.ExprString(sel.X) + "." + spec.lockField
+	i := s.find(want)
+	heldOK := i >= 0 && (!write || s[i].excl)
+	if heldOK {
+		return
+	}
+	if driver.Allowed(c.pass.Pkg, sel.Pos(), AllowGuardedBy) {
+		return
+	}
+	kind := "read"
+	if write {
+		kind = "write"
+	}
+	suffix := ""
+	if write && i >= 0 {
+		suffix = " exclusively; only RLock is held"
+	}
+	c.pass.Reportf(sel.Pos(), "%s of %s.%s requires %s held%s (//mtlint:guardedby)", kind, types.ExprString(sel.X), field.Name(), want, suffix)
+}
+
+// reportOrderCycles diagnoses every acquire edge that participates in
+// a cycle of the package's lock-ordering graph.
+func (c *checker) reportOrderCycles() {
+	if len(c.edges) == 0 {
+		return
+	}
+	adj := map[string]map[string]bool{}
+	for _, e := range c.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			//mtlint:allow maprange successor scan; reachability is order-insensitive
+			for next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	reported := map[string]bool{}
+	for _, e := range c.edges {
+		key := e.from + "->" + e.to
+		if reported[key] || !reaches(e.to, e.from) {
+			continue
+		}
+		reported[key] = true
+		if driver.Allowed(c.pass.Pkg, e.pos, AllowOrder) {
+			continue
+		}
+		c.pass.Reportf(e.pos, "lock ordering cycle: %s acquired while %s held, and the reverse order exists in this package; pick one global order", e.to, e.from)
+	}
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"multitherm/internal/analysis/analysistest"
+	"multitherm/internal/analysis/lockcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lockcheck.Analyzer)
+}

@@ -1,0 +1,3 @@
+module fixture.example/lockcheck
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package guarded seeds //mtlint:guardedby and //mtlint:locked
+// violations: unlocked reads and writes of guarded fields, a write
+// under a read lock, a copy-on-write publish without the writer lock,
+// and a caller-holds-lock helper invoked bare. The compliant shapes
+// mirror production: defer-unlock mutators, lock-free snapshot
+// readers, and locked helpers called under their lock.
+package guarded
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type group struct {
+	mu sync.Mutex
+	//mtlint:guardedby mu
+	pending []int
+	timer   *time.Timer //mtlint:guardedby mu
+}
+
+// Add is the compliant mutator: every access happens under g.mu.
+func (g *group) Add(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pending = append(g.pending, v)
+	if g.timer == nil {
+		g.timer = time.NewTimer(time.Second)
+	}
+}
+
+func (g *group) LenBad() int {
+	return len(g.pending) // want `read of g\.pending requires g\.mu held`
+}
+
+func (g *group) ResetBad() {
+	g.pending = nil // want `write of g\.pending requires g\.mu held`
+}
+
+// LenAllowed shows the suppression: a torn length is tolerable for
+// monitoring output.
+func (g *group) LenAllowed() int {
+	//mtlint:allow guardedby approximate gauge; a torn read is acceptable
+	return len(g.pending)
+}
+
+// takeLocked's contract is "caller holds g.mu"; the annotation seeds
+// the entry state so the body checks clean, and makes call sites
+// prove they hold the lock.
+//
+//mtlint:locked mu
+func (g *group) takeLocked() []int {
+	out := g.pending
+	g.pending = nil
+	return out
+}
+
+func (g *group) Flush() []int {
+	g.mu.Lock()
+	out := g.takeLocked()
+	g.mu.Unlock()
+	return out
+}
+
+func (g *group) FlushBad() []int {
+	return g.takeLocked() // want `call to takeLocked requires g\.mu held \(//mtlint:locked\)`
+}
+
+// stats exercises the shared/exclusive split of an RWMutex guard.
+type stats struct {
+	mu sync.RWMutex
+	//mtlint:guardedby mu
+	hits map[string]int
+}
+
+// Get reads under RLock: shared access is enough for a read.
+func (s *stats) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits[k]
+}
+
+func (s *stats) BumpUnderRLock(k string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits[k]++ // want `write of s\.hits requires s\.mu held exclusively; only RLock is held`
+}
+
+func (s *stats) Bump(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits[k]++
+}
+
+// cache mirrors the memo copy-on-write layout: readers load the
+// snapshot lock-free, publication requires the writer lock.
+type cache struct {
+	mu sync.Mutex
+	//mtlint:guardedby mu writes
+	snap atomic.Pointer[map[string]int]
+}
+
+// Lookup is the lock-free fast path — reads of a writes-guarded field
+// need no lock.
+func (c *cache) Lookup(k string) (int, bool) {
+	m := c.snap.Load()
+	if m == nil {
+		return 0, false
+	}
+	v, ok := (*m)[k]
+	return v, ok
+}
+
+// Publish swaps in a rebuilt snapshot under the writer lock.
+func (c *cache) Publish(m map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snap.Store(&m)
+}
+
+func (c *cache) PublishBad(m map[string]int) {
+	c.snap.Store(&m) // want `write of c\.snap requires c\.mu held`
+}
+
+// misannotated proves the spec itself is validated: the named lock
+// must be a sibling field.
+type misannotated struct {
+	//mtlint:guardedby lock
+	data []int // want `//mtlint:guardedby names .lock., which is not a field of this struct`
+}

@@ -1,0 +1,88 @@
+// Package held seeds locks held across blocking operations: channel
+// sends and receives, WaitGroup joins, and worker-pool submission —
+// each one a server-wide stall when the blocked goroutine owns a lock
+// every other request path needs.
+package held
+
+import (
+	"sync"
+	"time"
+)
+
+// Pool mimics the parallel.Pool surface; lockcheck matches it by type
+// and method name so the fixture exercises the production shape.
+type Pool struct{}
+
+func (p *Pool) Submit(job func()) error { return nil }
+func (p *Pool) Close()                  {}
+
+type server struct {
+	mu   sync.Mutex
+	out  chan int
+	pool *Pool
+}
+
+func (s *server) SendWhileLocked(v int) {
+	s.mu.Lock()
+	s.out <- v // want `lock s\.mu held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *server) RecvWhileLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.out // want `lock s\.mu held across a channel receive`
+}
+
+func (s *server) SubmitWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.pool.Submit(func() {}) // want `lock s\.mu held across s\.pool\.Submit`
+}
+
+func (s *server) WaitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `lock s\.mu held across sync\.WaitGroup\.Wait`
+	s.mu.Unlock()
+}
+
+func (s *server) SleepWhileLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `lock s\.mu held across time\.Sleep`
+	s.mu.Unlock()
+}
+
+// ReleaseFirst is the compliant shape: take what you need under the
+// lock, release, then block.
+func (s *server) ReleaseFirst(v int) {
+	s.mu.Lock()
+	out := s.out
+	s.mu.Unlock()
+	out <- v
+}
+
+// CondWait is the sanctioned blocking-under-lock idiom: Wait
+// atomically releases the mutex while parked.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *queue) Take() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	return q.n
+}
+
+// Allowed demonstrates the suppression escape hatch.
+func (s *server) Allowed(v int) {
+	s.mu.Lock()
+	//mtlint:allow lockheld startup handshake; the receiver is guaranteed ready before any contender exists
+	s.out <- v
+	s.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+// Package order seeds a lock-order inversion: Transfer takes a then
+// b, Refund takes b then a. Either function alone is fine; together
+// they deadlock two goroutines that interleave. The analyzer must
+// flag both acquire sites that close the cycle.
+package order
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+)
+
+func Transfer() {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock() // want `lock ordering cycle: pkgvar:b acquired while pkgvar:a held`
+	defer b.Unlock()
+}
+
+func Refund() {
+	b.Lock()
+	defer b.Unlock()
+	a.Lock() // want `lock ordering cycle: pkgvar:a acquired while pkgvar:b held`
+	defer a.Unlock()
+}
+
+// Nested consistently with the a->b order: no cycle through c.
+func Consistent() {
+	a.Lock()
+	defer a.Unlock()
+	c.Lock()
+	defer c.Unlock()
+}
+
+func Recursive() {
+	a.Lock()
+	a.Lock() // want `lock a acquired while already held`
+	a.Unlock()
+	a.Unlock()
+}
+
+// ReleasedBetween holds neither lock while taking the other, so it
+// contributes no ordering edge at all.
+func ReleasedBetween() {
+	b.Lock()
+	b.Unlock()
+	a.Lock()
+	a.Unlock()
+}

@@ -28,8 +28,9 @@ import (
 type LRU[K comparable, V any] struct {
 	cap   int
 	clock atomic.Int64
-	snap  atomic.Pointer[map[K]*lruEntry[V]]
-	mu    sync.Mutex // serializes writers; readers never take it
+	//mtlint:guardedby mu writes
+	snap atomic.Pointer[map[K]*lruEntry[V]]
+	mu   sync.Mutex // serializes writers; readers never take it
 
 	hits, misses, evictions atomic.Int64
 }

@@ -23,6 +23,10 @@ import (
 // Map is a copy-on-write map from K to V. The zero value is an empty
 // map ready for use. All methods are safe for concurrent use.
 type Map[K comparable, V any] struct {
+	// snap is the published copy-on-write snapshot: lock-free readers
+	// Load it, and only publication needs the writer lock.
+	//
+	//mtlint:guardedby mu writes
 	snap atomic.Pointer[map[K]V]
 	mu   sync.Mutex // serializes writers; readers never take it
 }
@@ -75,6 +79,8 @@ func (m *Map[K, V]) Store(k K, v V) {
 
 // storeLocked copies the current snapshot, inserts, and publishes.
 // Callers hold mu.
+//
+//mtlint:locked mu
 func (m *Map[K, V]) storeLocked(k K, v V) {
 	var next map[K]V
 	if p := m.snap.Load(); p != nil {

@@ -25,9 +25,11 @@ type Pool struct {
 	workers int
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []func()
-	closed  bool
-	wg      sync.WaitGroup
+	//mtlint:guardedby mu
+	queue []func()
+	//mtlint:guardedby mu
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // ErrPoolClosed is returned by Submit after Close has begun.

@@ -1,3 +1,9 @@
+// Package parallel schedules simulation work across worker
+// goroutines: RunTasks/ForEach for bounded sweeps, Pool for the
+// serving stack. Every goroutine it spawns joins through a WaitGroup
+// on an explicit drain path — enforced by the lifecycle analyzer.
+//
+//mtlint:lifecycle
 package parallel
 
 import (
@@ -49,7 +55,8 @@ type Task struct {
 // per deque suffices because tasks here are milliseconds long, so the
 // queue is touched orders of magnitude less often than it is worked.
 type deque struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//mtlint:guardedby mu
 	tasks []Task // ascending cost: bottom holds the cheapest
 }
 
@@ -144,13 +151,12 @@ func RunTasks(ctx context.Context, workers int, tasks []Task, fn func(ctx contex
 	}
 
 	// LPT seeding: deal the cost-major order onto the least-loaded
-	// deque. Deques are then reversed into ascending-cost order so the
-	// owner's LIFO pop starts with its costliest task.
-	deques := make([]*deque, workers)
+	// seed list, reverse each into ascending-cost order so the owner's
+	// LIFO pop starts with its costliest task, and only then construct
+	// the deques — the queues are fully formed before any worker can
+	// see them, so no seed write ever races a steal.
+	seeds := make([][]Task, workers)
 	loads := make([]float64, workers)
-	for w := range deques {
-		deques[w] = &deque{}
-	}
 	for _, t := range order {
 		w := 0
 		for v := 1; v < workers; v++ {
@@ -158,16 +164,18 @@ func RunTasks(ctx context.Context, workers int, tasks []Task, fn func(ctx contex
 				w = v
 			}
 		}
-		deques[w].tasks = append(deques[w].tasks, t)
+		seeds[w] = append(seeds[w], t)
 		// Zero-cost tasks still occupy a slot: bias the load by a hair
 		// so unknown-cost work deals round-robin instead of piling onto
 		// worker 0.
 		loads[w] += t.Cost + 1e-9
 	}
-	for _, d := range deques {
-		for i, j := 0, len(d.tasks)-1; i < j; i, j = i+1, j-1 {
-			d.tasks[i], d.tasks[j] = d.tasks[j], d.tasks[i]
+	deques := make([]*deque, workers)
+	for w, s := range seeds {
+		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
 		}
+		deques[w] = &deque{tasks: s}
 	}
 
 	// Tasks never spawn tasks, so a full scan finding every deque empty

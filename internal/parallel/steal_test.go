@@ -34,6 +34,51 @@ func TestRunTasksRunsAll(t *testing.T) {
 	}
 }
 
+// TestRunTasksSkewedSeeding pins the seed-then-publish construction:
+// deques are built from fully-formed seed lists, so worker counts that
+// leave some deques empty (workers == n with one giant task hogging
+// the LPT deal) and all-zero-cost round-robin deals must still run
+// every task exactly once. Guards the refactor that moved seeding off
+// the live deques.
+func TestRunTasksSkewedSeeding(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		costs   func(i int) float64
+	}{
+		{"one-giant-rest-zero", 16, func(i int) float64 {
+			if i == 0 {
+				return 1e6
+			}
+			return 0
+		}},
+		{"all-zero-round-robin", 5, func(int) float64 { return 0 }},
+		{"workers-equal-tasks", 16, func(i int) float64 { return float64(i) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 16
+			tasks := make([]Task, n)
+			for i := range tasks {
+				tasks[i] = Task{Index: i, Cost: tc.costs(i)}
+			}
+			var hits [n]atomic.Int64
+			err := RunTasks(context.Background(), tc.workers, tasks, func(_ context.Context, i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("task %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
 // TestRunTasksDeterministicResults is the determinism-order guard for
 // the stealing scheduler: with per-task durations chosen to force heavy
 // steal traffic, index-slotted results must be identical at every

@@ -61,8 +61,11 @@ type group struct {
 	mu sync.Mutex
 	// pending joins in arrival order; the armed timer covers exactly
 	// the joins accumulated since the last flush.
+	//
+	//mtlint:guardedby mu
 	pending []*join
-	timer   *time.Timer
+	//mtlint:guardedby mu
+	timer *time.Timer
 }
 
 // batcher coalesces joins into lockstep batches and dispatches them to
@@ -72,7 +75,8 @@ type batcher struct {
 	width  int           // max lanes per dispatched batch
 	window time.Duration // how long a lone join waits for company
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//mtlint:guardedby mu
 	groups map[groupKey]*group
 
 	// Counters for /v1/stats.
@@ -147,6 +151,8 @@ func (b *batcher) submit(c *cell) *join {
 }
 
 // take removes and returns every pending join. Callers hold g.mu.
+//
+//mtlint:locked mu
 func (g *group) take() []*join {
 	batch := g.pending
 	g.pending = nil

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -15,8 +16,22 @@ import (
 
 // newTestServer builds a server plus its httptest listener; the
 // cleanup drains in listener-then-server order, mirroring production.
+//
+// The MTSERVE_FORCE_WINDOW environment variable overrides the batch
+// window for every server built through this helper: the CI race
+// shard sets it to 0 so each join dispatches immediately, turning a
+// full test run into maximum flush contention on the batcher and
+// pool. Tests whose assertions depend on a specific window (batch
+// coalescing) construct their server directly and are unaffected.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if v, ok := os.LookupEnv("MTSERVE_FORCE_WINDOW"); ok {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("MTSERVE_FORCE_WINDOW %q: %v", v, err)
+		}
+		cfg.Window = d
+	}
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -169,10 +184,18 @@ func TestDeterministicAcrossOrderingsAndCacheState(t *testing.T) {
 // requests actually share panels: with a generous window, a burst of
 // distinct cells must form at least one multi-lane batch.
 func TestBatcherCoalescesSameGroup(t *testing.T) {
-	s, ts := newTestServer(t, Config{
+	// Built directly, not via newTestServer: the assertion needs this
+	// exact window even when MTSERVE_FORCE_WINDOW=0 disables
+	// coalescing everywhere else.
+	s := New(Config{
 		Workers:    1,
 		BatchWidth: 4,
 		Window:     50 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
 	})
 	var wg sync.WaitGroup
 	for _, body := range []string{

@@ -38,17 +38,45 @@ echo "thermald up at ${url}" >&2
 
 "$tmp/thermald-bench" -smoke -url "$url"
 
-# Graceful drain: SIGTERM must finish open work and exit 0.
+# Graceful drain under load: open trace streams, then SIGTERM while
+# they are in flight. The server must finish every open stream, report
+# a clean drain, and exit 0 — a drain that cuts streams or hangs on
+# them is exactly the bug this guards against.
+trace_body='{"workload":"workload1","policy":"dist-stopgo","simtime_s":0.05,"every":1}'
+tpids=""
+for i in 1 2 3; do
+    curl -sS -N -X POST -H 'Content-Type: application/json' -d "$trace_body" \
+        "$url/v1/sim/trace" >"$tmp/trace.$i" 2>"$tmp/trace.$i.err" &
+    tpids="$tpids $!"
+done
+sleep 0.2
 kill -TERM "$pid"
+for tp in $tpids; do
+    wait "$tp" || {
+        cat "$tmp"/trace.*.err >&2
+        echo "FAIL: in-flight trace stream failed during drain" >&2
+        exit 1
+    }
+done
+for i in 1 2 3; do
+    [ -s "$tmp/trace.$i" ] || { echo "FAIL: trace stream $i returned no data" >&2; exit 1; }
+done
 i=0
 while kill -0 "$pid" 2>/dev/null; do
     [ $i -lt 100 ] || { echo "FAIL: thermald did not drain within 10s" >&2; exit 1; }
     sleep 0.1
     i=$((i + 1))
 done
+status=0
+wait "$pid" || status=$?
+[ "$status" -eq 0 ] || {
+    cat "$tmp/thermald.log" >&2
+    echo "FAIL: thermald exited with status $status after SIGTERM" >&2
+    exit 1
+}
 grep -q "thermald: drained" "$tmp/thermald.log" || {
     cat "$tmp/thermald.log" >&2
     echo "FAIL: thermald exited without reporting a clean drain" >&2
     exit 1
 }
-echo "servesmoke: ok" >&2
+echo "servesmoke: ok (drained with in-flight trace streams, exit 0)" >&2
