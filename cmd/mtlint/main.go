@@ -25,6 +25,10 @@
 //	lifecycle    — goroutines without a join path and timers without
 //	               a stop path in //mtlint:deterministic or
 //	               //mtlint:lifecycle packages
+//	taintcheck   — request/flag/env-derived values reaching make
+//	               sizes, loop bounds, or slice indexing without a
+//	               recognized clamp (interprocedural, call-graph
+//	               summaries)
 //
 // Exit status is 2 on findings or type errors, 1 on infrastructure
 // failure, 0 when clean. -json emits machine-readable findings.
@@ -44,6 +48,7 @@ import (
 	"multitherm/internal/analysis/kernelparity"
 	"multitherm/internal/analysis/lifecycle"
 	"multitherm/internal/analysis/lockcheck"
+	"multitherm/internal/analysis/taintcheck"
 	"multitherm/internal/analysis/unitsafety"
 	"multitherm/internal/analysis/zeroalloc"
 )
@@ -57,6 +62,7 @@ var all = []*driver.Analyzer{
 	lockcheck.Analyzer,
 	cowcheck.Analyzer,
 	lifecycle.Analyzer,
+	taintcheck.Analyzer,
 }
 
 func main() {

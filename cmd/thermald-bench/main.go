@@ -321,6 +321,14 @@ func main() {
 		return
 	}
 
+	// The bench grid multiplies cells by simulated time; clamp the flag
+	// so a typo cannot turn the suite into an hours-long run.
+	const maxBenchSimTimeS = 2.0
+	if *simtime <= 0 || *simtime > maxBenchSimTimeS {
+		fmt.Fprintf(os.Stderr, "thermald-bench: -simtime %g out of range (0, %g]\n", *simtime, maxBenchSimTimeS)
+		os.Exit(2)
+	}
+
 	out := map[string]any{}
 	if err := runScenarios(*simtime, out); err != nil {
 		fmt.Fprintf(os.Stderr, "thermald-bench: %v\n", err)

@@ -34,6 +34,23 @@ import (
 	"multitherm/internal/serve"
 )
 
+// Ceilings for the operator-tunable sizes; generous for any real
+// deployment, small enough that a mistyped flag fails fast instead of
+// allocating gigabytes.
+const (
+	maxWorkersFlag  = 4096
+	maxBatchFlag    = 4096
+	maxQueueFlag    = 1 << 20
+	maxCacheFlag    = 1 << 20
+	maxWindowFlag   = time.Minute
+	maxSimTimeFlagS = 3600.0
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7016", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -43,6 +60,28 @@ func main() {
 	cache := flag.Int("cache", serve.DefaultCacheEntries, "result cache entries (0 disables caching)")
 	maxSim := flag.Float64("max-simtime", 0, "per-cell simulated-time cap in seconds (0 = 2)")
 	flag.Parse()
+
+	// Operator flags still size pools, queues, and caches; clamp them
+	// against named ceilings so a typo cannot allocate the machine away
+	// (and so mtlint's taintcheck can prove every size is bounded).
+	if *workers < 0 || *workers > maxWorkersFlag {
+		fatalf("thermald: -workers %d out of range [0, %d]", *workers, maxWorkersFlag)
+	}
+	if *batch < 0 || *batch > maxBatchFlag {
+		fatalf("thermald: -batch %d out of range [0, %d]", *batch, maxBatchFlag)
+	}
+	if *window < 0 || *window > maxWindowFlag {
+		fatalf("thermald: -window %v out of range [0, %v]", *window, maxWindowFlag)
+	}
+	if *queue < 0 || *queue > maxQueueFlag {
+		fatalf("thermald: -queue %d out of range [0, %d]", *queue, maxQueueFlag)
+	}
+	if *cache < 0 || *cache > maxCacheFlag {
+		fatalf("thermald: -cache %d out of range [0, %d]", *cache, maxCacheFlag)
+	}
+	if *maxSim < 0 || *maxSim > maxSimTimeFlagS {
+		fatalf("thermald: -max-simtime %g out of range [0, %g]", *maxSim, maxSimTimeFlagS)
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:          *workers,

@@ -40,6 +40,13 @@ func main() {
 		return
 	}
 
+	// ~4M samples is over an hour of simulated execution — far past any
+	// sensible trace — and keeps a mistyped -n from allocating gigabytes.
+	const maxSamples = 1 << 22
+	if *n < 1 || *n > maxSamples {
+		fatal(fmt.Errorf("tracegen: -n %d out of range [1, %d]", *n, maxSamples))
+	}
+
 	prof, err := workload.Profile(*bench)
 	fatal(err)
 	gen, err := uarch.NewGenerator(uarch.DefaultConfig(), prof)

@@ -63,11 +63,20 @@ import (
 //	    send) and every timer/ticker a reachable Stop.
 //	    //mtlint:deterministic packages are covered implicitly.
 //
+//	//mtlint:sanitizer
+//	    Function marker, placed in the function's doc comment.
+//	    Declares the function a trust boundary for the taint analysis:
+//	    its results are clean regardless of argument taint, and its
+//	    arguments count as validated afterwards. Reserve it for strict
+//	    whitelist lookups (MixByName, PolicyByName) and decodes of
+//	    trusted local toolchain output — a sanitizer that forwards its
+//	    input unexamined silences real findings downstream.
+//
 //	//mtlint:allow <check> [reason]
 //	    Line-level suppression, on the flagged line or the line
 //	    directly above it. Checks: floatcmp, maprange, time, rand,
 //	    goappend, unit, lockheld, lockorder, guardedby, cowcheck,
-//	    atomicmix, lifecycle.
+//	    atomicmix, lifecycle, taint.
 const directivePrefix = "//mtlint:"
 
 // directive splits an "//mtlint:name args..." comment into its name

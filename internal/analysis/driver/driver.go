@@ -37,7 +37,12 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the interprocedural view over every package of this Run:
+	// the function index and the shared summary caches (see summary.go
+	// and taint.go). One Program is built per Run, so summaries are
+	// computed once and reused by every (package, analyzer) pass.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Fset returns the file set all package positions resolve through.
@@ -94,6 +99,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []error) {
 		err   error
 	}
 	slots := make([]slot, len(pkgs)*len(analyzers))
+	prog := NewProgram(pkgs)
 	// fn never returns an error: infrastructure failures are recorded in
 	// the pass's slot so every pass still runs (ForEach would cancel the
 	// remaining work on the first error).
@@ -103,6 +109,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []error) {
 		pass := &Pass{
 			Analyzer: a,
 			Pkg:      pkg,
+			Prog:     prog,
 			report:   func(d Diagnostic) { s.diags = append(s.diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"multitherm/internal/analysis/driver"
+	"multitherm/internal/analysis/taintcheck"
 )
 
 // loadFixture loads the small multi-package module the unitsafety
@@ -84,6 +85,40 @@ func TestRunDeterministicOrder(t *testing.T) {
 			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
 			t.Fatalf("diagnostics out of position order: %s then %s", a, b)
 		}
+	}
+	for run := 0; run < 5; run++ {
+		got, errs := driver.Run(pkgs, analyzers)
+		if len(errs) != 0 {
+			t.Fatalf("run %d: unexpected errors: %v", run, errs)
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: diagnostics differ from first run:\nfirst: %v\ngot:   %v", run, first, got)
+		}
+	}
+}
+
+// TestSummaryCacheDeterministic runs the interprocedural taint
+// analyzer — whose findings flow entirely through the Program's shared
+// summary cache — repeatedly over its fixture module and demands
+// identical diagnostics every time. Each Run builds a fresh Program
+// whose summaries are computed lazily by whichever parallel pass asks
+// first, so this fails if population order ever leaks into a summary
+// (or if the cache returns a summary computed for the wrong function).
+func TestSummaryCacheDeterministic(t *testing.T) {
+	pkgs, err := driver.Load("../taintcheck/testdata/src", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 3 {
+		t.Fatalf("taint fixture module loaded %d packages, want >= 3", len(pkgs))
+	}
+	analyzers := []*driver.Analyzer{taintcheck.Analyzer}
+	first, errs := driver.Run(pkgs, analyzers)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected infrastructure errors: %v", errs)
+	}
+	if len(first) < 3 {
+		t.Fatalf("taintcheck reported %d findings over its fixture, want >= 3 seeded positives", len(first))
 	}
 	for run := 0; run < 5; run++ {
 		got, errs := driver.Run(pkgs, analyzers)

@@ -1,0 +1,590 @@
+package driver
+
+// Interprocedural layer: a Program indexes every function declaration
+// of the loaded packages (cross-package, within the module) and
+// computes per-function summaries on demand — which parameters reach
+// allocation/loop-bound/index sinks (taint.go), which parameters are
+// clamp-validated before use, what a function's net lock effect is,
+// and what join evidence (WaitGroup Done, channel send) it provides.
+// Summaries are memoized under one mutex, so the cache is shared by
+// every (package, analyzer) pass of a Run: lifecycle, lockcheck, and
+// taintcheck all read the same tables, and the work is paid once per
+// mtlint invocation rather than once per analyzer.
+//
+// Identity is by types.Func full name (FuncID), not object pointer:
+// a function imported through gc export data is a different object
+// than the same function loaded from source, but both spell
+// "pkg/path.Name" (or "(pkg/path.Recv).Name") identically, so
+// summaries computed from the defining package's source resolve from
+// any caller package.
+//
+// Soundness limits, shared by every summary kind: recursion is cut by
+// returning a conservative empty summary for the in-progress function;
+// function values and interface-method calls are opaque (no summary);
+// package-level variable state does not flow between functions. These
+// are documented in DESIGN.md and are the price of staying stdlib-only.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Program is the cross-package function index plus the shared summary
+// caches. Build one per Run (driver.Run does this automatically) and
+// read it from Pass.Prog.
+type Program struct {
+	fns map[string]*ProgFunc
+
+	// lockedPre maps FuncID -> lock field for //mtlint:locked methods,
+	// program-wide; built eagerly, read-only afterwards.
+	lockedPre map[string]string
+
+	// globalTaint marks package-level variables initialized straight
+	// from a source call (var addr = flag.String(...)); function bodies
+	// never execute those initializers, so the index substitutes for
+	// dataflow through them. Built eagerly, read-only afterwards.
+	globalTaint map[types.Object]Taint
+
+	mu        sync.Mutex
+	taint     map[string]*TaintSummary
+	taintBusy map[string]bool
+	joins     map[string]*JoinSummary
+	joinBusy  map[string]bool
+	locks     map[string][]LockEffect
+	lockBusy  map[string]bool
+}
+
+// ProgFunc is one indexed function declaration: where it lives, its
+// syntax, and its types object.
+type ProgFunc struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	ID   string
+}
+
+// FuncID is the program-wide identity of a function: the full name of
+// its origin (generic instantiations share their origin's summary).
+func FuncID(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// NewProgram indexes the loaded packages. Only functions with bodies
+// in the target packages are summarizable; everything else (stdlib,
+// dependencies outside the pattern set) is treated as opaque.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		fns:         map[string]*ProgFunc{},
+		lockedPre:   map[string]string{},
+		globalTaint: map[types.Object]Taint{},
+		taint:       map[string]*TaintSummary{},
+		taintBusy:   map[string]bool{},
+		joins:       map[string]*JoinSummary{},
+		joinBusy:    map[string]bool{},
+		locks:       map[string][]LockEffect{},
+		lockBusy:    map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fn, ok := pkg.TypesInfo.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					pf := &ProgFunc{Pkg: pkg, Decl: d, Obj: fn, ID: FuncID(fn)}
+					p.fns[pf.ID] = pf
+					if args, ok := FuncDirective(d, "locked"); ok {
+						if fields := strings.Fields(args); len(fields) > 0 {
+							p.lockedPre[pf.ID] = fields[0]
+						}
+					}
+				case *ast.GenDecl:
+					p.indexGlobalSources(pkg, d)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// indexGlobalSources records package-level vars whose initializer is a
+// direct source call.
+func (p *Program) indexGlobalSources(pkg *Package, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) {
+				break
+			}
+			call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := calleeFunc(pkg.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				continue
+			}
+			var t Taint
+			switch {
+			case callee.Pkg().Path() == "flag":
+				t = Taint{Direct: SrcFlag}
+			case callee.FullName() == "os.Getenv" || callee.FullName() == "os.LookupEnv":
+				t = Taint{Direct: SrcEnv}
+			default:
+				continue
+			}
+			if obj := pkg.TypesInfo.Defs[name]; obj != nil {
+				p.globalTaint[obj] = t
+			}
+		}
+	}
+}
+
+// FuncOf resolves a types.Func (from any package, source- or
+// export-loaded) to its indexed declaration, or nil.
+func (p *Program) FuncOf(fn *types.Func) *ProgFunc {
+	if fn == nil {
+		return nil
+	}
+	return p.fns[FuncID(fn)]
+}
+
+// LockedPrecondition returns the //mtlint:locked lock field declared on
+// fn, looked up program-wide (cross-package call sites included).
+func (p *Program) LockedPrecondition(fn *types.Func) (string, bool) {
+	if fn == nil {
+		return "", false
+	}
+	field, ok := p.lockedPre[FuncID(fn)]
+	return field, ok
+}
+
+// paramObjects returns the function's parameter objects, receiver
+// first when present, so parameter index 0 is the receiver of a
+// method. Nil entries stand for unnamed parameters.
+func (pf *ProgFunc) paramObjects() []types.Object {
+	sig, ok := pf.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// paramIndex returns obj's position in paramObjects, or -1.
+func paramIndex(params []types.Object, obj types.Object) int {
+	for i, o := range params {
+		if o != nil && o == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// BaseObj resolves the object an expression's access path starts from:
+// the field object for s.wg (so every selection of one field shares an
+// identity), the variable for wg. It is the identity the lifecycle and
+// summary layers key join evidence by.
+func BaseObj(info *types.Info, e ast.Expr) types.Object {
+	switch n := e.(type) {
+	case *ast.ParenExpr:
+		return BaseObj(info, n.X)
+	case *ast.UnaryExpr:
+		return BaseObj(info, n.X)
+	case *ast.StarExpr:
+		return BaseObj(info, n.X)
+	case *ast.Ident:
+		if o := info.Uses[n]; o != nil {
+			return o
+		}
+		return info.Defs[n]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[n]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Join summaries (lifecycle retrofit)
+
+// JoinSummary records the join evidence a function provides when run:
+// WaitGroup Done calls and channel sends, split into those on objects
+// (fields, package variables, locals of the summarized function) and
+// those on the function's own parameters (resolved to caller arguments
+// at the call site). Transitive: calls into other indexed functions
+// contribute their summaries.
+type JoinSummary struct {
+	DoneObjs   []types.Object
+	SendObjs   []types.Object
+	DoneParams []int
+	SendParams []int
+}
+
+func (s *JoinSummary) empty() bool {
+	return s == nil || (len(s.DoneObjs) == 0 && len(s.SendObjs) == 0 &&
+		len(s.DoneParams) == 0 && len(s.SendParams) == 0)
+}
+
+// JoinSummaryOf returns fn's join summary, computing and caching it on
+// first use. Returns an empty summary for unindexed functions and for
+// recursion back into a function currently being summarized.
+func (p *Program) JoinSummaryOf(fn *types.Func) *JoinSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.joinSummaryLocked(fn)
+}
+
+func (p *Program) joinSummaryLocked(fn *types.Func) *JoinSummary {
+	if fn == nil {
+		return &JoinSummary{}
+	}
+	id := FuncID(fn)
+	if s, ok := p.joins[id]; ok {
+		return s
+	}
+	pf := p.fns[id]
+	if pf == nil || p.joinBusy[id] {
+		return &JoinSummary{}
+	}
+	p.joinBusy[id] = true
+	s := p.computeJoin(pf)
+	delete(p.joinBusy, id)
+	p.joins[id] = s
+	return s
+}
+
+func (p *Program) computeJoin(pf *ProgFunc) *JoinSummary {
+	info := pf.Pkg.TypesInfo
+	params := pf.paramObjects()
+	s := &JoinSummary{}
+	doneObjs := map[types.Object]bool{}
+	sendObjs := map[types.Object]bool{}
+	doneParams := map[int]bool{}
+	sendParams := map[int]bool{}
+
+	classify := func(e ast.Expr, objs map[types.Object]bool, prms map[int]bool) {
+		obj := BaseObj(info, e)
+		if obj == nil {
+			return
+		}
+		if i := paramIndex(params, obj); i >= 0 {
+			prms[i] = true
+			return
+		}
+		objs[obj] = true
+	}
+
+	ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			classify(n.Chan, sendObjs, sendParams)
+		case *ast.CallExpr:
+			sel, _ := n.Fun.(*ast.SelectorExpr)
+			if sel != nil {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Done" {
+					classify(sel.X, doneObjs, doneParams)
+					return true
+				}
+			}
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			cs := p.joinSummaryLocked(callee)
+			if cs.empty() {
+				return true
+			}
+			for _, o := range cs.DoneObjs {
+				doneObjs[o] = true
+			}
+			for _, o := range cs.SendObjs {
+				sendObjs[o] = true
+			}
+			calleePF := p.fns[FuncID(callee)]
+			for _, j := range cs.DoneParams {
+				if arg := callArg(n, calleePF, j); arg != nil {
+					classify(arg, doneObjs, doneParams)
+				}
+			}
+			for _, j := range cs.SendParams {
+				if arg := callArg(n, calleePF, j); arg != nil {
+					classify(arg, sendObjs, sendParams)
+				}
+			}
+		}
+		return true
+	})
+
+	for o := range doneObjs { //mtlint:allow maprange collected into sorted slices below
+		s.DoneObjs = append(s.DoneObjs, o)
+	}
+	for o := range sendObjs { //mtlint:allow maprange collected into sorted slices below
+		s.SendObjs = append(s.SendObjs, o)
+	}
+	for i := range doneParams { //mtlint:allow maprange collected into sorted slices below
+		s.DoneParams = append(s.DoneParams, i)
+	}
+	for i := range sendParams { //mtlint:allow maprange collected into sorted slices below
+		s.SendParams = append(s.SendParams, i)
+	}
+	sortObjs(s.DoneObjs)
+	sortObjs(s.SendObjs)
+	sort.Ints(s.DoneParams)
+	sort.Ints(s.SendParams)
+	return s
+}
+
+func sortObjs(objs []types.Object) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+}
+
+// CalleeOf resolves a call's static target function — plain calls,
+// method calls, generic instantiations — or nil for builtins,
+// conversions, and dynamic calls through function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	return calleeFunc(info, call)
+}
+
+// CallArg maps fn's idx-th parameter (receiver first) to the caller
+// expression bound to it at call, or nil when it cannot be recovered.
+func (p *Program) CallArg(call *ast.CallExpr, fn *types.Func, idx int) ast.Expr {
+	return callArg(call, p.FuncOf(fn), idx)
+}
+
+// calleeFunc resolves a call's static target, or nil for builtins,
+// conversions, and dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// callArg maps a callee parameter index (receiver first) to the caller
+// expression bound to it, or nil when it cannot be recovered (method
+// expressions, arity mismatches, variadic tails).
+func callArg(call *ast.CallExpr, callee *ProgFunc, idx int) ast.Expr {
+	if callee == nil {
+		return nil
+	}
+	sig, _ := callee.Obj.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	if sig.Recv() != nil {
+		if idx == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		idx--
+	}
+	if idx < len(call.Args) {
+		return call.Args[idx]
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Lock effects (lockcheck retrofit)
+
+// LockEffect is a function's net effect on one lock reachable through
+// a parameter (index 0 = receiver): it returns with the lock acquired,
+// or with it released. Functions that both acquire and release a lock
+// (the dominant lock/work/unlock shape) have no net effect and no
+// entry. Transitive through indexed callees.
+type LockEffect struct {
+	Param   int
+	Field   string
+	Acquire bool
+	Excl    bool
+}
+
+// LockEffectsOf returns fn's net lock effects, computed and cached on
+// first use; nil for opaque functions and recursion.
+func (p *Program) LockEffectsOf(fn *types.Func) []LockEffect {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lockEffectsLocked(fn)
+}
+
+func (p *Program) lockEffectsLocked(fn *types.Func) []LockEffect {
+	if fn == nil {
+		return nil
+	}
+	id := FuncID(fn)
+	if e, ok := p.locks[id]; ok {
+		return e
+	}
+	pf := p.fns[id]
+	if pf == nil || p.lockBusy[id] {
+		return nil
+	}
+	p.lockBusy[id] = true
+	e := p.computeLockEffects(pf)
+	delete(p.lockBusy, id)
+	p.locks[id] = e
+	return e
+}
+
+type lockCounts struct{ lock, rlock, unlock int }
+
+func (p *Program) computeLockEffects(pf *ProgFunc) []LockEffect {
+	info := pf.Pkg.TypesInfo
+	params := pf.paramObjects()
+	type key struct {
+		param int
+		field string
+	}
+	counts := map[key]*lockCounts{}
+	bump := func(k key) *lockCounts {
+		c := counts[k]
+		if c == nil {
+			c = &lockCounts{}
+			counts[k] = c
+		}
+		return c
+	}
+	// paramField matches `p.field` where p is a parameter (or receiver).
+	paramField := func(e ast.Expr) (key, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return key{}, false
+		}
+		obj := BaseObj(info, sel.X)
+		if obj == nil {
+			return key{}, false
+		}
+		i := paramIndex(params, obj)
+		if i < 0 {
+			return key{}, false
+		}
+		return key{param: i, field: sel.Sel.Name}, true
+	}
+
+	// Walk synchronously executed statements only: function literals are
+	// their own functions and go statements run elsewhere; a deferred
+	// unlock has run by the time the call returns, so defers count.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				sel, _ := c.Fun.(*ast.SelectorExpr)
+				callee := calleeFunc(info, c)
+				if sel != nil && callee != nil {
+					switch callee.FullName() {
+					case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(sync.Locker).Lock":
+						if k, ok := paramField(sel.X); ok {
+							bump(k).lock++
+						}
+						return true
+					case "(*sync.RWMutex).RLock":
+						if k, ok := paramField(sel.X); ok {
+							bump(k).rlock++
+						}
+						return true
+					case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock", "(sync.Locker).Unlock":
+						if k, ok := paramField(sel.X); ok {
+							bump(k).unlock++
+						}
+						return true
+					}
+				}
+				if callee == nil {
+					return true
+				}
+				calleePF := p.fns[FuncID(callee)]
+				if calleePF == nil {
+					return true
+				}
+				for _, eff := range p.lockEffectsLocked(callee) {
+					arg := callArg(c, calleePF, eff.Param)
+					if arg == nil {
+						continue
+					}
+					obj := BaseObj(info, ast.Unparen(arg))
+					i := paramIndex(params, obj)
+					if i < 0 {
+						continue
+					}
+					k := key{param: i, field: eff.Field}
+					if eff.Acquire {
+						if eff.Excl {
+							bump(k).lock++
+						} else {
+							bump(k).rlock++
+						}
+					} else {
+						bump(k).unlock++
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(pf.Decl.Body)
+
+	var out []LockEffect
+	for k, c := range counts { //mtlint:allow maprange collected into a sorted slice below
+		acquires := c.lock + c.rlock
+		switch {
+		case acquires > 0 && c.unlock == 0:
+			out = append(out, LockEffect{Param: k.param, Field: k.field, Acquire: true, Excl: c.lock > 0})
+		case c.unlock > 0 && acquires == 0:
+			out = append(out, LockEffect{Param: k.param, Field: k.field, Acquire: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Param != out[j].Param {
+			return out[i].Param < out[j].Param
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}

@@ -1,0 +1,1163 @@
+package driver
+
+// Taint dataflow over the CFG core: a forward may-analysis tracking
+// which values derive from untrusted input. Sources are HTTP/JSON
+// request decoding, flag parsing, and environment reads; sinks are
+// make sizes, loop trip counts, and slice indexing; sanitizers are
+// comparisons against named cap expressions, min/max against a cap,
+// modulo, //mtlint:sanitizer functions, and — interprocedurally —
+// callees whose summaries prove they validate a parameter.
+//
+// State maps (root object, selector path) keys to taint masks. The
+// mask carries one bit per function parameter (receiver first) plus
+// three source bits; parameter bits exist so the same engine computes
+// call-site-translatable summaries (seed the parameters, record which
+// bits reach sinks and returns) and top-level findings (seed nothing,
+// report source bits that reach sinks). A separate overflow mask marks
+// products of two tainted integers: comparing such a product against a
+// cap does not clear the overflow bits, which is exactly the Rows×Cols
+// wrap-past-the-check shape this analysis exists to catch — validating
+// each factor before multiplying is the only accepted fix.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+	"strings"
+)
+
+// Taint source bits beyond the per-parameter bits (0..47).
+const (
+	maxTaintParams        = 48
+	SrcRequest     uint64 = 1 << 48 // HTTP/JSON request input
+	SrcFlag        uint64 = 1 << 49 // command-line flag input
+	SrcEnv         uint64 = 1 << 50 // environment variable input
+	srcMask               = SrcRequest | SrcFlag | SrcEnv
+	paramsMask            = (uint64(1) << maxTaintParams) - 1
+)
+
+// Taint is one value's taint: Direct carries plain data flow, Ovf
+// marks values that are products of tainted integers and may have
+// wrapped (so a later cap comparison proves nothing).
+type Taint struct{ Direct, Ovf uint64 }
+
+func (t Taint) union(o Taint) Taint { return Taint{t.Direct | o.Direct, t.Ovf | o.Ovf} }
+func (t Taint) empty() bool         { return t.Direct == 0 && t.Ovf == 0 }
+func (t Taint) bits() uint64        { return t.Direct | t.Ovf }
+
+// SourceLabel names the source bits in a mask for diagnostics.
+func SourceLabel(mask uint64) string {
+	var parts []string
+	if mask&SrcRequest != 0 {
+		parts = append(parts, "request")
+	}
+	if mask&SrcFlag != 0 {
+		parts = append(parts, "flag")
+	}
+	if mask&SrcEnv != 0 {
+		parts = append(parts, "env")
+	}
+	if len(parts) == 0 {
+		return "untrusted"
+	}
+	return strings.Join(parts, "/")
+}
+
+// SummarySink is one sink a parameter of a summarized function reaches,
+// reportable at call sites.
+type SummarySink struct {
+	Kind string // "make size", "loop bound", "slice index"
+	Via  string // call chain from the summarized function to the sink
+	Ovf  bool   // the reaching value is an unvalidated product
+}
+
+// TaintSummary is the callable contract of one function: per-parameter
+// sinks, per-parameter validation (a clamp comparison against a cap
+// cleans the caller's argument), and result taint as a function of
+// parameter taint.
+type TaintSummary struct {
+	NumParams      int
+	ParamSinks     [][]SummarySink
+	ParamValidated []bool
+	Results        []Taint // bits 0..47 select parameter taints, source bits pass through
+	Sanitizer      bool    // //mtlint:sanitizer: trusted to validate everything
+}
+
+// TaintFinding is one top-level taint diagnosis.
+type TaintFinding struct {
+	Pos      token.Pos
+	Kind     string
+	Sources  uint64 // source bits that reach the sink
+	Overflow bool   // the reaching value is a product that can wrap past cap checks
+	Via      string // call chain for interprocedural sinks, "" for direct
+}
+
+// TaintSummaryOf returns fn's taint summary, computed and cached on
+// first use; nil for opaque functions and recursion (callers treat nil
+// as "propagate arguments, no sinks, no validation").
+func (p *Program) TaintSummaryOf(fn *types.Func) *TaintSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.taintSummaryLocked(fn)
+}
+
+func (p *Program) taintSummaryLocked(fn *types.Func) *TaintSummary {
+	if fn == nil {
+		return nil
+	}
+	id := FuncID(fn)
+	if s, ok := p.taint[id]; ok {
+		return s
+	}
+	pf := p.fns[id]
+	if pf == nil || p.taintBusy[id] {
+		return nil
+	}
+	p.taintBusy[id] = true
+	s := p.computeTaintSummary(pf)
+	delete(p.taintBusy, id)
+	p.taint[id] = s
+	return s
+}
+
+func (p *Program) computeTaintSummary(pf *ProgFunc) *TaintSummary {
+	params := pf.paramObjects()
+	n := len(params)
+	s := &TaintSummary{
+		NumParams:      n,
+		ParamSinks:     make([][]SummarySink, n),
+		ParamValidated: make([]bool, n),
+	}
+	if nres := resultCount(pf); nres > 0 {
+		s.Results = make([]Taint, nres)
+	}
+	if FuncMarked(pf.Decl, "sanitizer") {
+		s.Sanitizer = true
+		for i := range s.ParamValidated {
+			s.ParamValidated[i] = true
+		}
+		return s
+	}
+
+	entry := taintState{}
+	for i, obj := range params {
+		if obj == nil || i >= maxTaintParams {
+			continue
+		}
+		entry[taintKey{root: obj}] = Taint{Direct: uint64(1) << i}
+	}
+	seen := map[sinkDedup]bool{}
+	eng := &taintEngine{
+		pf:        pf,
+		prog:      p,
+		info:      pf.Pkg.TypesInfo,
+		summaryOf: p.taintSummaryLocked,
+		onSink: func(pos token.Pos, kind string, t Taint, via string) {
+			mask := t.bits() & paramsMask
+			for i := 0; i < n && i < maxTaintParams; i++ {
+				bit := uint64(1) << i
+				if mask&bit == 0 {
+					continue
+				}
+				d := sinkDedup{pos: pos, kind: kind, param: i}
+				if seen[d] {
+					continue
+				}
+				seen[d] = true
+				s.ParamSinks[i] = append(s.ParamSinks[i], SummarySink{
+					Kind: kind,
+					Via:  via,
+					Ovf:  t.Ovf&bit != 0,
+				})
+			}
+		},
+		onKill: func(root types.Object) {
+			if i := paramIndex(params, root); i >= 0 {
+				s.ParamValidated[i] = true
+			}
+		},
+		onReturn: func(taints []Taint) {
+			for i, t := range taints {
+				if i < len(s.Results) {
+					s.Results[i] = s.Results[i].union(t)
+				}
+			}
+		},
+	}
+	eng.analyze(pf.Decl.Body, entry)
+	return s
+}
+
+type sinkDedup struct {
+	pos   token.Pos
+	kind  string
+	param int
+}
+
+func resultCount(pf *ProgFunc) int {
+	sig, ok := pf.Obj.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	return sig.Results().Len()
+}
+
+// CheckTaint runs the taint analysis over fn's body with no seeded
+// parameters, emitting a finding for every sink an untrusted source
+// reaches — directly or through the summaries of called functions.
+func (p *Program) CheckTaint(fn *types.Func, emit func(TaintFinding)) {
+	pf := p.FuncOf(fn)
+	if pf == nil {
+		return
+	}
+	type finding struct {
+		pos  token.Pos
+		kind string
+		via  string
+		src  uint64
+	}
+	seen := map[finding]bool{}
+	eng := &taintEngine{
+		pf:        pf,
+		prog:      p,
+		info:      pf.Pkg.TypesInfo,
+		summaryOf: p.TaintSummaryOf,
+		onSink: func(pos token.Pos, kind string, t Taint, via string) {
+			src := t.bits() & srcMask
+			if src == 0 {
+				return
+			}
+			d := finding{pos: pos, kind: kind, via: via, src: src}
+			if seen[d] {
+				return
+			}
+			seen[d] = true
+			emit(TaintFinding{
+				Pos:      pos,
+				Kind:     kind,
+				Sources:  src,
+				Overflow: t.Ovf&srcMask != 0,
+				Via:      via,
+			})
+		},
+	}
+	eng.analyze(pf.Decl.Body, taintState{})
+}
+
+// ---------------------------------------------------------------------
+// Engine
+
+// taintKey addresses one tracked value: a root object (variable,
+// parameter, field base) plus a selector path within it ("" for the
+// whole object). Explicit path entries override the whole-object
+// entry, which is how per-field sanitization works.
+type taintKey struct {
+	root types.Object
+	path string
+}
+
+type taintState map[taintKey]Taint
+
+// lookup resolves a key, falling back through shorter path prefixes to
+// the whole-object entry.
+func (st taintState) lookup(k taintKey) Taint {
+	t, _ := st.lookupOK(k)
+	return t
+}
+
+// lookupOK additionally reports whether any entry (including an
+// explicit zero written by a kill) was found.
+func (st taintState) lookupOK(k taintKey) (Taint, bool) {
+	for {
+		if t, ok := st[k]; ok {
+			return t, true
+		}
+		if k.path == "" {
+			return Taint{}, false
+		}
+		if i := strings.LastIndexByte(k.path, '.'); i >= 0 {
+			k.path = k.path[:i]
+		} else {
+			k.path = ""
+		}
+	}
+}
+
+func joinTaint(a, b taintState) taintState {
+	out := make(taintState, len(a)+len(b))
+	for k := range a { //mtlint:allow maprange map-union join; result is canonical per key set
+		out[k] = a.lookup(k).union(b.lookup(k))
+	}
+	for k := range b { //mtlint:allow maprange map-union join; result is canonical per key set
+		if _, ok := out[k]; !ok {
+			out[k] = a.lookup(k).union(b.lookup(k))
+		}
+	}
+	return out
+}
+
+func equalTaint(a, b taintState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a { //mtlint:allow maprange order-insensitive map comparison
+		if o, ok := b[k]; !ok || o != v {
+			return false
+		}
+	}
+	return true
+}
+
+type taintEngine struct {
+	pf        *ProgFunc
+	prog      *Program
+	info      *types.Info
+	summaryOf func(*types.Func) *TaintSummary
+	onSink    func(pos token.Pos, kind string, t Taint, via string)
+	onKill    func(root types.Object)
+	onReturn  func([]Taint)
+}
+
+// analyze runs the fixpoint over body, reports sinks with the final
+// states, then analyzes directly nested function literals with the
+// union of observed states as environment (captured variables keep
+// their taint inside closures; gridCache.LoadOrStore(spec, func(){...})
+// style indirection stays visible).
+func (e *taintEngine) analyze(body *ast.BlockStmt, entry taintState) {
+	cfg := NewCFG(body)
+	forConds := map[ast.Expr]bool{}
+	var lits []*ast.FuncLit
+	collectLitsAndConds(body, forConds, &lits)
+
+	transfer := func(b *Block, in taintState) taintState {
+		ip := &interp{e: e, st: in, forConds: forConds}
+		for _, a := range b.Atoms {
+			ip.atom(a)
+		}
+		return ip.st
+	}
+	ins := Forward(cfg, entry, joinTaint, equalTaint, transfer)
+
+	env := maps.Clone(entry)
+	var blocks []*Block
+	for b := range ins { //mtlint:allow maprange collected into an index-sorted slice below
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	for _, b := range blocks {
+		ip := &interp{e: e, st: ins[b], forConds: forConds, report: true}
+		for _, a := range b.Atoms {
+			ip.atom(a)
+		}
+		env = joinTaint(env, ip.st)
+	}
+	for _, lit := range lits {
+		sub := *e
+		sub.onReturn = nil // literal returns feed their caller, not the summary
+		sub.analyze(lit.Body, env)
+	}
+}
+
+// collectLitsAndConds gathers the for-loop condition expressions and
+// the directly nested literals of one body (literals inside literals
+// are found when the outer literal is analyzed).
+func collectLitsAndConds(body *ast.BlockStmt, conds map[ast.Expr]bool, lits *[]*ast.FuncLit) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			*lits = append(*lits, n)
+			return false
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				conds[n.Cond] = true
+			}
+		}
+		return true
+	})
+}
+
+// interp threads one state through one block's atoms, cloning lazily.
+type interp struct {
+	e        *taintEngine
+	st       taintState
+	forConds map[ast.Expr]bool
+	mutated  bool
+	report   bool
+}
+
+func (ip *interp) set(k taintKey, t Taint) {
+	if !ip.mutated {
+		ip.st = maps.Clone(ip.st)
+		if ip.st == nil {
+			ip.st = taintState{}
+		}
+		ip.mutated = true
+	}
+	ip.st[k] = t
+	// A strong whole-object update overrides stale per-path entries.
+	if k.path == "" {
+		for other := range ip.st { //mtlint:allow maprange deleting subsumed entries; key order is irrelevant
+			if other.root == k.root && other.path != "" {
+				delete(ip.st, other)
+			}
+		}
+	}
+}
+
+// taintOf reads a key's taint: the state first (a kill leaves an
+// explicit zero entry, which must win), then the program's index of
+// package-level vars initialized from source calls (var f =
+// flag.Int(...)) — those initializers never run through any analyzed
+// body, so the index substitutes for them.
+func (ip *interp) taintOf(k taintKey) Taint {
+	if t, ok := ip.st.lookupOK(k); ok {
+		return t
+	}
+	if ip.e.prog != nil && k.root != nil {
+		return ip.e.prog.globalTaint[k.root]
+	}
+	return Taint{}
+}
+
+// sink emits one finding. Only the report pass emits: fixpoint
+// iterations run the same transfer with report unset and see partial
+// states.
+func (ip *interp) sink(pos token.Pos, kind string, t Taint, via string) {
+	if !ip.report || t.empty() || ip.e.onSink == nil {
+		return
+	}
+	ip.e.onSink(pos, kind, t, via)
+}
+
+func (ip *interp) atom(a ast.Node) {
+	switch n := a.(type) {
+	case *ast.AssignStmt:
+		ip.assign(n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t Taint
+					if len(vs.Values) == len(vs.Names) {
+						t = ip.eval(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						ts := ip.evalMulti(vs.Values[0], len(vs.Names))
+						t = ts[i]
+					}
+					if obj := ip.e.info.Defs[name]; obj != nil {
+						ip.set(taintKey{root: obj}, t)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		// x++ preserves x's taint.
+	case *ast.ExprStmt:
+		ip.eval(n.X)
+	case *ast.SendStmt:
+		ip.eval(n.Chan)
+		ip.eval(n.Value)
+	case *ast.GoStmt:
+		ip.eval(n.Call)
+	case *ast.DeferStmt:
+		ip.eval(n.Call)
+	case *ast.ReturnStmt:
+		ip.returnStmt(n)
+	case *ast.RangeStmt:
+		ip.rangeStmt(n)
+	case ast.Expr:
+		ip.eval(n)
+		if ip.forConds[n] {
+			ip.loopBoundSink(n)
+		}
+	}
+}
+
+// loopBoundSink flags tainted integer operands of a for-condition
+// comparison. len/cap operands are exempt: iterating to a container's
+// own length allocates nothing the decode step did not already bound.
+func (ip *interp) loopBoundSink(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparison(bin.Op) {
+			return true
+		}
+		for _, op := range []ast.Expr{bin.X, bin.Y} {
+			if _, isLit := ast.Unparen(op).(*ast.BasicLit); isLit {
+				continue
+			}
+			if isLenCap(ip.e.info, op) || !isIntExpr(ip.e.info, op) {
+				continue
+			}
+			if t := ip.eval(op); !t.empty() {
+				ip.sink(op.Pos(), "loop bound", t, "")
+			}
+		}
+		return true
+	})
+}
+
+func (ip *interp) assign(n *ast.AssignStmt) {
+	var rhs []Taint
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		rhs = ip.evalMulti(n.Rhs[0], len(n.Lhs))
+	} else {
+		rhs = make([]Taint, len(n.Rhs))
+		for i, r := range n.Rhs {
+			rhs[i] = ip.eval(r)
+		}
+	}
+	for i, l := range n.Lhs {
+		var t Taint
+		if i < len(rhs) {
+			t = rhs[i]
+		}
+		switch n.Tok {
+		case token.ASSIGN, token.DEFINE:
+		case token.MUL_ASSIGN:
+			old := ip.eval(l)
+			t = mulTaint(old, t)
+		default:
+			// +=, -=, etc: accumulate.
+			t = ip.eval(l).union(t)
+		}
+		ip.store(l, t)
+	}
+}
+
+// store writes taint to an lvalue. Identifier and selector targets get
+// strong updates; element writes (a[i] = v) union into the container
+// and check the index sink.
+func (ip *interp) store(l ast.Expr, t Taint) {
+	l = ast.Unparen(l)
+	if idx, ok := l.(*ast.IndexExpr); ok {
+		ip.indexSink(idx)
+		if k, _, ok := ip.keyOf(idx.X); ok {
+			ip.set(k, ip.taintOf(k).union(t))
+		}
+		return
+	}
+	if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if k, weak, ok := ip.keyOf(l); ok {
+		if weak {
+			t = ip.taintOf(k).union(t)
+		}
+		ip.set(k, t)
+	}
+}
+
+func (ip *interp) returnStmt(n *ast.ReturnStmt) {
+	var taints []Taint
+	if len(n.Results) > 0 {
+		if len(n.Results) == 1 {
+			sig, _ := ip.e.pf.Obj.Type().(*types.Signature)
+			want := 1
+			if sig != nil && sig.Results().Len() > 1 {
+				want = sig.Results().Len()
+			}
+			taints = ip.evalMulti(n.Results[0], want)
+		} else {
+			for _, r := range n.Results {
+				taints = append(taints, ip.eval(r))
+			}
+		}
+	} else {
+		// Bare return with named results.
+		sig, _ := ip.e.pf.Obj.Type().(*types.Signature)
+		if sig != nil {
+			for i := 0; i < sig.Results().Len(); i++ {
+				taints = append(taints, ip.st.lookup(taintKey{root: sig.Results().At(i)}))
+			}
+		}
+	}
+	if ip.report && ip.e.onReturn != nil {
+		ip.e.onReturn(taints)
+	}
+}
+
+func (ip *interp) rangeStmt(n *ast.RangeStmt) {
+	xt := ip.eval(n.X)
+	keyT, valT := Taint{}, xt
+	if tv, ok := ip.e.info.Types[n.X]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			keyT = xt
+		case *types.Chan:
+			keyT = xt
+			valT = Taint{}
+		}
+	}
+	if n.Key != nil {
+		ip.store(n.Key, keyT)
+	}
+	if n.Value != nil {
+		ip.store(n.Value, valT)
+	}
+}
+
+// keyOf maps an expression to its state key. weak marks element access
+// (updates must union, not overwrite).
+func (ip *interp) keyOf(e ast.Expr) (k taintKey, weak bool, ok bool) {
+	const maxPathSegments = 4
+	e = ast.Unparen(e)
+	switch n := e.(type) {
+	case *ast.Ident:
+		obj := ip.e.info.Uses[n]
+		if obj == nil {
+			obj = ip.e.info.Defs[n]
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			return taintKey{root: v}, false, true
+		}
+	case *ast.SelectorExpr:
+		sel, isSel := ip.e.info.Selections[n]
+		if !isSel || sel.Kind() != types.FieldVal {
+			return taintKey{}, false, false
+		}
+		inner, w, innerOK := ip.keyOf(n.X)
+		if !innerOK {
+			return taintKey{}, false, false
+		}
+		if strings.Count(inner.path, ".") >= maxPathSegments-1 {
+			return inner, true, true // path too deep: collapse to the prefix, weakly
+		}
+		if inner.path == "" {
+			inner.path = n.Sel.Name
+		} else {
+			inner.path += "." + n.Sel.Name
+		}
+		return inner, w, true
+	case *ast.StarExpr:
+		return ip.keyOf(n.X)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			return ip.keyOf(n.X)
+		}
+	case *ast.IndexExpr:
+		k, _, ok := ip.keyOf(n.X)
+		return k, true, ok
+	}
+	return taintKey{}, false, false
+}
+
+// kill cleans an expression's key after validation: Direct bits drop;
+// Ovf bits survive a plain comparison (the wrap already happened) but
+// drop on a full kill (callee-validated arguments, min/max).
+func (ip *interp) kill(e ast.Expr, full bool) {
+	target := ast.Unparen(e)
+	// Comparing len(x)/cap(x)/int(x) validates x.
+	if call, ok := target.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if isLenCap(ip.e.info, call) || isConversion(ip.e.info, call) {
+			target = ast.Unparen(call.Args[0])
+		}
+	}
+	k, _, ok := ip.keyOf(target)
+	if !ok {
+		return
+	}
+	old := ip.taintOf(k)
+	next := Taint{}
+	if !full {
+		next.Ovf = old.Ovf
+	}
+	ip.set(k, next)
+	if ip.report && ip.e.onKill != nil && k.root != nil {
+		ip.e.onKill(k.root)
+	}
+}
+
+// eval computes an expression's taint, mutating state for source calls
+// (Decode into &x) and sanitizing comparisons.
+func (ip *interp) eval(e ast.Expr) Taint {
+	ts := ip.evalMulti(e, 1)
+	return ts[0]
+}
+
+// evalMulti evaluates an expression expected to produce want values
+// (call results fan out; everything else replicates).
+func (ip *interp) evalMulti(e ast.Expr, want int) []Taint {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		ts := ip.evalCall(call)
+		for len(ts) < want {
+			ts = append(ts, Taint{})
+		}
+		return ts
+	}
+	t := ip.evalSingle(e)
+	ts := make([]Taint, want)
+	for i := range ts {
+		ts[i] = t
+	}
+	return ts
+}
+
+func (ip *interp) evalSingle(e ast.Expr) Taint {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return Taint{}
+	case *ast.Ident:
+		if k, _, ok := ip.keyOf(n); ok {
+			return ip.taintOf(k)
+		}
+		return Taint{}
+	case *ast.SelectorExpr:
+		if isRequestExpr(ip.e.info, n.X) {
+			return Taint{Direct: SrcRequest}
+		}
+		if k, _, ok := ip.keyOf(n); ok {
+			return ip.taintOf(k)
+		}
+		return ip.eval(n.X)
+	case *ast.StarExpr:
+		return ip.eval(n.X)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			ip.eval(n.X)
+			return Taint{}
+		}
+		return ip.eval(n.X)
+	case *ast.BinaryExpr:
+		return ip.evalBinary(n)
+	case *ast.CallExpr:
+		ts := ip.evalCall(n)
+		return ts[0]
+	case *ast.IndexExpr:
+		if tv, ok := ip.e.info.Types[n.Index]; ok && tv.IsType() {
+			return ip.eval(n.X) // generic instantiation
+		}
+		ip.indexSink(n)
+		return ip.eval(n.X).union(ip.eval(n.Index))
+	case *ast.IndexListExpr:
+		return ip.eval(n.X)
+	case *ast.SliceExpr:
+		for _, sub := range []ast.Expr{n.Low, n.High, n.Max} {
+			if sub != nil {
+				ip.eval(sub)
+			}
+		}
+		return ip.eval(n.X)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.union(ip.eval(kv.Value))
+				continue
+			}
+			t = t.union(ip.eval(el))
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return ip.eval(n.X)
+	case *ast.FuncLit:
+		return Taint{}
+	}
+	return Taint{}
+}
+
+func (ip *interp) evalBinary(n *ast.BinaryExpr) Taint {
+	if isComparison(n.Op) {
+		ip.eval(n.X)
+		ip.eval(n.Y)
+		if n.Op != token.EQL && n.Op != token.NEQ {
+			if isCapExpr(ip.e.info, n.Y) {
+				ip.kill(n.X, false)
+			}
+			if isCapExpr(ip.e.info, n.X) {
+				ip.kill(n.Y, false)
+			}
+		}
+		return Taint{}
+	}
+	xt := ip.eval(n.X)
+	yt := ip.eval(n.Y)
+	switch n.Op {
+	case token.MUL:
+		if isIntExpr(ip.e.info, n) {
+			return mulTaint(xt, yt)
+		}
+		return xt.union(yt)
+	case token.REM:
+		// x % m is bounded by m.
+		return Taint{Ovf: xt.Ovf}
+	default:
+		return xt.union(yt)
+	}
+}
+
+// mulTaint implements the overflow rule: a product of two tainted
+// integers carries their bits in the Ovf mask, which no later cap
+// comparison clears.
+func mulTaint(a, b Taint) Taint {
+	t := a.union(b)
+	if !a.empty() && !b.empty() {
+		t.Ovf |= a.bits() | b.bits()
+	}
+	return t
+}
+
+func (ip *interp) indexSink(n *ast.IndexExpr) {
+	it := ip.eval(n.Index)
+	if it.empty() {
+		return
+	}
+	tv, ok := ip.e.info.Types[n.X]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		ip.sink(n.Index.Pos(), "slice index", it, "")
+	case *types.Basic: // string indexing
+		ip.sink(n.Index.Pos(), "slice index", it, "")
+	}
+}
+
+// evalCall handles conversions, builtins, the source lexicon, indexed
+// callees with summaries, and opaque callees (union of arguments).
+func (ip *interp) evalCall(call *ast.CallExpr) []Taint {
+	nres := 1
+	if tv, ok := ip.e.info.Types[call]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	results := func(t Taint) []Taint {
+		out := make([]Taint, max(nres, 1))
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	}
+
+	if isConversion(ip.e.info, call) {
+		if len(call.Args) == 1 {
+			return results(ip.eval(call.Args[0]))
+		}
+		return results(Taint{})
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := ip.e.info.Uses[id].(*types.Builtin); isBuiltin {
+			return ip.evalBuiltin(id.Name, call, results)
+		}
+	}
+
+	var recvT Taint
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvT = ip.eval(sel.X)
+	}
+
+	callee := calleeFunc(ip.e.info, call)
+	if callee != nil {
+		if ts, handled := ip.sourceCall(callee, call, results); handled {
+			return ts
+		}
+		if ip.e.prog.FuncOf(callee) != nil {
+			return ip.summaryCall(callee, call, results)
+		}
+	}
+
+	// Opaque callee (stdlib, dependency, function value): results union
+	// the argument and receiver taints — strconv.Atoi(s) is as tainted
+	// as s, r.FormValue(k) as tainted as r.
+	t := recvT
+	for _, a := range call.Args {
+		t = t.union(ip.eval(a))
+	}
+	if callee == nil {
+		ip.eval(call.Fun)
+	}
+	return results(t)
+}
+
+func (ip *interp) evalBuiltin(name string, call *ast.CallExpr, results func(Taint) []Taint) []Taint {
+	switch name {
+	case "make":
+		for _, a := range call.Args[1:] {
+			if t := ip.eval(a); !t.empty() {
+				ip.sink(a.Pos(), "make size", t, "")
+			}
+		}
+		return results(Taint{})
+	case "append":
+		var t Taint
+		for _, a := range call.Args {
+			t = t.union(ip.eval(a))
+		}
+		return results(t)
+	case "len", "cap":
+		return results(ip.eval(call.Args[0]))
+	case "min", "max":
+		capped := false
+		var t Taint
+		for _, a := range call.Args {
+			at := ip.eval(a)
+			t = t.union(at)
+			if isCapExpr(ip.e.info, a) {
+				capped = true
+			}
+		}
+		if capped {
+			return results(Taint{})
+		}
+		return results(t)
+	default:
+		var t Taint
+		for _, a := range call.Args {
+			t = t.union(ip.eval(a))
+		}
+		if name == "copy" || name == "delete" || name == "clear" || name == "panic" ||
+			name == "print" || name == "println" || name == "close" {
+			return results(Taint{})
+		}
+		return results(t)
+	}
+}
+
+// sourceCall recognizes the untrusted-input lexicon.
+func (ip *interp) sourceCall(callee *types.Func, call *ast.CallExpr, results func(Taint) []Taint) ([]Taint, bool) {
+	full := callee.FullName()
+	switch full {
+	case "os.Getenv", "os.LookupEnv":
+		for _, a := range call.Args {
+			ip.eval(a)
+		}
+		return results(Taint{Direct: SrcEnv}), true
+	case "encoding/json.Unmarshal":
+		if len(call.Args) == 2 {
+			ip.eval(call.Args[0])
+			ip.taintTarget(call.Args[1], Taint{Direct: SrcRequest})
+		}
+		return results(Taint{}), true
+	case "(*encoding/json.Decoder).Decode":
+		if len(call.Args) == 1 {
+			ip.taintTarget(call.Args[0], Taint{Direct: SrcRequest})
+		}
+		return results(Taint{}), true
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "flag" {
+		for _, a := range call.Args {
+			ip.eval(a)
+		}
+		if strings.HasSuffix(callee.Name(), "Var") && len(call.Args) > 0 {
+			ip.taintTarget(call.Args[0], Taint{Direct: SrcFlag})
+			return results(Taint{}), true
+		}
+		switch callee.Name() {
+		case "Parse", "Parsed", "NewFlagSet", "PrintDefaults", "Usage", "Set", "Visit", "VisitAll":
+			return results(Taint{}), true
+		}
+		return results(Taint{Direct: SrcFlag}), true
+	}
+	return nil, false
+}
+
+// taintTarget marks the object behind a &x / pointer argument.
+func (ip *interp) taintTarget(arg ast.Expr, t Taint) {
+	if k, _, ok := ip.keyOf(arg); ok {
+		ip.set(k, t)
+		return
+	}
+	ip.eval(arg)
+}
+
+// summaryCall applies an indexed callee's summary: translate parameter
+// sinks to the call site, clean validated arguments, derive result
+// taint from argument taint.
+func (ip *interp) summaryCall(callee *types.Func, call *ast.CallExpr, results func(Taint) []Taint) []Taint {
+	calleePF := ip.e.prog.FuncOf(callee)
+	sum := ip.e.summaryOf(callee)
+
+	nparams := 0
+	if sig, ok := calleePF.Obj.Type().(*types.Signature); ok {
+		nparams = sig.Params().Len()
+		if sig.Recv() != nil {
+			nparams++
+		}
+	}
+	argT := make([]Taint, nparams)
+	argExprs := make([]ast.Expr, nparams)
+	for i := 0; i < nparams; i++ {
+		if arg := callArg(call, calleePF, i); arg != nil {
+			argExprs[i] = arg
+			argT[i] = ip.eval(arg)
+		}
+	}
+
+	if sum == nil {
+		// Recursion guard hit: propagate arguments, assume no sinks.
+		var t Taint
+		for _, at := range argT {
+			t = t.union(at)
+		}
+		return results(t)
+	}
+	if sum.Sanitizer {
+		for _, arg := range argExprs {
+			if arg != nil {
+				ip.kill(arg, true)
+			}
+		}
+		return results(Taint{})
+	}
+
+	// Sinks translate with pre-validation argument taint: a summary only
+	// records sinks the parameter reached before the callee's own clamp.
+	for i := 0; i < nparams && i < len(sum.ParamSinks); i++ {
+		if argT[i].empty() {
+			continue
+		}
+		for _, sink := range sum.ParamSinks[i] {
+			via := callee.Name()
+			if sink.Via != "" {
+				via = via + " → " + sink.Via
+			}
+			t := argT[i]
+			if sink.Ovf {
+				t.Ovf |= t.Direct
+			}
+			ip.sink(call.Pos(), sink.Kind, t, via)
+		}
+	}
+	for i := 0; i < nparams && i < len(sum.ParamValidated); i++ {
+		if sum.ParamValidated[i] && argExprs[i] != nil {
+			ip.kill(argExprs[i], false)
+		}
+	}
+
+	out := make([]Taint, max(len(sum.Results), 1))
+	for r, rt := range sum.Results {
+		t := Taint{Direct: rt.Direct & srcMask, Ovf: rt.Ovf & srcMask}
+		for i := 0; i < nparams && i < maxTaintParams; i++ {
+			bit := uint64(1) << i
+			if rt.Direct&bit != 0 {
+				t = t.union(argT[i])
+			}
+			if rt.Ovf&bit != 0 {
+				t.Ovf |= argT[i].bits()
+			}
+		}
+		out[r] = t
+	}
+	for len(out) < 1 {
+		out = append(out, Taint{})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Lexicon predicates
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isLenCap(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func isRequestExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
+}
+
+// capNameFragments match helper calls that express a bound by name:
+// cfg.maxSimTime(), Limit(), queueBound().
+var capNameFragments = []string{"max", "cap", "limit", "bound", "budget"}
+
+// isCapExpr recognizes cap expressions a comparison may sanitize
+// against: named constants, integer literals >= 2 in magnitude,
+// len/cap calls, conversions of caps, and calls whose name names a
+// bound.
+func isCapExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch n := e.(type) {
+	case *ast.BasicLit:
+		if n.Kind != token.INT && n.Kind != token.FLOAT {
+			return false
+		}
+		v := constant.MakeFromLiteral(n.Value, n.Kind, 0)
+		if f, ok := constant.Float64Val(v); ok {
+			return f >= 2 || f <= -2
+		}
+		return false
+	case *ast.UnaryExpr:
+		if n.Op == token.SUB {
+			return isCapExpr(info, n.X)
+		}
+	case *ast.Ident:
+		_, isConst := info.Uses[n].(*types.Const)
+		return isConst
+	case *ast.SelectorExpr:
+		_, isConst := info.Uses[n.Sel].(*types.Const)
+		return isConst
+	case *ast.CallExpr:
+		if isLenCap(info, n) {
+			return true
+		}
+		if isConversion(info, n) && len(n.Args) == 1 {
+			return isCapExpr(info, n.Args[0])
+		}
+		var name string
+		switch fun := ast.Unparen(n.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		lower := strings.ToLower(name)
+		for _, frag := range capNameFragments {
+			if strings.Contains(lower, frag) {
+				return true
+			}
+		}
+	}
+	return false
+}

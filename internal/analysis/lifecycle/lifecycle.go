@@ -7,8 +7,8 @@
 //
 // The check runs only in packages marked //mtlint:deterministic or
 // //mtlint:lifecycle. For every `go` statement it demands join
-// evidence in the spawned body (including package-local functions it
-// calls, one level deep):
+// evidence in the spawned body (including, transitively, functions it
+// calls, resolved through the driver's call-graph join summaries):
 //
 //   - a sync.WaitGroup Done whose Wait exists — reachable from the
 //     spawn site (CFG) when the group is a local variable, anywhere
@@ -23,10 +23,13 @@
 // stopped. time.Tick is flagged unconditionally — its ticker is
 // unreachable by construction.
 //
-// The analysis is intraprocedural plus one level of local call
-// expansion; a goroutine that is joined through a mechanism it cannot
-// see (context trees, external registries) should carry
-// //mtlint:allow lifecycle <reason>.
+// Join evidence buried inside callees is found through the Program's
+// JoinSummary cache: a call contributes the Done/send effects of its
+// (transitive) callees, with effects on callee parameters mapped back
+// to the arguments at the call site. Function values and interface
+// calls remain opaque; a goroutine joined through a mechanism the
+// analysis cannot see (context trees, external registries) should
+// carry //mtlint:allow lifecycle <reason>.
 package lifecycle
 
 import (
@@ -147,7 +150,7 @@ func (c *checker) checkGoStmts(fb driver.FuncBody) {
 // checkGo verifies one go statement.
 func (c *checker) checkGo(gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG) {
 	body := c.spawnedBody(gs.Call)
-	if body != nil && c.hasJoinEvidence(body, gs, fb, cfg, 1) {
+	if body != nil && c.hasJoinEvidence(body, gs, fb, cfg) {
 		return
 	}
 	if driver.Allowed(c.pass.Pkg, gs.Pos(), AllowLifecycle) {
@@ -178,11 +181,12 @@ func (c *checker) spawnedBody(call *ast.CallExpr) *ast.BlockStmt {
 	return nil
 }
 
-// hasJoinEvidence scans a spawned body (expanding package-local calls
-// up to depth levels) for a Done/send that something else observes.
-func (c *checker) hasJoinEvidence(body *ast.BlockStmt, gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG, depth int) bool {
+// hasJoinEvidence scans a spawned body for a Done/send that something
+// else observes. Calls are resolved through the Program's transitive
+// join summaries, so evidence any number of (statically resolvable)
+// calls deep counts.
+func (c *checker) hasJoinEvidence(body *ast.BlockStmt, gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG) bool {
 	found := false
-	var callees []*ast.BlockStmt
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
 			return false
@@ -193,40 +197,52 @@ func (c *checker) hasJoinEvidence(body *ast.BlockStmt, gs *ast.GoStmt, fb driver
 				found = true
 			}
 		case *ast.CallExpr:
-			sel, ok := n.Fun.(*ast.SelectorExpr)
-			if !ok {
-				if depth > 0 {
-					if id, ok := n.Fun.(*ast.Ident); ok {
-						if fn, ok := c.info.Uses[id].(*types.Func); ok {
-							if fd := c.funcs[fn]; fd != nil {
-								callees = append(callees, fd.Body)
-							}
-						}
-					}
-				}
-				return true
-			}
-			if c.fullName(sel) == "(*sync.WaitGroup).Done" {
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && c.fullName(sel) == "(*sync.WaitGroup).Done" {
 				if obj := c.baseObj(sel.X); obj != nil && c.waitObserved(obj, gs, fb, cfg) {
 					found = true
 				}
 				return true
 			}
-			if depth > 0 {
-				if fn, ok := c.info.Uses[sel.Sel].(*types.Func); ok {
-					if fd := c.funcs[fn]; fd != nil {
-						callees = append(callees, fd.Body)
-					}
-				}
+			if c.callJoins(n, gs, fb, cfg) {
+				found = true
 			}
 		}
 		return true
 	})
-	if found {
-		return true
+	return found
+}
+
+// callJoins consults the callee's transitive join summary: Done/send
+// effects on fields and package variables are checked directly, and
+// effects on the callee's parameters are mapped back to this call
+// site's arguments first.
+func (c *checker) callJoins(call *ast.CallExpr, gs *ast.GoStmt, fb driver.FuncBody, cfg *driver.CFG) bool {
+	prog := c.pass.Prog
+	if prog == nil {
+		return false
 	}
-	for _, cb := range callees {
-		if c.hasJoinEvidence(cb, gs, fb, cfg, depth-1) {
+	fn := driver.CalleeOf(c.info, call)
+	if fn == nil {
+		return false
+	}
+	sum := prog.JoinSummaryOf(fn)
+	for _, obj := range sum.DoneObjs {
+		if c.waitObserved(obj, gs, fb, cfg) {
+			return true
+		}
+	}
+	for _, obj := range sum.SendObjs {
+		if c.recvs[obj] {
+			return true
+		}
+	}
+	for _, idx := range sum.DoneParams {
+		if obj := c.baseObj(prog.CallArg(call, fn, idx)); obj != nil && c.waitObserved(obj, gs, fb, cfg) {
+			return true
+		}
+	}
+	for _, idx := range sum.SendParams {
+		if obj := c.baseObj(prog.CallArg(call, fn, idx)); obj != nil && c.recvs[obj] {
 			return true
 		}
 	}

@@ -76,6 +76,25 @@ func (w *worker) Close() {
 	w.wg.Wait()
 }
 
+// finish/finishVia bury the Done two calls deep; the call-graph join
+// summaries map the parameter Done back to &wg at each call site.
+func finish(wg *sync.WaitGroup) { wg.Done() }
+
+func finishVia(wg *sync.WaitGroup) { finish(wg) }
+
+// DeepJoin joins through two levels of helpers. The summary-based
+// analysis proves the Done with no fixed expansion depth; the old
+// one-level expansion flagged this shape.
+func DeepJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer finishVia(&wg)
+		work()
+	}()
+	wg.Wait()
+}
+
 // ServeShape is the thermald idiom: the goroutine's send is observed
 // by the caller's receive.
 func ServeShape() error {

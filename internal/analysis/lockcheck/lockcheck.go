@@ -32,11 +32,19 @@
 //     //mtlint:locked <lockField>, which both seeds their entry state
 //     and makes every call site prove it holds the receiver's lock.
 //
-// The analysis is intraprocedural. A deferred Unlock keeps the lock
-// held to function exit (the dominant idiom); lock identities are
-// matched by expression spelling (g.mu), which is exact for the
-// receiver-field idiom this repository uses and conservative for
-// aliases. Suppress deliberate violations with
+// The dataflow is per-function, but calls are not opaque: the driver's
+// program-wide lock-effect summaries thread a callee's *net* effect
+// through each call site — a helper that returns with a parameter's
+// lock acquired extends the held set (so an acquiring helper followed
+// by a //mtlint:locked call checks clean), one that releases shrinks
+// it (so the locked call is flagged again). //mtlint:locked
+// preconditions resolve program-wide too, so cross-package call sites
+// of an annotated method are held to the same contract. A deferred
+// Unlock (direct or through a releasing helper) keeps the lock held to
+// function exit (the dominant idiom); lock identities are matched by
+// expression spelling (g.mu), which is exact for the receiver-field
+// idiom this repository uses and conservative for aliases. Suppress
+// deliberate violations with
 // //mtlint:allow lockheld|lockorder|guardedby <reason>.
 package lockcheck
 
@@ -158,8 +166,8 @@ type orderEdge struct {
 type checker struct {
 	pass    *driver.Pass
 	info    *types.Info
-	guards  map[*types.Var]guardSpec  // annotated fields
-	locked  map[*types.Func]string    // method -> lock field the caller must hold
+	guards  map[*types.Var]guardSpec // annotated fields
+	locked  map[*types.Func]string   // method -> lock field the caller must hold
 	methods map[*types.Func]*ast.FuncDecl
 	edges   []orderEdge
 }
@@ -528,10 +536,15 @@ func (c *checker) call(call *ast.CallExpr, s state, report bool) state {
 	}
 
 	// //mtlint:locked callee: the call site must hold the receiver's
-	// lock.
+	// lock. The annotation resolves program-wide, so cross-package call
+	// sites of an annotated method are checked too.
 	if sel != nil {
 		if fn, ok := c.info.Uses[sel.Sel].(*types.Func); ok {
-			if lockField, isLocked := c.locked[fn]; isLocked {
+			lockField, isLocked := c.locked[fn]
+			if !isLocked && c.pass.Prog != nil {
+				lockField, isLocked = c.pass.Prog.LockedPrecondition(fn)
+			}
+			if isLocked {
 				want := types.ExprString(sel.X) + "." + lockField
 				if i := s.find(want); i < 0 || !s[i].excl {
 					if report && !driver.Allowed(c.pass.Pkg, call.Pos(), AllowGuardedBy) {
@@ -546,7 +559,69 @@ func (c *checker) call(call *ast.CallExpr, s state, report bool) state {
 	for _, arg := range call.Args {
 		s = c.expr(arg, false, s, report)
 	}
+	return c.applyCalleeEffects(call, s, report)
+}
+
+// applyCalleeEffects threads a callee's net lock effects (from the
+// program-wide summary cache) through the call site: a helper that
+// returns with a parameter's lock acquired extends the held set, one
+// that releases shrinks it. Receiver and parameter indices map back to
+// the caller's argument expressions, so `g.lockFor()` on an acquiring
+// helper leaves "g.mu" held.
+func (c *checker) applyCalleeEffects(call *ast.CallExpr, s state, report bool) state {
+	prog := c.pass.Prog
+	if prog == nil {
+		return s
+	}
+	fn := driver.CalleeOf(c.info, call)
+	if fn == nil {
+		return s
+	}
+	for _, eff := range prog.LockEffectsOf(fn) {
+		arg := prog.CallArg(call, fn, eff.Param)
+		if arg == nil {
+			continue
+		}
+		id := c.fieldLockID(arg, eff.Field)
+		if !eff.Acquire {
+			s = s.without(id.expr)
+			continue
+		}
+		if i := s.find(id.expr); i >= 0 {
+			if report && !driver.Allowed(c.pass.Pkg, call.Pos(), AllowHeld) {
+				c.pass.Reportf(call.Pos(), "call to %s re-acquires %s, which is already held; a second acquire of a sync mutex deadlocks", callLabel(call), id.expr)
+			}
+			continue
+		}
+		if report {
+			for _, h := range s {
+				c.edges = append(c.edges, orderEdge{from: h.id.class, to: id.class, pos: call.Pos()})
+			}
+		}
+		s = s.with(held{id: id, excl: eff.Excl})
+	}
 	return s
+}
+
+// fieldLockID derives the held-set identity of <arg>.<field>, the lock
+// a summarized callee effect lands on at this call site.
+func (c *checker) fieldLockID(arg ast.Expr, field string) lockID {
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ue.X
+	}
+	expr := types.ExprString(arg) + "." + field
+	class := "local:" + expr
+	if tv, ok := c.info.Types[arg]; ok {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			class = "(" + n.Obj().Name() + ")." + field
+		}
+	}
+	return lockID{expr: expr, class: class}
 }
 
 // acquire processes a Lock/RLock call: self-acquire and ordering

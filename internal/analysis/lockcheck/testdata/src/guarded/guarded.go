@@ -66,6 +66,36 @@ func (g *group) FlushBad() []int {
 	return g.takeLocked() // want `call to takeLocked requires g\.mu held \(//mtlint:locked\)`
 }
 
+// lockFor/unlockFor are net-effect helpers: the program-wide lock
+// summaries propagate their acquire/release to every call site.
+func (g *group) lockFor()   { g.mu.Lock() }
+func (g *group) unlockFor() { g.mu.Unlock() }
+
+// FlushViaHelper acquires through a helper; the callee's net-acquire
+// summary leaves g.mu in the held set, so the locked call checks clean.
+func (g *group) FlushViaHelper() []int {
+	g.lockFor()
+	out := g.takeLocked()
+	g.unlockFor()
+	return out
+}
+
+// FlushReleasedEarly releases through a helper before the locked call;
+// the net-release summary empties the held set first.
+func (g *group) FlushReleasedEarly() []int {
+	g.mu.Lock()
+	g.unlockFor()
+	return g.takeLocked() // want `call to takeLocked requires g\.mu held \(//mtlint:locked\)`
+}
+
+// RelockViaHelper re-acquires through the helper while already holding
+// the lock — the summarized acquire deadlocks like a direct one.
+func (g *group) RelockViaHelper() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lockFor() // want `call to g\.lockFor re-acquires g\.mu, which is already held`
+}
+
 // stats exercises the shared/exclusive split of an RWMutex guard.
 type stats struct {
 	mu sync.RWMutex

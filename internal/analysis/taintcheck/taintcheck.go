@@ -1,0 +1,84 @@
+// Package taintcheck flags untrusted input reaching allocation-shaped
+// sinks. thermald accepts arbitrary wire input; PR 8 shipped a real
+// instance of the dangerous class (ParseGridSpec's Rows×Cols product
+// overflowing int past the MaxGridCores check into a multi-GB build),
+// and this analyzer exists so that class cannot come back.
+//
+// Sources: HTTP/JSON request decoding (json.Decode/Unmarshal, reads
+// through *http.Request), command-line flag parsing (package flag),
+// and environment reads (os.Getenv/LookupEnv). Sinks: make sizes,
+// for-loop trip counts, and slice/array/string indexing. Integer
+// multiplication of two tainted values sets a sticky overflow mark
+// that survives later cap comparisons — checking `r*c > Max` after the
+// multiply proves nothing once the product has wrapped, so only
+// bounding each factor first clears a finding.
+//
+// Sanitizers: comparison against a named cap (constant, integer
+// literal ≥ 2, len/cap, or a call whose name contains max/cap/limit/
+// bound/budget), min/max with a cap argument, %, functions marked
+// //mtlint:sanitizer, and — interprocedurally — callees whose taint
+// summary proves they validate a parameter (the strict-parse-helper
+// idiom: floorplan.ParseGridSpec validates, so its result is clean in
+// every caller). Suppress deliberate flows with
+// //mtlint:allow taint <reason>.
+//
+// The analysis is interprocedural through driver.Program summaries:
+// a tainted argument to a function whose parameter reaches a sink is
+// reported at the call site with the call chain. Soundness limits are
+// the Program's (function values and interface calls are opaque,
+// recursion degrades to argument propagation, package-variable state
+// does not flow) plus taint's own: channel receives and range-over-
+// channel values are treated clean.
+package taintcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"multitherm/internal/analysis/driver"
+)
+
+// Analyzer is the untrusted-input flow check.
+var Analyzer = &driver.Analyzer{
+	Name: "taintcheck",
+	Doc:  "flag request/flag/env-derived values reaching make sizes, loop bounds, and slice indexing without a recognized clamp",
+	Run:  run,
+}
+
+// AllowTaint is the suppression check name.
+const AllowTaint = "taint"
+
+func run(pass *driver.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			pass.Prog.CheckTaint(fn, func(tf driver.TaintFinding) {
+				if driver.Allowed(pass.Pkg, tf.Pos, AllowTaint) {
+					return
+				}
+				src := driver.SourceLabel(tf.Sources)
+				via := ""
+				if tf.Via != "" {
+					via = " via " + tf.Via
+				}
+				if tf.Overflow {
+					pass.Reportf(tf.Pos, "product of unvalidated %s input reaches %s%s; the multiply can wrap past any later cap check — bound each factor before multiplying", src, tf.Kind, via)
+					return
+				}
+				pass.Reportf(tf.Pos, "unvalidated %s input reaches %s%s; clamp it against a named cap first (or annotate //mtlint:allow taint <reason>)", src, tf.Kind, via)
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module fixture.example/taintcheck
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package helper provides allocation helpers the interproc fixture
+// calls across a package boundary, so sinks and validation both have
+// to travel through summaries.
+package helper
+
+// MaxN bounds every checked allocation in this package.
+const MaxN = 4096
+
+// Alloc allocates without validating: callers own the clamp.
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}
+
+// AllocChecked validates its argument against the package cap, so a
+// caller's argument is clean after the call returns.
+func AllocChecked(n int) []float64 {
+	if n < 0 || n > MaxN {
+		return nil
+	}
+	return make([]float64, n)
+}
+
+// Echo returns its argument untouched: result taint follows argument
+// taint through the summary.
+func Echo(n int) int { return n }

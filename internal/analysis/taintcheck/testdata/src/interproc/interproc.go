@@ -1,0 +1,49 @@
+// Package interproc proves sinks, result taint, and validation all
+// resolve through call-graph summaries, including across packages.
+package interproc
+
+import (
+	"flag"
+	"os"
+	"strconv"
+
+	"fixture.example/taintcheck/helper"
+)
+
+var laneFlag = flag.Int("lanes", 4, "lane count")
+
+// FlagAlloc hands a raw flag to a cross-package allocator: the sink is
+// inside helper.Alloc, the finding lands on the call site here.
+func FlagAlloc() []float64 {
+	return helper.Alloc(*laneFlag) // want `unvalidated flag input reaches make size via Alloc`
+}
+
+// FlagAllocChecked flows through the validating twin: clean.
+func FlagAllocChecked() []float64 {
+	return helper.AllocChecked(*laneFlag)
+}
+
+// EchoAlloc proves result taint survives a pass-through callee.
+func EchoAlloc() []float64 {
+	n := helper.Echo(*laneFlag)
+	return make([]float64, n) // want `unvalidated flag input reaches make size`
+}
+
+// spin reaches a loop bound with its parameter.
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// spinTwice only forwards, so the chain is two calls deep.
+func spinTwice(n int) int { return spin(n) + spin(n) }
+
+// EnvSpin reaches a loop bound two calls deep; the finding names the
+// whole chain.
+func EnvSpin() int {
+	n, _ := strconv.Atoi(os.Getenv("SPIN"))
+	return spinTwice(n) // want `unvalidated env input reaches loop bound via spinTwice → spin`
+}

@@ -1,0 +1,80 @@
+// Package overflow reproduces the ParseGridSpec Rows×Cols shape: a
+// decoded pair of dimensions whose product is checked only after the
+// multiply, where it may already have wrapped past the cap.
+package overflow
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+const (
+	MaxCells = 1024
+	MaxDim   = 64
+)
+
+var errTooBig = errors.New("grid too big")
+
+type dims struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// InlineProduct checks nothing at all before allocating.
+func InlineProduct(r io.Reader) ([]float64, error) {
+	var d dims
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	return make([]float64, d.Rows*d.Cols), nil // want `product of unvalidated request input reaches make size`
+}
+
+// ProductChecked caps the product after multiplying — too late: the
+// multiply can wrap negative-to-small and slip under MaxCells.
+func ProductChecked(r io.Reader) ([]float64, error) {
+	var d dims
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	n := d.Rows * d.Cols
+	if n > MaxCells {
+		return nil, errTooBig
+	}
+	return make([]float64, n), nil // want `product of unvalidated request input reaches make size`
+}
+
+// FactorsChecked bounds each factor before multiplying: clean.
+func FactorsChecked(r io.Reader) ([]float64, error) {
+	var d dims
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, err
+	}
+	if d.Rows <= 0 || d.Rows > MaxDim || d.Cols <= 0 || d.Cols > MaxDim {
+		return nil, errTooBig
+	}
+	return make([]float64, d.Rows*d.Cols), nil
+}
+
+// RawLoop trips a loop on a raw decoded count.
+func RawLoop(r io.Reader) []float64 {
+	var d dims
+	_ = json.NewDecoder(r).Decode(&d)
+	var out []float64
+	for i := 0; i < d.Rows; i++ { // want `unvalidated request input reaches loop bound`
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// BoundedLoop iterates to the container's own length: exempt.
+func BoundedLoop(r io.Reader) float64 {
+	var d dims
+	_ = json.NewDecoder(r).Decode(&d)
+	xs := []float64{1, 2, 3}
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}

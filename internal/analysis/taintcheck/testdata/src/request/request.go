@@ -1,0 +1,101 @@
+// Package request exercises the source lexicon (JSON decode, request
+// reads, env) and every sanitizer idiom taintcheck recognizes.
+package request
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+const maxLanes = 256
+
+type sweep struct {
+	Lanes  int   `json:"lanes"`
+	Pick   int   `json:"pick"`
+	Points []int `json:"points"`
+}
+
+// Handler allocates and indexes straight off the wire.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	var req sweep
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return
+	}
+	lanes := make([]int, req.Lanes) // want `unvalidated request input reaches make size`
+	_ = lanes
+	got := req.Points[req.Pick] // want `unvalidated request input reaches slice index`
+	_ = got
+}
+
+// Clamped kills the taint with a named-cap comparison before use.
+func Clamped(w http.ResponseWriter, r *http.Request) {
+	var req sweep
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return
+	}
+	if req.Lanes < 0 || req.Lanes > maxLanes {
+		http.Error(w, "lanes out of range", http.StatusBadRequest)
+		return
+	}
+	lanes := make([]int, req.Lanes)
+	_ = lanes
+}
+
+// MinCapped bounds the size through the min builtin.
+func MinCapped(r *http.Request) []int {
+	var req sweep
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	return make([]int, min(req.Lanes, maxLanes))
+}
+
+// IndexChecked validates the index against the slice's own length.
+func IndexChecked(r *http.Request) int {
+	var req sweep
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	if req.Pick < 0 || req.Pick >= len(req.Points) {
+		return 0
+	}
+	return req.Points[req.Pick]
+}
+
+// QuerySized parses a size straight off the URL query.
+func QuerySized(r *http.Request) []int {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	return make([]int, n) // want `unvalidated request input reaches make size`
+}
+
+// EnvSized reads a size from the environment without a clamp.
+func EnvSized() []byte {
+	n, _ := strconv.Atoi(os.Getenv("REQUEST_BUF"))
+	return make([]byte, n) // want `unvalidated env input reaches make size`
+}
+
+// clampLanes is trusted to bound its argument.
+//
+//mtlint:sanitizer
+func clampLanes(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > maxLanes {
+		return maxLanes
+	}
+	return n
+}
+
+// Sanitized flows through the marked helper: clean.
+func Sanitized(r *http.Request) []int {
+	var req sweep
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	return make([]int, clampLanes(req.Lanes))
+}
+
+// Allowed carries a reviewed suppression.
+func Allowed(r *http.Request) []int {
+	var req sweep
+	_ = json.NewDecoder(r.Body).Decode(&req)
+	//mtlint:allow taint fixture: deliberately unclamped to prove the escape hatch
+	return make([]int, req.Lanes)
+}

@@ -80,10 +80,10 @@ type batcher struct {
 	groups map[groupKey]*group
 
 	// Counters for /v1/stats.
-	batches, lanes         atomic.Int64
-	fullFlushes, timeouts  atomic.Int64
-	widest                 atomic.Int64
-	fallbackSingles        atomic.Int64
+	batches, lanes        atomic.Int64
+	fullFlushes, timeouts atomic.Int64
+	widest                atomic.Int64
+	fallbackSingles       atomic.Int64
 }
 
 func newBatcher(pool *parallel.Pool, width int, window time.Duration) *batcher {
@@ -219,7 +219,7 @@ func runBatch(b *batcher, batch []*join) {
 	}
 	runners := make([]*sim.Runner, len(batch))
 	for i, j := range batch {
-		r, err := sim.New(j.c.cfg, j.c.mix, j.c.policy)
+		r, err := j.c.newRunner()
 		if err != nil {
 			// A lane that cannot even construct fails alone; the rest of
 			// the batch proceeds without it.
@@ -275,7 +275,7 @@ func runBatch(b *batcher, batch []*join) {
 // runSingle executes one cell sequentially and encodes its canonical
 // bytes — the reference path every batched lane must match bit for bit.
 func runSingle(c *cell) joinResult {
-	r, err := sim.New(c.cfg, c.mix, c.policy)
+	r, err := c.newRunner()
 	if err != nil {
 		return joinResult{err: err}
 	}

@@ -242,6 +242,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "sweep request has no cells")
 		return
 	}
+	if len(req.Cells) > MaxSweepCells {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("sweep request has %d cells; the cap is %d", len(req.Cells), MaxSweepCells))
+		return
+	}
 	cells := make([]*cell, len(req.Cells))
 	for i, spec := range req.Cells {
 		c, err := s.resolveCell(spec, req.SimTimeS)
@@ -322,13 +326,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
+	if req.Every < 0 || req.Every > MaxTraceEvery {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("trace every %d out of range [0, %d]", req.Every, MaxTraceEvery))
+		return
+	}
 	c, err := s.resolveCell(req.CellSpec, 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	every := int64(req.Every)
-	if every <= 0 {
+	if every == 0 {
 		every = 16
 	}
 	if !s.admit(1) {
@@ -341,7 +349,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	final := make(chan joinResult, 1)
 	job := func() {
 		defer close(lines)
-		runner, err := sim.New(c.cfg, c.mix, c.policy)
+		runner, err := c.newRunner()
 		if err != nil {
 			final <- joinResult{err: err}
 			return

@@ -9,10 +9,26 @@ import (
 	"strings"
 
 	"multitherm/internal/core"
+	"multitherm/internal/floorplan"
 	"multitherm/internal/metrics"
 	"multitherm/internal/sim"
+	"multitherm/internal/thermal"
 	"multitherm/internal/units"
 	"multitherm/internal/workload"
+)
+
+// Request caps: explicit maxima enforced at decode time, before any
+// allocation or loop is sized by wire input. Violations answer 400.
+// Floorplan dimensions are bounded separately by the floorplan package
+// itself (each grid dimension and the cell product are validated before
+// any allocation — the clamp taintcheck's fixture suite mutates).
+const (
+	// MaxSweepCells bounds the cells array of one sweep request.
+	MaxSweepCells = 1024
+	// MaxTraceEvery bounds a trace request's tick stride. The trace
+	// line count is bounded transitively: simulated time is capped by
+	// Config.MaxSimTimeS and the control period is fixed server-side.
+	MaxTraceEvery = 1 << 20
 )
 
 // CellSpec is the wire form of one simulation cell: a workload mix, a
@@ -24,6 +40,10 @@ type CellSpec struct {
 	Workload string  `json:"workload"`
 	Policy   string  `json:"policy"`
 	SimTimeS float64 `json:"simtime_s,omitempty"`
+	// Floorplan selects a generated grid chip ("RxC", e.g. "8x8")
+	// instead of the paper's default chip. Grid cells timeshare the
+	// tiled benchmark pool, so Workload must be empty.
+	Floorplan string `json:"floorplan,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: many cells answered in
@@ -52,21 +72,27 @@ type cell struct {
 	cfg    sim.Config
 	mix    workload.Mix
 	policy core.PolicySpec
-	key    [32]byte
+	// Grid cells timeshare the tiled benchmark pool instead of running
+	// a named mix; label is the generated floorplan's name.
+	benchmarks []string
+	label      string
+	key        [32]byte
 }
 
-// resolveCell validates a wire spec against the server limits and
-// binds it to the paper's default chip configuration.
-func (s *Server) resolveCell(spec CellSpec, defaultSimTime float64) (*cell, error) {
-	mix, err := workload.MixByName(strings.TrimSpace(spec.Workload))
-	if err != nil {
-		return nil, err
+// newRunner constructs the simulation for one resolved cell: the
+// paper-default chip under a named mix, or a generated grid
+// timesharing the tiled benchmark pool.
+func (c *cell) newRunner() (*sim.Runner, error) {
+	if len(c.benchmarks) > 0 {
+		return sim.NewTimeshared(c.cfg, c.label, c.benchmarks, c.policy, 0)
 	}
-	policy, err := core.PolicyByName(spec.Policy)
-	if err != nil {
-		return nil, err
-	}
-	simTime := spec.SimTimeS
+	return sim.New(c.cfg, c.mix, c.policy)
+}
+
+// resolveSimTime validates the wire simulated time against the server
+// limits, resolving the zero "inherit" sentinel.
+func (s *Server) resolveSimTime(reqSimTime, defaultSimTime float64) (float64, error) {
+	simTime := reqSimTime
 	if simTime == 0 { //mtlint:allow floatcmp zero is the explicit "inherit the default" sentinel on the wire
 		simTime = defaultSimTime
 	}
@@ -74,10 +100,32 @@ func (s *Server) resolveCell(spec CellSpec, defaultSimTime float64) (*cell, erro
 		simTime = s.cfg.defaultSimTime()
 	}
 	if simTime < 0 || math.IsNaN(simTime) || math.IsInf(simTime, 0) {
-		return nil, fmt.Errorf("serve: simtime_s %v is not a positive duration", spec.SimTimeS)
+		return 0, fmt.Errorf("serve: simtime_s %v is not a positive duration", reqSimTime)
 	}
-	if max := s.cfg.maxSimTime(); simTime > max {
-		return nil, fmt.Errorf("serve: simtime_s %g exceeds the server limit of %g s", simTime, max)
+	if simTime > s.cfg.maxSimTime() {
+		return 0, fmt.Errorf("serve: simtime_s %g exceeds the server limit of %g s", simTime, s.cfg.maxSimTime())
+	}
+	return simTime, nil
+}
+
+// resolveCell validates a wire spec against the server limits and
+// binds it to the paper's default chip configuration, or to a
+// generated grid when the spec names one.
+func (s *Server) resolveCell(spec CellSpec, defaultSimTime float64) (*cell, error) {
+	simTime, err := s.resolveSimTime(spec.SimTimeS, defaultSimTime)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(spec.Floorplan) != "" {
+		return s.resolveGridCell(spec, simTime)
+	}
+	mix, err := workload.MixByName(strings.TrimSpace(spec.Workload))
+	if err != nil {
+		return nil, err
+	}
+	policy, err := core.PolicyByName(spec.Policy)
+	if err != nil {
+		return nil, err
 	}
 	cfg := sim.DefaultConfig()
 	cfg.SimTime = units.Seconds(simTime)
@@ -95,10 +143,66 @@ func (s *Server) resolveCell(spec CellSpec, defaultSimTime float64) (*cell, erro
 	return c, nil
 }
 
+// resolveGridCell binds a spec to a generated grid floorplan, the same
+// wiring experiments.RunManycore uses: fitted lumped-RC parameters,
+// per-class DVFS ceilings, and a 3:2 oversubscribed timeshared run over
+// the cyclically tiled benchmark pool. ParseGridSpec bounds each grid
+// dimension (and the cell product) before anything is allocated, so a
+// hostile "99999999x99999999" floorplan dies here with a 400.
+func (s *Server) resolveGridCell(spec CellSpec, simTime float64) (*cell, error) {
+	if strings.TrimSpace(spec.Workload) != "" {
+		return nil, fmt.Errorf("serve: floorplan cells run the tiled benchmark pool; workload must be empty, got %q", spec.Workload)
+	}
+	gs, err := floorplan.ParseGridSpec(strings.TrimSpace(spec.Floorplan))
+	if err != nil {
+		return nil, err
+	}
+	policy, err := core.PolicyByName(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := floorplan.Grid(gs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.SimTime = units.Seconds(simTime)
+	cfg.Floorplan = fp
+	cfg.Thermal = thermal.FitParams(fp)
+	scales := floorplan.GridCoreScales(gs)
+	cfg.CoreMaxScale = make([]units.ScaleFactor, len(scales))
+	for i, sc := range scales {
+		cfg.CoreMaxScale[i] = units.ScaleFactor(sc)
+	}
+	// 3:2 process oversubscription over the benchmark pool, tiled
+	// cyclically — the RunManycore workload model.
+	pool := workload.Benchmarks()
+	nCores := fp.NumCores()
+	nProcs := nCores + nCores/2
+	benchmarks := make([]string, nProcs)
+	for i := range benchmarks {
+		benchmarks[i] = pool[i%len(pool)]
+	}
+	c := &cell{
+		spec: CellSpec{
+			Policy:    policy.CLIName(),
+			SimTimeS:  simTime,
+			Floorplan: fmt.Sprintf("%dx%d", gs.Rows, gs.Cols),
+		},
+		cfg:        cfg,
+		policy:     policy,
+		benchmarks: benchmarks,
+		label:      fp.Name,
+	}
+	c.key = cellKey(c.spec, float64(cfg.Policy.SamplePeriod), cfg.TraceIntervals)
+	return c, nil
+}
+
 // keyPreimageMax bounds the stack buffer the canonical preimage is
-// assembled in: scheme tag, two short names, three 8-byte words, and
-// separators all fit with slack.
-const keyPreimageMax = 160
+// assembled in: scheme tag, three short names, three 8-byte words, and
+// separators all fit with slack (the floorplan string is canonicalized
+// "RxC" with both dimensions already validated ≤ 4 digits).
+const keyPreimageMax = 192
 
 // cellKey computes the content address of a cell result: a SHA-256
 // over a versioned canonical encoding of everything the response bytes
@@ -111,11 +215,13 @@ const keyPreimageMax = 160
 func cellKey(spec CellSpec, dt float64, traceIntervals int) [32]byte {
 	var arr [keyPreimageMax]byte
 	b := arr[:0]
-	b = append(b, "mtserve/1\x00"...)
+	b = append(b, "mtserve/2\x00"...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Workload)))
 	b = append(b, spec.Workload...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Policy)))
 	b = append(b, spec.Policy...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Floorplan)))
+	b = append(b, spec.Floorplan...)
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(spec.SimTimeS))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(dt))
 	b = binary.LittleEndian.AppendUint64(b, uint64(traceIntervals))
@@ -129,6 +235,7 @@ func cellKey(spec CellSpec, dt float64, traceIntervals int) [32]byte {
 // guarantee and the content-addressed cache both rest on.
 type CellResult struct {
 	Workload     string    `json:"workload"`
+	Floorplan    string    `json:"floorplan,omitempty"` // canonical "RxC" for grid cells
 	Policy       string    `json:"policy"`
 	PolicyLabel  string    `json:"policy_label"`
 	SimTimeS     float64   `json:"simtime_s"`
@@ -152,6 +259,7 @@ type CellResult struct {
 func encodeResult(c *cell, m *metrics.Run) ([]byte, error) {
 	res := CellResult{
 		Workload:     c.spec.Workload,
+		Floorplan:    c.spec.Floorplan,
 		Policy:       c.spec.Policy,
 		PolicyLabel:  c.policy.String(),
 		SimTimeS:     c.spec.SimTimeS,

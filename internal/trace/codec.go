@@ -18,6 +18,11 @@ import (
 const (
 	binaryMagic   = "MTTR"
 	binaryVersion = 1
+	// maxDecodedSamples bounds the sample count either decoder will
+	// allocate for — ~64M samples is hours of simulated execution, far
+	// past any real trace, and keeps a hostile or corrupt count field
+	// from sizing a multi-GB make.
+	maxDecodedSamples = 1 << 26
 )
 
 // WriteBinary serializes the trace in the compact binary format.
@@ -108,7 +113,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if count > 1<<26 {
+	if count > maxDecodedSamples {
 		return nil, fmt.Errorf("trace: implausible sample count %d", count)
 	}
 	t.Samples = make([]uarch.Sample, count)
@@ -165,6 +170,9 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	var jt jsonTrace
 	if err := json.NewDecoder(r).Decode(&jt); err != nil {
 		return nil, fmt.Errorf("trace: decoding json: %w", err)
+	}
+	if len(jt.Samples) > maxDecodedSamples {
+		return nil, fmt.Errorf("trace: json carries %d samples; the decoder cap is %d", len(jt.Samples), maxDecodedSamples)
 	}
 	t := &Trace{Benchmark: jt.Benchmark, SampleSeconds: jt.SampleSeconds}
 	t.Samples = make([]uarch.Sample, len(jt.Samples))
